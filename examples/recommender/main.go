@@ -1,0 +1,144 @@
+// Recommender: train a rating-prediction neural network over the normalized
+// three-way schema Ratings ⋈ Users ⋈ Movies (the paper's Movies-3way
+// setting) and compare all three execution strategies. Multi-way joins are
+// where factorization pays off most: every rating row repeats both a user
+// row and a movie row.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"factorml"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "factorml-recsys-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := factorml.Open(dir, factorml.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	const (
+		nUsers   = 400
+		nMovies  = 250
+		nRatings = 30000
+	)
+
+	// Users(rid; age, activity, 3 genre affinities).
+	users, err := db.CreateDimensionTable("users",
+		[]string{"age", "activity", "aff_action", "aff_drama", "aff_comedy"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	userAff := make([][3]float64, nUsers)
+	for u := 0; u < nUsers; u++ {
+		aff := [3]float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		userAff[u] = aff
+		err := users.Append(int64(u), []float64{
+			18 + 50*rng.Float64(), rng.Float64(), aff[0], aff[1], aff[2],
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Movies(rid; year, popularity, 3 genre intensities).
+	movies, err := db.CreateDimensionTable("movies",
+		[]string{"year", "popularity", "g_action", "g_drama", "g_comedy"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	movieGen := make([][3]float64, nMovies)
+	for m := 0; m < nMovies; m++ {
+		g := [3]float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		movieGen[m] = g
+		err := movies.Append(int64(m), []float64{
+			float64(1960 + rng.Intn(60)), rng.Float64(), g[0], g[1], g[2],
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Ratings(sid, fk_user, fk_movie; hour_of_day) with the rating as the
+	// target: affinity·genre match plus noise.
+	ratings, err := db.CreateFactTable("ratings", []string{"hour"}, true, users, movies)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < nRatings; i++ {
+		u := rng.Intn(nUsers)
+		m := rng.Intn(nMovies)
+		match := userAff[u][0]*movieGen[m][0] + userAff[u][1]*movieGen[m][1] + userAff[u][2]*movieGen[m][2]
+		rating := 1 + 4*match/3 + 0.3*rng.NormFloat64()
+		err := ratings.Append(int64(i), []int64{int64(u), int64(m)},
+			[]float64{float64(rng.Intn(24))}, rating)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ds, err := db.Dataset(ratings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ratings ⋈ users ⋈ movies: %d rows, %d features after join\n",
+		ds.NumRows(), ds.JoinedWidth())
+
+	cfg := factorml.NNConfig{
+		Hidden: []int{32}, Act: factorml.Tanh,
+		Epochs: 10, LearningRate: 0.05,
+	}
+	type outcome struct {
+		name string
+		algo factorml.Algorithm
+		res  *factorml.NNResult
+	}
+	runs := []outcome{
+		{"M-NN (materialize join)", factorml.Materialized, nil},
+		{"S-NN (stream join)", factorml.Streaming, nil},
+		{"F-NN (factorized)", factorml.Factorized, nil},
+	}
+	for i := range runs {
+		runs[i].res, err = factorml.TrainNN(ds, runs[i].algo, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nstrategy                    time        multiplies     pages read  pages written")
+	for _, r := range runs {
+		st := r.res.Stats
+		fmt.Printf("%-26s %-10v %14d %12d %14d\n",
+			r.name, st.TrainTime, st.Ops.Mul, st.IO.LogicalReads, st.IO.PageWrites)
+	}
+	f := runs[2].res
+	fmt.Printf("\nfactorized speedup: %.2fx vs materialized, %.2fx vs streaming\n",
+		float64(runs[0].res.Stats.TrainTime)/float64(f.Stats.TrainTime),
+		float64(runs[1].res.Stats.TrainTime)/float64(f.Stats.TrainTime))
+	fmt.Printf("models identical: max parameter diff %.2e\n", runs[0].res.Net.MaxParamDiff(f.Net))
+	fmt.Printf("final training loss: %.4f\n", f.Stats.FinalLoss())
+
+	// Sample predictions.
+	fmt.Println("\nsample rating predictions:")
+	shown := 0
+	err = ds.Stream(func(sid int64, x []float64, y float64) error {
+		if shown < 5 && sid%6000 == 0 {
+			fmt.Printf("  rating %5d: predicted %.2f, actual %.2f\n", sid, f.Net.Predict(x), y)
+			shown++
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package factorml
+
+import (
+	"math"
+	"testing"
+)
+
+func openDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// buildRetail assembles a small orders ⋈ items star schema through the
+// public API.
+func buildRetail(t *testing.T, db *DB, nOrders, nItems int) *Dataset {
+	t.Helper()
+	items, err := db.CreateDimensionTable("items", []string{"price", "size", "weight"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nItems; i++ {
+		err := items.Append(int64(i), []float64{float64(10 + i), float64(i % 5), 0.5 * float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	orders, err := db.CreateFactTable("orders", []string{"amount", "hour"}, true, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nOrders; i++ {
+		err := orders.Append(int64(i), []int64{int64(i % nItems)},
+			[]float64{float64(i%7) + 0.5, float64(i % 24)}, float64(i%3))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := db.Dataset(orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestPublicAPIDatasetShape(t *testing.T) {
+	db := openDB(t)
+	ds := buildRetail(t, db, 100, 8)
+	if ds.JoinedWidth() != 5 {
+		t.Fatalf("JoinedWidth = %d, want 5", ds.JoinedWidth())
+	}
+	if ds.NumRows() != 100 {
+		t.Fatalf("NumRows = %d, want 100", ds.NumRows())
+	}
+	count := 0
+	err := ds.Stream(func(sid int64, x []float64, y float64) error {
+		if len(x) != 5 {
+			t.Fatalf("streamed %d features", len(x))
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("streamed %d rows", count)
+	}
+}
+
+func TestPublicAPITrainGMMAllAlgorithms(t *testing.T) {
+	db := openDB(t)
+	ds := buildRetail(t, db, 200, 10)
+	var models []*GMMModel
+	for _, algo := range []Algorithm{Materialized, Streaming, Factorized} {
+		res, err := TrainGMM(ds, algo, GMMConfig{K: 2, MaxIter: 4, Tol: 1e-12})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		models = append(models, res.Model)
+	}
+	if d := models[0].MaxParamDiff(models[1]); d > 1e-9 {
+		t.Fatalf("materialized vs streaming differ by %v", d)
+	}
+	if d := models[1].MaxParamDiff(models[2]); d > 1e-7 {
+		t.Fatalf("streaming vs factorized differ by %v", d)
+	}
+}
+
+func TestPublicAPITrainNNAllAlgorithms(t *testing.T) {
+	db := openDB(t)
+	ds := buildRetail(t, db, 150, 10)
+	var nets []*NNNetwork
+	for _, algo := range []Algorithm{Materialized, Streaming, Factorized} {
+		res, err := TrainNN(ds, algo, NNConfig{Hidden: []int{6}, Act: Sigmoid, Epochs: 3, LearningRate: 0.01})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		nets = append(nets, res.Net)
+	}
+	if d := nets[0].MaxParamDiff(nets[1]); d > 1e-9 {
+		t.Fatalf("materialized vs streaming differ by %v", d)
+	}
+	if d := nets[1].MaxParamDiff(nets[2]); d > 1e-6 {
+		t.Fatalf("streaming vs factorized differ by %v", d)
+	}
+}
+
+func TestPublicAPIUnknownAlgorithm(t *testing.T) {
+	db := openDB(t)
+	ds := buildRetail(t, db, 50, 5)
+	if _, err := TrainGMM(ds, Algorithm(99), GMMConfig{K: 1}); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+	if _, err := TrainNN(ds, Algorithm(99), NNConfig{}); err == nil {
+		t.Fatal("unknown algorithm should fail")
+	}
+	if Algorithm(99).String() == "" || Factorized.String() != "factorized" {
+		t.Fatal("Algorithm.String wrong")
+	}
+}
+
+func TestPublicAPIGenerateSynthetic(t *testing.T) {
+	db := openDB(t)
+	ds, err := GenerateSynthetic(db, "syn", SyntheticConfig{
+		NS: 300, NR: []int{20}, DS: 3, DR: []int{4}, WithTarget: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainNN(ds, Factorized, NNConfig{Hidden: []int{5}, Epochs: 2, LearningRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Epochs != 2 || len(res.Stats.Loss) != 2 {
+		t.Fatalf("stats: %+v", res.Stats)
+	}
+}
+
+func TestPublicAPIRealShapes(t *testing.T) {
+	shapes := RealDatasetShapes()
+	if len(shapes) < 8 {
+		t.Fatalf("expected the paper's real dataset shapes, got %d", len(shapes))
+	}
+	db := openDB(t)
+	ds, err := GenerateRealShape(db, "Walmart", 0.005, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainGMM(ds, Factorized, GMMConfig{K: 2, MaxIter: 2, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.Stats.FinalLL()) {
+		t.Fatal("NaN log-likelihood")
+	}
+	if _, err := GenerateRealShape(db, "missing", 0.1, 1); err == nil {
+		t.Fatal("unknown shape should fail")
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	db := openDB(t)
+	if _, err := db.CreateFactTable("s", nil, false); err == nil {
+		t.Fatal("fact table without dimensions should fail")
+	}
+	items, err := db.CreateDimensionTable("i", []string{"f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, err := db.CreateFactTable("o", []string{"g"}, false, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orders.Append(1, []int64{1, 2}, []float64{1}, 0); err == nil {
+		t.Fatal("fk arity mismatch should fail")
+	}
+}
+
+func TestIOStatsExposed(t *testing.T) {
+	db := openDB(t)
+	ds := buildRetail(t, db, 50, 5)
+	db.ResetIOStats()
+	if _, err := TrainGMM(ds, Factorized, GMMConfig{K: 1, MaxIter: 1, Tol: 1e-12}); err != nil {
+		t.Fatal(err)
+	}
+	if db.IOStats().LogicalReads == 0 {
+		t.Fatal("expected page reads to be counted")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"factorml/internal/linalg"
+)
+
+func randSPD(rng *rand.Rand, n int) *linalg.Dense {
+	a := linalg.NewDense(n, n)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	spd := linalg.NewMatMul(a, a.Transpose())
+	spd.AddDiag(float64(n))
+	return spd
+}
+
+func TestNewPartition(t *testing.T) {
+	p := NewPartition([]int{2, 3, 1})
+	if p.D != 6 || p.Parts() != 3 {
+		t.Fatalf("partition = %+v", p)
+	}
+	if p.Offs[0] != 0 || p.Offs[1] != 2 || p.Offs[2] != 5 {
+		t.Fatalf("offsets = %v", p.Offs)
+	}
+	x := []float64{0, 1, 2, 3, 4, 5}
+	got := p.Slice(x, 1)
+	if len(got) != 3 || got[0] != 2 || got[2] != 4 {
+		t.Fatalf("Slice = %v", got)
+	}
+}
+
+func TestPartitionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPartition(nil)
+}
+
+func TestSlicePanicsOnWidthMismatch(t *testing.T) {
+	p := NewPartition([]int{1, 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Slice([]float64{1, 2, 3}, 0)
+}
+
+func TestBlockSymAssembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := NewPartition([]int{2, 3, 2})
+	m := randSPD(rng, p.D)
+	bs := BlockSym(m, p)
+	if !bs.Assemble().Equalish(m, 0) {
+		t.Fatal("Assemble(BlockSym(m)) != m")
+	}
+	r, c := bs.B[1][2].Dims()
+	if r != 3 || c != 2 {
+		t.Fatalf("block(1,2) dims = %dx%d", r, c)
+	}
+}
+
+func TestNewBlockedZeroShapes(t *testing.T) {
+	p := NewPartition([]int{1, 4})
+	bs := NewBlockedZero(p)
+	r, c := bs.B[1][0].Dims()
+	if r != 4 || c != 1 {
+		t.Fatalf("zero block dims = %dx%d", r, c)
+	}
+	if !bs.Assemble().Equalish(linalg.NewDense(5, 5), 0) {
+		t.Fatal("NewBlockedZero not zero")
+	}
+}
+
+// The factorized quadratic form must equal the monolithic one for any
+// partition — this is the exactness guarantee of F-GMM's E-step.
+func TestFactQuadMatchesMonolithic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		parts := 2 + r.Intn(3) // S + 1..3 dimension relations
+		dims := make([]int, parts)
+		for i := range dims {
+			dims[i] = 1 + r.Intn(4)
+		}
+		p := NewPartition(dims)
+		iMat := randSPD(rng, p.D)
+		bs := BlockSym(iMat, p)
+
+		x := make([]float64, p.D)
+		mu := make([]float64, p.D)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			mu[i] = r.NormFloat64()
+		}
+		// Monolithic: (x-µ)ᵀ I (x-µ).
+		pd := make([]float64, p.D)
+		linalg.VecSub(pd, x, mu)
+		want := linalg.QuadForm(iMat, pd)
+
+		// Factorized.
+		var ops Ops
+		caches := make([]*QuadCache, parts-1)
+		for i := 1; i < parts; i++ {
+			caches[i-1] = &QuadCache{}
+			FillQuadCache(caches[i-1], bs, i, p.Slice(x, i), mu, &ops)
+		}
+		pds := make([]float64, dims[0])
+		linalg.VecSub(pds, p.Slice(x, 0), p.Slice(mu, 0))
+		got := FactQuad(bs, pds, caches, &ops)
+		scale := math.Max(1, math.Abs(want))
+		return math.Abs(got-want) < 1e-9*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillQuadCacheReusesBuffers(t *testing.T) {
+	p := NewPartition([]int{2, 3})
+	bs := BlockSym(randSPD(rand.New(rand.NewSource(5)), 5), p)
+	mu := make([]float64, 5)
+	var ops Ops
+	c := &QuadCache{}
+	FillQuadCache(c, bs, 1, []float64{1, 2, 3}, mu, &ops)
+	pd0 := &c.PD[0]
+	FillQuadCache(c, bs, 1, []float64{4, 5, 6}, mu, &ops)
+	if &c.PD[0] != pd0 {
+		t.Fatal("FillQuadCache reallocated PD despite sufficient capacity")
+	}
+	if c.PD[0] != 4 {
+		t.Fatalf("PD not refreshed: %v", c.PD)
+	}
+}
+
+func TestOpsAccounting(t *testing.T) {
+	var o Ops
+	o.AddQuadForm(3)
+	if o.Mul != 9 || o.Add != 8 {
+		t.Fatalf("AddQuadForm: %+v", o)
+	}
+	o = Ops{}
+	o.AddMatVec(2, 3)
+	if o.Mul != 6 || o.Add != 4 {
+		t.Fatalf("AddMatVec: %+v", o)
+	}
+	o = Ops{}
+	o.AddOuter(2, 3)
+	if o.Mul != 8 || o.Add != 6 {
+		t.Fatalf("AddOuter: %+v", o)
+	}
+	o = Ops{}
+	o.AddDot(4)
+	if o.Mul != 4 || o.Add != 3 {
+		t.Fatalf("AddDot: %+v", o)
+	}
+	a := Ops{Mul: 5, Add: 2}
+	b := Ops{Mul: 1, Add: 1}
+	if s := a.Plus(b); s.Mul != 6 || s.Add != 3 {
+		t.Fatalf("Plus: %+v", s)
+	}
+	if d := a.Minus(b); d.Mul != 4 || d.Add != 1 {
+		t.Fatalf("Minus: %+v", d)
+	}
+}

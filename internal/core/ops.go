@@ -1,0 +1,79 @@
+package core
+
+// Ops counts floating-point operations attributed to the training math
+// (join bookkeeping excluded). Trainers charge analytic counts at each
+// kernel call site — e.g. a d×d quadratic form charges d² multiplications —
+// which is exactly the accounting the paper's §V-B saving-rate analysis
+// uses, so the closed form Δτ/τ can be checked against these counters.
+type Ops struct {
+	Mul int64 // multiplications
+	Add int64 // additions and subtractions
+}
+
+// AddQuadForm charges a d-dimensional quadratic form xᵀAx.
+func (o *Ops) AddQuadForm(d int) {
+	o.Mul += int64(d) * int64(d)
+	o.Add += int64(d)*int64(d) - 1
+}
+
+// AddBilinear charges xᵀAy with len(x)=r, len(y)=c.
+func (o *Ops) AddBilinear(r, c int) {
+	o.Mul += int64(r) * int64(c)
+	o.Add += int64(r)*int64(c) - 1
+}
+
+// AddMatVec charges an r×c matrix-vector product.
+func (o *Ops) AddMatVec(r, c int) {
+	o.Mul += int64(r) * int64(c)
+	o.Add += int64(r) * int64(c-1)
+}
+
+// AddOuter charges a weighted outer-product accumulation w·x·yᵀ into an
+// r×c block (one multiply per cell for the product, one add for the
+// accumulation, plus r multiplies for w·x).
+func (o *Ops) AddOuter(r, c int) {
+	o.Mul += int64(r)*int64(c) + int64(r)
+	o.Add += int64(r) * int64(c)
+}
+
+// AddOuterPlain charges an unweighted outer-product accumulation x·yᵀ into
+// an r×c block (one multiply and one add per cell; no scalar weight).
+func (o *Ops) AddOuterPlain(r, c int) {
+	o.Mul += int64(r) * int64(c)
+	o.Add += int64(r) * int64(c)
+}
+
+// AddDiagQuad charges a diagonal quadratic form Σ (x_i−µ_i)²·w_i over d
+// dimensions (the IGMM E-step kernel): one subtraction, one squaring and
+// one weighting multiply per dimension.
+func (o *Ops) AddDiagQuad(d int) {
+	o.Mul += 2 * int64(d)
+	o.Add += 2*int64(d) - 1
+}
+
+// AddDot charges an n-dimensional inner product.
+func (o *Ops) AddDot(n int) {
+	o.Mul += int64(n)
+	o.Add += int64(n - 1)
+}
+
+// AddSub charges n element-wise subtractions (e.g. forming PD = x − µ).
+func (o *Ops) AddSub(n int) {
+	o.Add += int64(n)
+}
+
+// AddAxpy charges y += a·x over n elements.
+func (o *Ops) AddAxpy(n int) {
+	o.Mul += int64(n)
+	o.Add += int64(n)
+}
+
+// Plus returns the element-wise sum of two counters.
+func (o Ops) Plus(b Ops) Ops {
+	return Ops{Mul: o.Mul + b.Mul, Add: o.Add + b.Add}
+}
+
+// Minus returns o - b.
+func (o Ops) Minus(b Ops) Ops {
+	return Ops{Mul: o.Mul - b.Mul, Add: o.Add - b.Add}
+}

@@ -1,0 +1,98 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"factorml/internal/join"
+	"factorml/internal/storage"
+)
+
+// sparsify rewrites each relation of the spec with one-hot encoded features
+// of the same width: the d feature columns are treated as g = max(1, d/8)
+// categorical groups and exactly one column per group is set to 1. This
+// mimics the "Sparse" representation of Table IV (the paper one-hot encodes
+// the categorical attributes for the NN experiments), preserving the
+// dimensionality and the high post-encoding redundancy.
+func sparsify(db *storage.Database, name string, spec *join.Spec, seed int64) (*join.Spec, error) {
+	rng := rand.New(rand.NewSource(seed + 1000003))
+	out := &join.Spec{BlockPages: spec.BlockPages}
+	rewrite := func(tbl *storage.Table, newName string) (*storage.Table, error) {
+		schema := tbl.Schema().Clone(newName)
+		dst, err := db.CreateTable(schema)
+		if err != nil {
+			return nil, err
+		}
+		d := schema.NumFeatures()
+		groups := oneHotGroups(d)
+		sc := tbl.NewScanner()
+		for sc.Next() {
+			tp := sc.Tuple()
+			oneHotFill(tp.Features, groups, rng)
+			if err := dst.Append(tp); err != nil {
+				return nil, err
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		if err := dst.Flush(); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	}
+	var err error
+	if out.S, err = rewrite(spec.S, name+"_S_sparse"); err != nil {
+		return nil, err
+	}
+	for j, r := range spec.Rs {
+		t, err := rewrite(r, fmt.Sprintf("%s_R%d_sparse", name, j+1))
+		if err != nil {
+			return nil, err
+		}
+		out.Rs = append(out.Rs, t)
+	}
+	// Drop the dense intermediates; the sparse tables are the dataset.
+	if err := db.DropTable(spec.S.Schema().Name); err != nil {
+		return nil, err
+	}
+	for _, r := range spec.Rs {
+		if err := db.DropTable(r.Schema().Name); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// oneHotGroups splits d columns into categorical groups of ~8 columns.
+func oneHotGroups(d int) []int {
+	if d == 0 {
+		return nil
+	}
+	g := d / 8
+	if g < 1 {
+		g = 1
+	}
+	sizes := make([]int, g)
+	base := d / g
+	rem := d % g
+	for i := range sizes {
+		sizes[i] = base
+		if i < rem {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+// oneHotFill overwrites x with a one-hot encoding: one 1 per group.
+func oneHotFill(x []float64, groups []int, rng *rand.Rand) {
+	for i := range x {
+		x[i] = 0
+	}
+	off := 0
+	for _, sz := range groups {
+		x[off+rng.Intn(sz)] = 1
+		off += sz
+	}
+}

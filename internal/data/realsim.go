@@ -1,0 +1,92 @@
+package data
+
+import (
+	"fmt"
+
+	"factorml/internal/join"
+	"factorml/internal/storage"
+)
+
+// Shape records the cardinalities and dimensionalities of one of the
+// paper's real datasets (Tables IV and V). Multi = true marks the
+// three-way Movies join (S ⋈ users ⋈ movies).
+type Shape struct {
+	Name   string
+	NS, DS int
+	NR, DR int
+	// Second dimension table for the 3-way join variants.
+	NR2, DR2 int
+	Sparse   bool // one-hot encoded features (Table VII datasets)
+}
+
+// Multi reports whether the shape is a multi-way join.
+func (s Shape) Multi() bool { return s.NR2 > 0 }
+
+// RealShapes reproduces Tables IV and V of the paper, plus the Movies-3way
+// dataset used in Tables VI/VII (R1 = users with 29 one-hot features,
+// R2 = movies with 21 features, per the MovieLens-1M schema of the Hamlet
+// repository).
+var RealShapes = []Shape{
+	{Name: "Expedia1", NS: 942142, DS: 7, NR: 11938, DR: 8},
+	{Name: "Expedia2", NS: 942142, DS: 7, NR: 37021, DR: 14},
+	{Name: "Walmart", NS: 421570, DS: 3, NR: 2340, DR: 9},
+	{Name: "Movies", NS: 1000209, DS: 1, NR: 3706, DR: 21},
+	{Name: "Expedia3", NS: 634133, DS: 7, NR: 2899, DR: 29},
+	{Name: "Expedia4", NS: 634133, DS: 7, NR: 2899, DR: 78},
+	{Name: "Expedia5", NS: 634133, DS: 7, NR: 2899, DR: 218},
+	{Name: "WalmartSparse", NS: 421570, DS: 126, NR: 2340, DR: 175, Sparse: true},
+	{Name: "MoviesSparse", NS: 1000209, DS: 1, NR: 3706, DR: 21, Sparse: true},
+	{Name: "Movies3way", NS: 1000209, DS: 1, NR: 6040, DR: 29, NR2: 3706, DR2: 21},
+	{Name: "Movies3waySparse", NS: 1000209, DS: 1, NR: 6040, DR: 29, NR2: 3706, DR2: 21, Sparse: true},
+}
+
+// ShapeByName looks a shape up by name.
+func ShapeByName(name string) (Shape, error) {
+	for _, s := range RealShapes {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Shape{}, fmt.Errorf("data: unknown real dataset shape %q", name)
+}
+
+// GenerateShape builds a simulated instance of the named real dataset at
+// the given scale ∈ (0,1]: the fact cardinality is multiplied by scale
+// (dimension cardinalities are scaled too, but never below the point where
+// the tuple ratio rr of the original is lost — rr is preserved exactly,
+// which is what the algorithms' relative costs depend on).
+func GenerateShape(db *storage.Database, shape Shape, scale float64, seed int64) (*join.Spec, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("data: scale %v out of (0,1]", scale)
+	}
+	nS := scaled(shape.NS, scale)
+	nR := scaled(shape.NR, scale)
+	nrs := []int{nR}
+	drs := []int{shape.DR}
+	if shape.Multi() {
+		nrs = append(nrs, scaled(shape.NR2, scale))
+		drs = append(drs, shape.DR2)
+	}
+	cfg := SynthConfig{
+		NS: nS, NR: nrs,
+		DS: shape.DS, DR: drs,
+		Seed:       seed,
+		WithTarget: true,
+	}
+	spec, err := Generate(db, shape.Name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if shape.Sparse {
+		return sparsify(db, shape.Name, spec, seed)
+	}
+	return spec, nil
+}
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 2 {
+		v = 2
+	}
+	return v
+}

@@ -1,0 +1,170 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"factorml/internal/join"
+	"factorml/internal/storage"
+)
+
+// SynthConfig describes a synthetic star schema S ⋈ R1 ⋈ … ⋈ Rq.
+type SynthConfig struct {
+	NS int   // fact tuples
+	NR []int // dimension tuples per dimension table
+	DS int   // fact features
+	DR []int // dimension features per dimension table
+
+	Clusters int     // Gaussian clusters features are sampled from (default 5)
+	Noise    float64 // additive N(0, Noise²) noise (default 0.1)
+	Seed     int64   // RNG seed (default 1)
+
+	WithTarget bool // generate a regression target on S (for NN)
+}
+
+func (c SynthConfig) withDefaults() SynthConfig {
+	if c.Clusters == 0 {
+		c.Clusters = 5
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c SynthConfig) validate() error {
+	if c.NS <= 0 || c.DS < 0 {
+		return fmt.Errorf("data: invalid fact shape nS=%d dS=%d", c.NS, c.DS)
+	}
+	if len(c.NR) == 0 || len(c.NR) != len(c.DR) {
+		return fmt.Errorf("data: NR/DR length mismatch: %d vs %d", len(c.NR), len(c.DR))
+	}
+	for i := range c.NR {
+		if c.NR[i] <= 0 || c.DR[i] < 0 {
+			return fmt.Errorf("data: invalid dimension shape nR%d=%d dR%d=%d", i+1, c.NR[i], i+1, c.DR[i])
+		}
+	}
+	return nil
+}
+
+// clusterSampler draws feature vectors from a mixture of well-separated
+// Gaussians plus noise.
+type clusterSampler struct {
+	centers [][]float64
+	rng     *rand.Rand
+	noise   float64
+}
+
+func newClusterSampler(rng *rand.Rand, clusters, dim int, noise float64) *clusterSampler {
+	cs := &clusterSampler{rng: rng, noise: noise}
+	for c := 0; c < clusters; c++ {
+		center := make([]float64, dim)
+		for i := range center {
+			center[i] = 4 * rng.NormFloat64() // spread centers out
+		}
+		cs.centers = append(cs.centers, center)
+	}
+	return cs
+}
+
+func (cs *clusterSampler) sample(dst []float64) {
+	center := cs.centers[cs.rng.Intn(len(cs.centers))]
+	for i := range dst {
+		v := cs.rng.NormFloat64()
+		if i < len(center) {
+			v += center[i]
+		}
+		dst[i] = v + cs.noise*cs.rng.NormFloat64()
+	}
+}
+
+// Generate creates the fact and dimension tables in db and returns a join
+// spec over them. Foreign keys are assigned uniformly at random, so the
+// expected group size of dimension tuple matches is rr = nS/nR — the
+// redundancy knob of the paper's experiments.
+func Generate(db *storage.Database, name string, cfg SynthConfig) (*join.Spec, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	q := len(cfg.NR)
+
+	spec := &join.Spec{}
+	for j := 0; j < q; j++ {
+		schema := &storage.Schema{Name: fmt.Sprintf("%s_R%d", name, j+1), Keys: []string{"rid"}}
+		for i := 0; i < cfg.DR[j]; i++ {
+			schema.Features = append(schema.Features, fmt.Sprintf("xr%d_%d", j+1, i))
+		}
+		tbl, err := db.CreateTable(schema)
+		if err != nil {
+			return nil, err
+		}
+		sampler := newClusterSampler(rng, cfg.Clusters, cfg.DR[j], cfg.Noise)
+		feats := make([]float64, cfg.DR[j])
+		for i := 0; i < cfg.NR[j]; i++ {
+			sampler.sample(feats)
+			if err := tbl.Append(&storage.Tuple{Keys: []int64{int64(i)}, Features: feats}); err != nil {
+				return nil, err
+			}
+		}
+		if err := tbl.Flush(); err != nil {
+			return nil, err
+		}
+		spec.Rs = append(spec.Rs, tbl)
+	}
+
+	sSchema := &storage.Schema{Name: fmt.Sprintf("%s_S", name), Keys: []string{"sid"}, HasTarget: cfg.WithTarget}
+	for j := 0; j < q; j++ {
+		sSchema.Keys = append(sSchema.Keys, fmt.Sprintf("fk%d", j+1))
+	}
+	for i := 0; i < cfg.DS; i++ {
+		sSchema.Features = append(sSchema.Features, fmt.Sprintf("xs%d", i))
+	}
+	sTbl, err := db.CreateTable(sSchema)
+	if err != nil {
+		return nil, err
+	}
+	sampler := newClusterSampler(rng, cfg.Clusters, cfg.DS, cfg.Noise)
+	feats := make([]float64, cfg.DS)
+	keys := make([]int64, 1+q)
+	// A fixed random direction defines the regression target, making the NN
+	// experiments learnable rather than pure noise.
+	wTarget := make([]float64, cfg.DS)
+	for i := range wTarget {
+		wTarget[i] = rng.NormFloat64()
+	}
+	for i := 0; i < cfg.NS; i++ {
+		sampler.sample(feats)
+		keys[0] = int64(i)
+		for j := 0; j < q; j++ {
+			keys[1+j] = int64(rng.Intn(cfg.NR[j]))
+		}
+		var y float64
+		if cfg.WithTarget {
+			for d, v := range feats {
+				y += wTarget[d] * v
+			}
+			y = math.Tanh(y/math.Sqrt(float64(max(cfg.DS, 1)))) + cfg.Noise*rng.NormFloat64()
+		}
+		if err := sTbl.Append(&storage.Tuple{Keys: keys, Features: feats, Target: y}); err != nil {
+			return nil, err
+		}
+	}
+	if err := sTbl.Flush(); err != nil {
+		return nil, err
+	}
+	spec.S = sTbl
+	return spec, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+
+	"factorml/internal/data"
+	"factorml/internal/gmm"
+	"factorml/internal/nn"
+)
+
+// Paper defaults shared by the synthetic sweeps (Tables II/III): dS = 5,
+// K = 5 clusters, nh = 50 hidden units.
+const (
+	sweepDS = 5
+	sweepK  = 5
+	sweepNH = 50
+)
+
+// Fig3a: GMM binary join, varying the tuple ratio rr = nS/nR for
+// dR ∈ {5, 15}.
+func (h *Harness) Fig3a() ([]Row, error) {
+	var rows []Row
+	for _, dR := range []int{5, 15} {
+		for _, rr := range h.P.RRs {
+			row, err := h.runGMM(fmt.Sprintf("fig3a_%d_%d", dR, rr),
+				data.SynthConfig{NS: rr * h.P.NR, NR: []int{h.P.NR}, DS: sweepDS, DR: []int{dR}},
+				gmm.Config{K: sweepK, MaxIter: h.P.GMMIters},
+				"Fig3a", fmt.Sprintf("dR=%d", dR), float64(rr))
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig3b: GMM binary join, varying dR for two fact cardinalities.
+func (h *Harness) Fig3b() ([]Row, error) {
+	var rows []Row
+	for _, mult := range []int{1, 5} {
+		nS := mult * h.P.NSFixed
+		for _, dR := range h.P.DRs {
+			row, err := h.runGMM(fmt.Sprintf("fig3b_%d_%d", mult, dR),
+				data.SynthConfig{NS: nS, NR: []int{h.P.NR}, DS: sweepDS, DR: []int{dR}},
+				gmm.Config{K: sweepK, MaxIter: h.P.GMMIters},
+				"Fig3b", fmt.Sprintf("nS=%d", nS), float64(dR))
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig3c: GMM binary join, varying the number of components K.
+func (h *Harness) Fig3c() ([]Row, error) {
+	var rows []Row
+	for _, k := range h.P.Ks {
+		row, err := h.runGMM(fmt.Sprintf("fig3c_%d", k),
+			data.SynthConfig{NS: h.P.NSFixed, NR: []int{h.P.NR}, DS: sweepDS, DR: []int{15}},
+			gmm.Config{K: k, MaxIter: h.P.GMMIters},
+			"Fig3c", "dR=15", float64(k))
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// multiCfg builds the 3-way star schema of Figs 4/6: R1 is the varied
+// dimension table, R2 stays fixed (the paper's Movies-3way construction).
+func (h *Harness) multiCfg(nS, nR1, dR1 int) data.SynthConfig {
+	return data.SynthConfig{
+		NS: nS,
+		NR: []int{nR1, h.P.NR2},
+		DS: sweepDS,
+		DR: []int{dR1, h.P.DR2},
+	}
+}
+
+// Fig4a: GMM multi-way join, varying rr = nS/nR1.
+func (h *Harness) Fig4a() ([]Row, error) {
+	var rows []Row
+	for _, rr := range h.P.RRs {
+		row, err := h.runGMM(fmt.Sprintf("fig4a_%d", rr),
+			h.multiCfg(rr*h.P.NR, h.P.NR, 15),
+			gmm.Config{K: sweepK, MaxIter: h.P.GMMIters},
+			"Fig4a", "dR1=15", float64(rr))
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig4b: GMM multi-way join, varying dR1.
+func (h *Harness) Fig4b() ([]Row, error) {
+	var rows []Row
+	for _, dR1 := range h.P.DRs {
+		row, err := h.runGMM(fmt.Sprintf("fig4b_%d", dR1),
+			h.multiCfg(h.P.NSFixed, h.P.NR, dR1),
+			gmm.Config{K: sweepK, MaxIter: h.P.GMMIters},
+			"Fig4b", fmt.Sprintf("nS=%d", h.P.NSFixed), float64(dR1))
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig4c: GMM multi-way join, varying K.
+func (h *Harness) Fig4c() ([]Row, error) {
+	var rows []Row
+	for _, k := range h.P.Ks {
+		row, err := h.runGMM(fmt.Sprintf("fig4c_%d", k),
+			h.multiCfg(h.P.NSFixed, h.P.NR, 15),
+			gmm.Config{K: k, MaxIter: h.P.GMMIters},
+			"Fig4c", "dR1=15", float64(k))
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig5a: NN binary join, varying rr for dR ∈ {5, 15}.
+func (h *Harness) Fig5a() ([]Row, error) {
+	var rows []Row
+	for _, dR := range []int{5, 15} {
+		for _, rr := range h.P.RRs {
+			row, err := h.runNN(fmt.Sprintf("fig5a_%d_%d", dR, rr),
+				data.SynthConfig{NS: rr * h.P.NR, NR: []int{h.P.NR}, DS: sweepDS, DR: []int{dR}},
+				nn.Config{Hidden: []int{sweepNH}, Epochs: h.P.NNEpochs},
+				"Fig5a", fmt.Sprintf("dR=%d", dR), float64(rr))
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig5b: NN binary join, varying dR.
+func (h *Harness) Fig5b() ([]Row, error) {
+	var rows []Row
+	for _, mult := range []int{1, 5} {
+		nS := mult * h.P.NSFixed
+		for _, dR := range h.P.DRs {
+			row, err := h.runNN(fmt.Sprintf("fig5b_%d_%d", mult, dR),
+				data.SynthConfig{NS: nS, NR: []int{h.P.NR}, DS: sweepDS, DR: []int{dR}},
+				nn.Config{Hidden: []int{sweepNH}, Epochs: h.P.NNEpochs},
+				"Fig5b", fmt.Sprintf("nS=%d", nS), float64(dR))
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// Fig5c: NN binary join, varying the hidden width nh.
+func (h *Harness) Fig5c() ([]Row, error) {
+	var rows []Row
+	for _, nh := range h.P.NHs {
+		row, err := h.runNN(fmt.Sprintf("fig5c_%d", nh),
+			data.SynthConfig{NS: h.P.NSFixed, NR: []int{h.P.NR}, DS: sweepDS, DR: []int{15}},
+			nn.Config{Hidden: []int{nh}, Epochs: h.P.NNEpochs},
+			"Fig5c", "dR=15", float64(nh))
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6a: NN multi-way join, varying rr.
+func (h *Harness) Fig6a() ([]Row, error) {
+	var rows []Row
+	for _, rr := range h.P.RRs {
+		row, err := h.runNN(fmt.Sprintf("fig6a_%d", rr),
+			h.multiCfg(rr*h.P.NR, h.P.NR, 15),
+			nn.Config{Hidden: []int{sweepNH}, Epochs: h.P.NNEpochs},
+			"Fig6a", "dR1=15", float64(rr))
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6b: NN multi-way join, varying dR1.
+func (h *Harness) Fig6b() ([]Row, error) {
+	var rows []Row
+	for _, dR1 := range h.P.DRs {
+		row, err := h.runNN(fmt.Sprintf("fig6b_%d", dR1),
+			h.multiCfg(h.P.NSFixed, h.P.NR, dR1),
+			nn.Config{Hidden: []int{sweepNH}, Epochs: h.P.NNEpochs},
+			"Fig6b", fmt.Sprintf("nS=%d", h.P.NSFixed), float64(dR1))
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig6c: NN multi-way join, varying nh.
+func (h *Harness) Fig6c() ([]Row, error) {
+	var rows []Row
+	for _, nh := range h.P.NHs {
+		row, err := h.runNN(fmt.Sprintf("fig6c_%d", nh),
+			h.multiCfg(h.P.NSFixed, h.P.NR, 15),
+			nn.Config{Hidden: []int{nh}, Epochs: h.P.NNEpochs},
+			"Fig6c", "dR1=15", float64(nh))
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"factorml/internal/data"
+	"factorml/internal/gmm"
+	"factorml/internal/join"
+	"factorml/internal/nn"
+	"factorml/internal/storage"
+)
+
+// Row is one measured point of an experiment: one workload configuration
+// trained with all three algorithms.
+type Row struct {
+	Figure string  // e.g. "Fig3a", "TableVI"
+	Series string  // sub-series label, e.g. "dR=5" or the dataset name
+	X      float64 // swept parameter value (0 for table rows)
+
+	MTime, STime, FTime time.Duration
+	MMul, SMul, FMul    int64 // multiplication counters
+	MIO, SIO, FIO       int64 // logical page reads
+	MWrites             int64 // pages written by materialization
+
+	SpeedupSF float64 // S time / F time
+	SpeedupMF float64 // M time / F time
+}
+
+func (r Row) String() string {
+	return fmt.Sprintf("%-8s %-14s x=%-8g M=%-10v S=%-10v F=%-10v S/F=%.2f M/F=%.2f",
+		r.Figure, r.Series, r.X, r.MTime.Round(time.Millisecond),
+		r.STime.Round(time.Millisecond), r.FTime.Round(time.Millisecond),
+		r.SpeedupSF, r.SpeedupMF)
+}
+
+// Harness runs experiments in temporary databases under BaseDir.
+type Harness struct {
+	BaseDir string
+	P       Profile
+	Log     io.Writer // optional progress log
+}
+
+// New returns a harness writing databases under baseDir.
+func New(baseDir string, p Profile, log io.Writer) *Harness {
+	return &Harness{BaseDir: baseDir, P: p, Log: log}
+}
+
+func (h *Harness) logf(format string, args ...any) {
+	if h.Log != nil {
+		fmt.Fprintf(h.Log, format+"\n", args...)
+	}
+}
+
+// withDB runs fn in a fresh database directory that is removed afterwards.
+func (h *Harness) withDB(name string, fn func(db *storage.Database) error) error {
+	dir := filepath.Join(h.BaseDir, name)
+	db, err := storage.Open(dir, storage.Options{PoolPages: -1})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		db.Close()
+		os.RemoveAll(dir)
+	}()
+	return fn(db)
+}
+
+// runGMM trains M/S/F GMM over a freshly generated workload and fills a Row.
+func (h *Harness) runGMM(name string, dcfg data.SynthConfig, gcfg gmm.Config, figure, series string, x float64) (Row, error) {
+	row := Row{Figure: figure, Series: series, X: x}
+	gcfg.Tol = 1e-300 // effectively disable early stopping: compare fixed work
+	err := h.withDB(name, func(db *storage.Database) error {
+		spec, err := data.Generate(db, name, dcfg)
+		if err != nil {
+			return err
+		}
+		m, err := gmm.TrainM(db, spec, gcfg)
+		if err != nil {
+			return err
+		}
+		s, err := gmm.TrainS(db, spec, gcfg)
+		if err != nil {
+			return err
+		}
+		f, err := gmm.TrainF(db, spec, gcfg)
+		if err != nil {
+			return err
+		}
+		fillRow(&row, m.Stats.TrainTime, s.Stats.TrainTime, f.Stats.TrainTime,
+			m.Stats.Ops.Mul, s.Stats.Ops.Mul, f.Stats.Ops.Mul,
+			m.Stats.IO, s.Stats.IO, f.Stats.IO)
+		return nil
+	})
+	if err != nil {
+		return row, fmt.Errorf("experiments: %s %s x=%g: %w", figure, series, x, err)
+	}
+	h.logf("%s", row)
+	return row, nil
+}
+
+// runNN is runGMM's NN counterpart.
+func (h *Harness) runNN(name string, dcfg data.SynthConfig, ncfg nn.Config, figure, series string, x float64) (Row, error) {
+	row := Row{Figure: figure, Series: series, X: x}
+	dcfg.WithTarget = true
+	err := h.withDB(name, func(db *storage.Database) error {
+		spec, err := data.Generate(db, name, dcfg)
+		if err != nil {
+			return err
+		}
+		return h.trainNN3(db, spec, ncfg, &row)
+	})
+	if err != nil {
+		return row, fmt.Errorf("experiments: %s %s x=%g: %w", figure, series, x, err)
+	}
+	h.logf("%s", row)
+	return row, nil
+}
+
+func (h *Harness) trainNN3(db *storage.Database, spec *join.Spec, ncfg nn.Config, row *Row) error {
+	m, err := nn.TrainM(db, spec, ncfg)
+	if err != nil {
+		return err
+	}
+	s, err := nn.TrainS(db, spec, ncfg)
+	if err != nil {
+		return err
+	}
+	f, err := nn.TrainF(db, spec, ncfg)
+	if err != nil {
+		return err
+	}
+	fillRow(row, m.Stats.TrainTime, s.Stats.TrainTime, f.Stats.TrainTime,
+		m.Stats.Ops.Mul, s.Stats.Ops.Mul, f.Stats.Ops.Mul,
+		m.Stats.IO, s.Stats.IO, f.Stats.IO)
+	return nil
+}
+
+func fillRow(row *Row, mt, st, ft time.Duration, mm, sm, fm int64, mio, sio, fio storage.IOStats) {
+	row.MTime, row.STime, row.FTime = mt, st, ft
+	row.MMul, row.SMul, row.FMul = mm, sm, fm
+	row.MIO, row.SIO, row.FIO = mio.LogicalReads, sio.LogicalReads, fio.LogicalReads
+	row.MWrites = mio.PageWrites
+	if ft > 0 {
+		row.SpeedupSF = float64(st) / float64(ft)
+		row.SpeedupMF = float64(mt) / float64(ft)
+	}
+}

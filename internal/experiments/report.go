@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteCSV emits rows as CSV with a header.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"figure", "series", "x",
+		"m_seconds", "s_seconds", "f_seconds",
+		"m_mults", "s_mults", "f_mults",
+		"m_reads", "s_reads", "f_reads", "m_writes",
+		"speedup_s_over_f", "speedup_m_over_f",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Figure, r.Series, strconv.FormatFloat(r.X, 'g', -1, 64),
+			fsec(r.MTime), fsec(r.STime), fsec(r.FTime),
+			strconv.FormatInt(r.MMul, 10), strconv.FormatInt(r.SMul, 10), strconv.FormatInt(r.FMul, 10),
+			strconv.FormatInt(r.MIO, 10), strconv.FormatInt(r.SIO, 10), strconv.FormatInt(r.FIO, 10),
+			strconv.FormatInt(r.MWrites, 10),
+			fmt.Sprintf("%.3f", r.SpeedupSF), fmt.Sprintf("%.3f", r.SpeedupMF),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fsec(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 4, 64)
+}
+
+// WriteMarkdown renders rows as a GitHub-flavoured markdown table, grouped
+// the way the paper's figures present them.
+func WriteMarkdown(w io.Writer, title string, rows []Row) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", title); err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		_, err := fmt.Fprintln(w, "_no rows_")
+		return err
+	}
+	fmt.Fprintln(w, "| series | x | M time | S time | F time | S/F | M/F | F mult-savings vs S |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|---:|---:|")
+	for _, r := range rows {
+		saving := "-"
+		if r.SMul > 0 {
+			saving = fmt.Sprintf("%.1f%%", 100*float64(r.SMul-r.FMul)/float64(r.SMul))
+		}
+		fmt.Fprintf(w, "| %s | %g | %s | %s | %s | %.2f× | %.2f× | %s |\n",
+			r.Series, r.X,
+			r.MTime.Round(time.Millisecond), r.STime.Round(time.Millisecond), r.FTime.Round(time.Millisecond),
+			r.SpeedupSF, r.SpeedupMF, saving)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteAllMarkdown renders a full result set in paper order.
+func WriteAllMarkdown(w io.Writer, results map[string][]Row) error {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	order := map[string]int{}
+	for i, n := range Experiments() {
+		order[n] = i
+	}
+	sort.Slice(names, func(i, j int) bool { return order[names[i]] < order[names[j]] })
+	for _, n := range names {
+		if err := WriteMarkdown(w, n, results[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package gmm
+
+import (
+	"math"
+
+	"factorml/internal/core"
+	"factorml/internal/linalg"
+)
+
+// emDense runs EM over a dense pass source. It is the engine of both M-GMM
+// and S-GMM (Algorithm 1 of the paper): each iteration makes three passes —
+// E-step responsibilities, M-step means, M-step covariances — through
+// whatever access path `pass` encapsulates (reading the materialized T, or
+// re-joining on the fly).
+func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) error {
+	k := cfg.K
+	gamma := make([]float64, n*k)
+	logp := make([]float64, k)
+	pd := make([]float64, d)
+	p := core.NewPartition([]int{d})
+
+	nk := make([]float64, k)
+	sumMu := make([][]float64, k)
+	sumCov := make([]*linalg.Dense, k)
+	for i := 0; i < k; i++ {
+		sumMu[i] = make([]float64, d)
+		sumCov[i] = linalg.NewDense(d, d)
+	}
+
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		states, err := model.precompute(p, false)
+		if err != nil {
+			return err
+		}
+
+		// --- E-step pass: responsibilities and log-likelihood (Eq. 1-2, 6).
+		ll := 0.0
+		idx := 0
+		err = pass(func(x []float64) error {
+			for c := 0; c < k; c++ {
+				linalg.VecSub(pd, x, model.Means[c])
+				stats.Ops.AddSub(d)
+				q := linalg.QuadForm(states[c].inv, pd)
+				stats.Ops.AddQuadForm(d)
+				logp[c] = states[c].logW + states[c].logNorm - 0.5*q
+			}
+			lse := linalg.LogSumExp(logp)
+			ll += lse
+			g := gamma[idx*k : (idx+1)*k]
+			for c := 0; c < k; c++ {
+				g[c] = math.Exp(logp[c] - lse)
+			}
+			idx++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		// --- M-step pass 1: means and weights (Eq. 3, 5).
+		for c := 0; c < k; c++ {
+			nk[c] = 0
+			linalg.VecZero(sumMu[c])
+		}
+		idx = 0
+		err = pass(func(x []float64) error {
+			g := gamma[idx*k : (idx+1)*k]
+			for c := 0; c < k; c++ {
+				nk[c] += g[c]
+				linalg.Axpy(g[c], x, sumMu[c])
+				stats.Ops.AddAxpy(d)
+			}
+			idx++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		collapsed := applyMeanUpdates(model, nk, sumMu, n)
+
+		// --- M-step pass 2: covariances with the new means (Eq. 4).
+		for c := 0; c < k; c++ {
+			sumCov[c].Zero()
+		}
+		idx = 0
+		err = pass(func(x []float64) error {
+			g := gamma[idx*k : (idx+1)*k]
+			for c := 0; c < k; c++ {
+				linalg.VecSub(pd, x, model.Means[c])
+				stats.Ops.AddSub(d)
+				linalg.OuterAccum(sumCov[c], g[c], pd, pd)
+				stats.Ops.AddOuter(d, d)
+			}
+			idx++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		applyCovUpdates(model, nk, sumCov, collapsed, cfg.RegEps)
+
+		stats.LogLikelihood = append(stats.LogLikelihood, ll)
+		stats.Iters = iter + 1
+		if iter > 0 && converged(ll, prevLL, cfg.Tol) {
+			stats.Converged = true
+			break
+		}
+		prevLL = ll
+	}
+	return nil
+}

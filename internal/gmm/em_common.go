@@ -1,0 +1,58 @@
+package gmm
+
+import (
+	"factorml/internal/linalg"
+)
+
+// collapseFloor is the responsibility mass below which a component is
+// considered collapsed; its parameters are then frozen for the iteration.
+// The check is applied identically by the dense and factorized trainers
+// (the Nk accumulation order is the same), so exactness is preserved.
+const collapseFloor = 1e-12
+
+// applyMeanUpdates writes new means and weights into the model from the
+// M-step accumulators: nk[k] = Σ_n γ_nk, sumMu[k] = Σ_n γ_nk · x_n.
+// It returns the collapsed mask.
+func applyMeanUpdates(model *Model, nk []float64, sumMu [][]float64, n int) []bool {
+	collapsed := make([]bool, model.K)
+	for k := 0; k < model.K; k++ {
+		model.Weights[k] = nk[k] / float64(n)
+		if nk[k] < collapseFloor {
+			collapsed[k] = true
+			continue
+		}
+		linalg.VecScale(model.Means[k], 1/nk[k], sumMu[k])
+	}
+	return collapsed
+}
+
+// applyCovUpdates writes new covariances from the M-step accumulators:
+// sumCov[k] = Σ_n γ_nk (x−µ_k)(x−µ_k)ᵀ, and applies the diagonal
+// regularizer. Collapsed components keep their previous covariance.
+func applyCovUpdates(model *Model, nk []float64, sumCov []*linalg.Dense, collapsed []bool, regEps float64) {
+	for k := 0; k < model.K; k++ {
+		if collapsed[k] {
+			continue
+		}
+		sumCov[k].Scale(1 / nk[k])
+		sumCov[k].AddDiag(regEps)
+		model.Covs[k].CopyFrom(sumCov[k])
+	}
+}
+
+// converged applies the paper's stopping rule: the log-likelihood change
+// between consecutive iterations falls below a (relative) threshold.
+func converged(ll, prevLL, tol float64) bool {
+	diff := ll - prevLL
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := prevLL
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= tol*scale
+}

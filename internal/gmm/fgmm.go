@@ -1,0 +1,378 @@
+package gmm
+
+import (
+	"math"
+	"time"
+
+	"factorml/internal/core"
+	"factorml/internal/join"
+	"factorml/internal/linalg"
+	"factorml/internal/storage"
+)
+
+// TrainF is the paper's F-GMM: EM where every pass streams the join and the
+// per-tuple math is factorized across the relation partition. Quantities
+// that depend only on a dimension tuple (PD_R, the LR quadratic term, the
+// I_SR·PD_R cross vector, the per-group responsibility sums) are computed
+// once per distinct dimension tuple per pass and reused for all matching
+// fact tuples. The decomposition is exact (Eq. 7-24), so the result matches
+// TrainM and TrainS.
+func TrainF(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	io0 := db.Pool().Stats()
+
+	sp := *spec
+	if sp.BlockPages == 0 {
+		sp.BlockPages = cfg.BlockPages
+	}
+	runner, err := join.NewRunner(&sp)
+	if err != nil {
+		return nil, err
+	}
+
+	dims := []int{sp.S.Schema().NumFeatures()}
+	for _, r := range sp.Rs {
+		dims = append(dims, r.Schema().NumFeatures())
+	}
+	p := core.NewPartition(dims)
+
+	// Initialization streams concatenated vectors in the same order as the
+	// other algorithms, so all trainers start from the identical model.
+	pass := func(fn func(x []float64) error) error {
+		return join.StreamWith(runner, func(_ int64, x []float64, _ float64) error {
+			return fn(x)
+		})
+	}
+	model, n, err := initModel(pass, p.D, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Model: model}
+	em := emFactorized
+	if cfg.Diagonal {
+		em = emFactorizedDiag
+	}
+	if err := em(runner, p, n, cfg, model, &res.Stats); err != nil {
+		return nil, err
+	}
+	res.Stats.IO = db.Pool().Stats().Sub(io0)
+	res.Stats.TrainTime = time.Since(start)
+	return res, nil
+}
+
+// emFactorized runs the factorized EM loop. Parts: 0 = S, 1 = the blocked
+// dimension relation R1, 2+j = resident dimension relation Rs[1+j].
+func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, model *Model, stats *Stats) error {
+	k := cfg.K
+	q := p.Parts() - 1 // number of dimension relations
+	dS := p.Dims[0]
+
+	gamma := make([]float64, n*k)
+	logp := make([]float64, k)
+	pds := make([]float64, dS)
+	cachesBuf := make([]*core.QuadCache, q)
+	pdBuf := make([][]float64, q) // per-part PD pointers for cross terms
+
+	nk := make([]float64, k)
+	// Per-part mean accumulators, assembled into full vectors for the shared
+	// update helper.
+	sumMuParts := make([][][]float64, p.Parts())
+	for i := range sumMuParts {
+		sumMuParts[i] = make([][]float64, k)
+		for c := 0; c < k; c++ {
+			sumMuParts[i][c] = make([]float64, p.Dims[i])
+		}
+	}
+	sumMuFull := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		sumMuFull[c] = make([]float64, p.D)
+	}
+
+	// Reusable per-block buffers (sized on first block).
+	var blkCache []core.QuadCache // E-step: len(block)*k
+	var wBlk []float64            // M1: group responsibility sums
+	var pdBlk [][]float64         // M2: PD per (block tuple, component)
+	var wBlk2 []float64           // M2 group sums
+	var gvecBlk [][]float64       // M2: Σ γ·PD_S per group
+	var curBlock []*storage.Tuple // current R1 block, shared across callbacks
+
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		states, err := model.precompute(p, true)
+		if err != nil {
+			return err
+		}
+
+		// ------------------------------------------------------------------
+		// E-step: factorized responsibilities (Eq. 7-12 / 19-21).
+		// ------------------------------------------------------------------
+		// Resident caches are filled once per iteration.
+		resCache := make([][]core.QuadCache, q-1)
+		for j := 0; j < q-1; j++ {
+			tuples := runner.Resident(j)
+			resCache[j] = make([]core.QuadCache, len(tuples)*k)
+			for t, tp := range tuples {
+				for c := 0; c < k; c++ {
+					core.FillQuadCache(&resCache[j][t*k+c], states[c].blocked, 2+j, tp.Features, model.Means[c], &stats.Ops)
+				}
+			}
+		}
+
+		ll := 0.0
+		idx := 0
+		err = runner.Run(join.Callbacks{
+			OnBlockStart: func(block []*storage.Tuple) error {
+				need := len(block) * k
+				if cap(blkCache) < need {
+					blkCache = make([]core.QuadCache, need)
+				}
+				blkCache = blkCache[:need]
+				for i, tp := range block {
+					for c := 0; c < k; c++ {
+						core.FillQuadCache(&blkCache[i*k+c], states[c].blocked, 1, tp.Features, model.Means[c], &stats.Ops)
+					}
+				}
+				return nil
+			},
+			OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
+				for c := 0; c < k; c++ {
+					linalg.VecSub(pds, s.Features, p.Slice(model.Means[c], 0))
+					stats.Ops.AddSub(dS)
+					cachesBuf[0] = &blkCache[r1Idx*k+c]
+					for j, ri := range resIdx {
+						cachesBuf[1+j] = &resCache[j][ri*k+c]
+					}
+					qv := core.FactQuad(states[c].blocked, pds, cachesBuf, &stats.Ops)
+					logp[c] = states[c].logW + states[c].logNorm - 0.5*qv
+				}
+				lse := linalg.LogSumExp(logp)
+				ll += lse
+				g := gamma[idx*k : (idx+1)*k]
+				for c := 0; c < k; c++ {
+					g[c] = math.Exp(logp[c] - lse)
+				}
+				idx++
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+
+		// ------------------------------------------------------------------
+		// M-step pass 1: means and weights (Eq. 13 / 22). The dimension
+		// contribution Σ_n γ x_R factors into x_R · (Σ_{n∈group} γ).
+		// ------------------------------------------------------------------
+		for c := 0; c < k; c++ {
+			nk[c] = 0
+			for i := range sumMuParts {
+				linalg.VecZero(sumMuParts[i][c])
+			}
+		}
+		wRes := make([][]float64, q-1)
+		for j := 0; j < q-1; j++ {
+			wRes[j] = make([]float64, len(runner.Resident(j))*k)
+		}
+		idx = 0
+		err = runner.Run(join.Callbacks{
+			OnBlockStart: func(block []*storage.Tuple) error {
+				need := len(block) * k
+				if cap(wBlk) < need {
+					wBlk = make([]float64, need)
+				}
+				wBlk = wBlk[:need]
+				linalg.VecZero(wBlk)
+				curBlock = block
+				return nil
+			},
+			OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
+				g := gamma[idx*k : (idx+1)*k]
+				for c := 0; c < k; c++ {
+					nk[c] += g[c]
+					linalg.Axpy(g[c], s.Features, sumMuParts[0][c])
+					stats.Ops.AddAxpy(dS)
+					wBlk[r1Idx*k+c] += g[c]
+					for j, ri := range resIdx {
+						wRes[j][ri*k+c] += g[c]
+					}
+				}
+				idx++
+				return nil
+			},
+			OnBlockEnd: func() error {
+				for i, tp := range curBlock {
+					for c := 0; c < k; c++ {
+						linalg.Axpy(wBlk[i*k+c], tp.Features, sumMuParts[1][c])
+						stats.Ops.AddAxpy(p.Dims[1])
+					}
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		for j := 0; j < q-1; j++ {
+			for t, tp := range runner.Resident(j) {
+				for c := 0; c < k; c++ {
+					linalg.Axpy(wRes[j][t*k+c], tp.Features, sumMuParts[2+j][c])
+					stats.Ops.AddAxpy(p.Dims[2+j])
+				}
+			}
+		}
+		for c := 0; c < k; c++ {
+			for i := range sumMuParts {
+				copy(sumMuFull[c][p.Offs[i]:p.Offs[i]+p.Dims[i]], sumMuParts[i][c])
+			}
+		}
+		collapsed := applyMeanUpdates(model, nk, sumMuFull, n)
+
+		// ------------------------------------------------------------------
+		// M-step pass 2: covariances (Eq. 14-18 / 23-24) with the new means.
+		// Diagonal dimension blocks use the group trick
+		//   Σ_n γ PD_R PD_Rᵀ = (Σ_{n∈group} γ) · PD_R PD_Rᵀ,
+		// and the S-R cross blocks use
+		//   Σ_n γ PD_S PD_Rᵀ = (Σ_{n∈group} γ PD_S) ⊗ PD_R.
+		// Cross blocks between two dimension relations are accumulated per
+		// joined tuple through the cached PDs (paper §V-C).
+		// ------------------------------------------------------------------
+		acc := make([]*core.BlockedSym, k)
+		for c := 0; c < k; c++ {
+			acc[c] = core.NewBlockedZero(p)
+		}
+		pdRes := make([][][]float64, q-1)
+		wRes2 := make([][]float64, q-1)
+		gvecRes := make([][][]float64, q-1)
+		for j := 0; j < q-1; j++ {
+			tuples := runner.Resident(j)
+			pdRes[j] = make([][]float64, len(tuples)*k)
+			gvecRes[j] = make([][]float64, len(tuples)*k)
+			wRes2[j] = make([]float64, len(tuples)*k)
+			dRj := p.Dims[2+j]
+			for t, tp := range tuples {
+				for c := 0; c < k; c++ {
+					pd := make([]float64, dRj)
+					linalg.VecSub(pd, tp.Features, p.Slice(model.Means[c], 2+j))
+					stats.Ops.AddSub(dRj)
+					pdRes[j][t*k+c] = pd
+					gvecRes[j][t*k+c] = make([]float64, dS)
+				}
+			}
+		}
+
+		idx = 0
+		err = runner.Run(join.Callbacks{
+			OnBlockStart: func(block []*storage.Tuple) error {
+				need := len(block) * k
+				if cap(pdBlk) < need {
+					pdBlk = make([][]float64, need)
+					gvecBlk = make([][]float64, need)
+				}
+				pdBlk = pdBlk[:need]
+				gvecBlk = gvecBlk[:need]
+				if cap(wBlk2) < need {
+					wBlk2 = make([]float64, need)
+				}
+				wBlk2 = wBlk2[:need]
+				linalg.VecZero(wBlk2)
+				dR1 := p.Dims[1]
+				for i, tp := range block {
+					for c := 0; c < k; c++ {
+						if pdBlk[i*k+c] == nil {
+							pdBlk[i*k+c] = make([]float64, dR1)
+							gvecBlk[i*k+c] = make([]float64, dS)
+						}
+						linalg.VecSub(pdBlk[i*k+c], tp.Features, p.Slice(model.Means[c], 1))
+						stats.Ops.AddSub(dR1)
+						linalg.VecZero(gvecBlk[i*k+c])
+					}
+				}
+				curBlock = block
+				return nil
+			},
+			OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
+				g := gamma[idx*k : (idx+1)*k]
+				for c := 0; c < k; c++ {
+					linalg.VecSub(pds, s.Features, p.Slice(model.Means[c], 0))
+					stats.Ops.AddSub(dS)
+					linalg.OuterAccum(acc[c].B[0][0], g[c], pds, pds)
+					stats.Ops.AddOuter(dS, dS)
+					wBlk2[r1Idx*k+c] += g[c]
+					linalg.Axpy(g[c], pds, gvecBlk[r1Idx*k+c])
+					stats.Ops.AddAxpy(dS)
+					pdBuf[0] = pdBlk[r1Idx*k+c]
+					for j, ri := range resIdx {
+						wRes2[j][ri*k+c] += g[c]
+						linalg.Axpy(g[c], pds, gvecRes[j][ri*k+c])
+						stats.Ops.AddAxpy(dS)
+						pdBuf[1+j] = pdRes[j][ri*k+c]
+					}
+					// Cross blocks between dimension relations (multi-way).
+					for a := 0; a < q; a++ {
+						for b := a + 1; b < q; b++ {
+							linalg.OuterAccum(acc[c].B[1+a][1+b], g[c], pdBuf[a], pdBuf[b])
+							stats.Ops.AddOuter(p.Dims[1+a], p.Dims[1+b])
+							linalg.OuterAccum(acc[c].B[1+b][1+a], g[c], pdBuf[b], pdBuf[a])
+							stats.Ops.AddOuter(p.Dims[1+b], p.Dims[1+a])
+						}
+					}
+				}
+				idx++
+				return nil
+			},
+			OnBlockEnd: func() error {
+				dR1 := p.Dims[1]
+				for i := range curBlock {
+					for c := 0; c < k; c++ {
+						pd := pdBlk[i*k+c]
+						gv := gvecBlk[i*k+c]
+						linalg.OuterAccum(acc[c].B[1][1], wBlk2[i*k+c], pd, pd)
+						stats.Ops.AddOuter(dR1, dR1)
+						linalg.OuterAccum(acc[c].B[0][1], 1, gv, pd)
+						stats.Ops.AddOuter(dS, dR1)
+						linalg.OuterAccum(acc[c].B[1][0], 1, pd, gv)
+						stats.Ops.AddOuter(dR1, dS)
+					}
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		for j := 0; j < q-1; j++ {
+			dRj := p.Dims[2+j]
+			for t := range runner.Resident(j) {
+				for c := 0; c < k; c++ {
+					pd := pdRes[j][t*k+c]
+					gv := gvecRes[j][t*k+c]
+					linalg.OuterAccum(acc[c].B[2+j][2+j], wRes2[j][t*k+c], pd, pd)
+					stats.Ops.AddOuter(dRj, dRj)
+					linalg.OuterAccum(acc[c].B[0][2+j], 1, gv, pd)
+					stats.Ops.AddOuter(dS, dRj)
+					linalg.OuterAccum(acc[c].B[2+j][0], 1, pd, gv)
+					stats.Ops.AddOuter(dRj, dS)
+				}
+			}
+		}
+		sumCov := make([]*linalg.Dense, k)
+		for c := 0; c < k; c++ {
+			sumCov[c] = acc[c].Assemble()
+		}
+		applyCovUpdates(model, nk, sumCov, collapsed, cfg.RegEps)
+
+		stats.LogLikelihood = append(stats.LogLikelihood, ll)
+		stats.Iters = iter + 1
+		if iter > 0 && converged(ll, prevLL, cfg.Tol) {
+			stats.Converged = true
+			break
+		}
+		prevLL = ll
+	}
+	return nil
+}

@@ -1,0 +1,431 @@
+package gmm
+
+import (
+	"fmt"
+	"math"
+
+	"factorml/internal/core"
+	"factorml/internal/join"
+	"factorml/internal/linalg"
+	"factorml/internal/storage"
+)
+
+// Diagonal-covariance ("independent") Gaussian mixtures are the restricted
+// model of Cheng & Koudas (ICDE 2019) that this paper generalizes. With a
+// diagonal Σ the density factorizes per dimension, so the factorized E-step
+// needs only one cached scalar per (dimension tuple, component) — there are
+// no cross-relation covariance blocks at all. The same M/S/F trainers
+// handle it through Config.Diagonal.
+
+// diagState is the per-component precomputation for diagonal covariances.
+type diagState struct {
+	invVar  []float64
+	logNorm float64
+	logW    float64
+}
+
+func (m *Model) precomputeDiag() ([]diagState, error) {
+	states := make([]diagState, m.K)
+	for k := 0; k < m.K; k++ {
+		inv := make([]float64, m.D)
+		logDet := 0.0
+		for i := 0; i < m.D; i++ {
+			v := m.Covs[k].At(i, i)
+			if v <= 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("gmm: component %d has non-positive variance %v at dim %d", k, v, i)
+			}
+			inv[i] = 1 / v
+			logDet += math.Log(v)
+		}
+		states[k] = diagState{
+			invVar:  inv,
+			logNorm: -0.5 * (float64(m.D)*math.Log(2*math.Pi) + logDet),
+			logW:    math.Log(math.Max(m.Weights[k], 1e-300)),
+		}
+	}
+	return states, nil
+}
+
+// diagQuad computes Σ_i (x_i−µ_i)²·inv_i over a slice range.
+func diagQuad(x, mu, inv []float64) float64 {
+	var q float64
+	for i, v := range x {
+		d := v - mu[i]
+		q += d * d * inv[i]
+	}
+	return q
+}
+
+// emDenseDiag is the diagonal-covariance EM over a dense pass source
+// (M-IGMM and S-IGMM).
+func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) error {
+	k := cfg.K
+	gamma := make([]float64, n*k)
+	logp := make([]float64, k)
+
+	nk := make([]float64, k)
+	sumMu := make([][]float64, k)
+	sumVar := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		sumMu[c] = make([]float64, d)
+		sumVar[c] = make([]float64, d)
+	}
+
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		states, err := model.precomputeDiag()
+		if err != nil {
+			return err
+		}
+
+		// E pass.
+		ll := 0.0
+		idx := 0
+		err = pass(func(x []float64) error {
+			for c := 0; c < k; c++ {
+				q := diagQuad(x, model.Means[c], states[c].invVar)
+				stats.Ops.AddDiagQuad(d)
+				logp[c] = states[c].logW + states[c].logNorm - 0.5*q
+			}
+			lse := linalg.LogSumExp(logp)
+			ll += lse
+			g := gamma[idx*k : (idx+1)*k]
+			for c := 0; c < k; c++ {
+				g[c] = math.Exp(logp[c] - lse)
+			}
+			idx++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+
+		// M pass 1: means and weights.
+		for c := 0; c < k; c++ {
+			nk[c] = 0
+			linalg.VecZero(sumMu[c])
+		}
+		idx = 0
+		err = pass(func(x []float64) error {
+			g := gamma[idx*k : (idx+1)*k]
+			for c := 0; c < k; c++ {
+				nk[c] += g[c]
+				linalg.Axpy(g[c], x, sumMu[c])
+				stats.Ops.AddAxpy(d)
+			}
+			idx++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		collapsed := applyMeanUpdates(model, nk, sumMu, n)
+
+		// M pass 2: per-dimension variances.
+		for c := 0; c < k; c++ {
+			linalg.VecZero(sumVar[c])
+		}
+		idx = 0
+		err = pass(func(x []float64) error {
+			g := gamma[idx*k : (idx+1)*k]
+			for c := 0; c < k; c++ {
+				mu := model.Means[c]
+				sv := sumVar[c]
+				gc := g[c]
+				for i, v := range x {
+					pd := v - mu[i]
+					sv[i] += gc * pd * pd
+				}
+				stats.Ops.AddDiagQuad(d)
+			}
+			idx++
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		applyDiagCovUpdates(model, nk, sumVar, collapsed, cfg.RegEps)
+
+		stats.LogLikelihood = append(stats.LogLikelihood, ll)
+		stats.Iters = iter + 1
+		if iter > 0 && converged(ll, prevLL, cfg.Tol) {
+			stats.Converged = true
+			break
+		}
+		prevLL = ll
+	}
+	return nil
+}
+
+// applyDiagCovUpdates writes diagonal covariances from per-dimension
+// accumulators.
+func applyDiagCovUpdates(model *Model, nk []float64, sumVar [][]float64, collapsed []bool, regEps float64) {
+	for c := 0; c < model.K; c++ {
+		if collapsed[c] {
+			continue
+		}
+		model.Covs[c].Zero()
+		for i := 0; i < model.D; i++ {
+			model.Covs[c].Set(i, i, sumVar[c][i]/nk[c]+regEps)
+		}
+	}
+}
+
+// emFactorizedDiag is F-IGMM: like emFactorized but with per-relation
+// scalar caches (no cross blocks exist for a diagonal covariance).
+func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, model *Model, stats *Stats) error {
+	k := cfg.K
+	q := p.Parts() - 1
+	dS := p.Dims[0]
+
+	gamma := make([]float64, n*k)
+	logp := make([]float64, k)
+
+	nk := make([]float64, k)
+	sumMuParts := make([][][]float64, p.Parts())
+	sumVarParts := make([][][]float64, p.Parts())
+	for i := range sumMuParts {
+		sumMuParts[i] = make([][]float64, k)
+		sumVarParts[i] = make([][]float64, k)
+		for c := 0; c < k; c++ {
+			sumMuParts[i][c] = make([]float64, p.Dims[i])
+			sumVarParts[i][c] = make([]float64, p.Dims[i])
+		}
+	}
+	sumMuFull := make([][]float64, k)
+	sumVarFull := make([][]float64, k)
+	for c := 0; c < k; c++ {
+		sumMuFull[c] = make([]float64, p.D)
+		sumVarFull[c] = make([]float64, p.D)
+	}
+
+	var qBlk []float64 // E-step cached partial quads, len(block)*k
+	var wBlk []float64 // group responsibility sums
+	var curBlock []*storage.Tuple
+
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		states, err := model.precomputeDiag()
+		if err != nil {
+			return err
+		}
+
+		// Resident caches: partial quads per (tuple, component).
+		qRes := make([][]float64, q-1)
+		for j := 0; j < q-1; j++ {
+			tuples := runner.Resident(j)
+			qRes[j] = make([]float64, len(tuples)*k)
+			off := p.Offs[2+j]
+			dj := p.Dims[2+j]
+			for t, tp := range tuples {
+				for c := 0; c < k; c++ {
+					qRes[j][t*k+c] = diagQuad(tp.Features, model.Means[c][off:off+dj], states[c].invVar[off:off+dj])
+					stats.Ops.AddDiagQuad(dj)
+				}
+			}
+		}
+
+		// E pass.
+		ll := 0.0
+		idx := 0
+		err = runner.Run(join.Callbacks{
+			OnBlockStart: func(block []*storage.Tuple) error {
+				need := len(block) * k
+				if cap(qBlk) < need {
+					qBlk = make([]float64, need)
+				}
+				qBlk = qBlk[:need]
+				off := p.Offs[1]
+				d1 := p.Dims[1]
+				for i, tp := range block {
+					for c := 0; c < k; c++ {
+						qBlk[i*k+c] = diagQuad(tp.Features, model.Means[c][off:off+d1], states[c].invVar[off:off+d1])
+						stats.Ops.AddDiagQuad(d1)
+					}
+				}
+				return nil
+			},
+			OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
+				for c := 0; c < k; c++ {
+					qv := diagQuad(s.Features, model.Means[c][:dS], states[c].invVar[:dS])
+					stats.Ops.AddDiagQuad(dS)
+					qv += qBlk[r1Idx*k+c]
+					for j, ri := range resIdx {
+						qv += qRes[j][ri*k+c]
+					}
+					stats.Ops.Add += int64(q)
+					logp[c] = states[c].logW + states[c].logNorm - 0.5*qv
+				}
+				lse := linalg.LogSumExp(logp)
+				ll += lse
+				g := gamma[idx*k : (idx+1)*k]
+				for c := 0; c < k; c++ {
+					g[c] = math.Exp(logp[c] - lse)
+				}
+				idx++
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+
+		// M pass 1: means and weights, grouped per dimension tuple.
+		for c := 0; c < k; c++ {
+			nk[c] = 0
+			for i := range sumMuParts {
+				linalg.VecZero(sumMuParts[i][c])
+			}
+		}
+		wRes := make([][]float64, q-1)
+		for j := 0; j < q-1; j++ {
+			wRes[j] = make([]float64, len(runner.Resident(j))*k)
+		}
+		idx = 0
+		err = runner.Run(join.Callbacks{
+			OnBlockStart: func(block []*storage.Tuple) error {
+				need := len(block) * k
+				if cap(wBlk) < need {
+					wBlk = make([]float64, need)
+				}
+				wBlk = wBlk[:need]
+				linalg.VecZero(wBlk)
+				curBlock = block
+				return nil
+			},
+			OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
+				g := gamma[idx*k : (idx+1)*k]
+				for c := 0; c < k; c++ {
+					nk[c] += g[c]
+					linalg.Axpy(g[c], s.Features, sumMuParts[0][c])
+					stats.Ops.AddAxpy(dS)
+					wBlk[r1Idx*k+c] += g[c]
+					for j, ri := range resIdx {
+						wRes[j][ri*k+c] += g[c]
+					}
+				}
+				idx++
+				return nil
+			},
+			OnBlockEnd: func() error {
+				for i, tp := range curBlock {
+					for c := 0; c < k; c++ {
+						linalg.Axpy(wBlk[i*k+c], tp.Features, sumMuParts[1][c])
+						stats.Ops.AddAxpy(p.Dims[1])
+					}
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		for j := 0; j < q-1; j++ {
+			for t, tp := range runner.Resident(j) {
+				for c := 0; c < k; c++ {
+					linalg.Axpy(wRes[j][t*k+c], tp.Features, sumMuParts[2+j][c])
+					stats.Ops.AddAxpy(p.Dims[2+j])
+				}
+			}
+		}
+		for c := 0; c < k; c++ {
+			for i := range sumMuParts {
+				copy(sumMuFull[c][p.Offs[i]:p.Offs[i]+p.Dims[i]], sumMuParts[i][c])
+			}
+		}
+		collapsed := applyMeanUpdates(model, nk, sumMuFull, n)
+
+		// M pass 2: variances. The dimension contribution factors per
+		// group: Σ_n γ (x_R−µ)² = (Σ_{n∈group} γ)·(x_R−µ)².
+		for c := 0; c < k; c++ {
+			for i := range sumVarParts {
+				linalg.VecZero(sumVarParts[i][c])
+			}
+		}
+		wRes2 := make([][]float64, q-1)
+		for j := 0; j < q-1; j++ {
+			wRes2[j] = make([]float64, len(runner.Resident(j))*k)
+		}
+		idx = 0
+		err = runner.Run(join.Callbacks{
+			OnBlockStart: func(block []*storage.Tuple) error {
+				need := len(block) * k
+				if cap(wBlk) < need {
+					wBlk = make([]float64, need)
+				}
+				wBlk = wBlk[:need]
+				linalg.VecZero(wBlk)
+				curBlock = block
+				return nil
+			},
+			OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
+				g := gamma[idx*k : (idx+1)*k]
+				for c := 0; c < k; c++ {
+					mu := model.Means[c]
+					sv := sumVarParts[0][c]
+					gc := g[c]
+					for i, v := range s.Features {
+						pd := v - mu[i]
+						sv[i] += gc * pd * pd
+					}
+					stats.Ops.AddDiagQuad(dS)
+					wBlk[r1Idx*k+c] += gc
+					for j, ri := range resIdx {
+						wRes2[j][ri*k+c] += gc
+					}
+				}
+				idx++
+				return nil
+			},
+			OnBlockEnd: func() error {
+				off := p.Offs[1]
+				for i, tp := range curBlock {
+					for c := 0; c < k; c++ {
+						w := wBlk[i*k+c]
+						mu := model.Means[c]
+						sv := sumVarParts[1][c]
+						for d2, v := range tp.Features {
+							pd := v - mu[off+d2]
+							sv[d2] += w * pd * pd
+						}
+						stats.Ops.AddDiagQuad(p.Dims[1])
+					}
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		for j := 0; j < q-1; j++ {
+			off := p.Offs[2+j]
+			for t, tp := range runner.Resident(j) {
+				for c := 0; c < k; c++ {
+					w := wRes2[j][t*k+c]
+					mu := model.Means[c]
+					sv := sumVarParts[2+j][c]
+					for d2, v := range tp.Features {
+						pd := v - mu[off+d2]
+						sv[d2] += w * pd * pd
+					}
+					stats.Ops.AddDiagQuad(p.Dims[2+j])
+				}
+			}
+		}
+		for c := 0; c < k; c++ {
+			for i := range sumVarParts {
+				copy(sumVarFull[c][p.Offs[i]:p.Offs[i]+p.Dims[i]], sumVarParts[i][c])
+			}
+		}
+		applyDiagCovUpdates(model, nk, sumVarFull, collapsed, cfg.RegEps)
+
+		stats.LogLikelihood = append(stats.LogLikelihood, ll)
+		stats.Iters = iter + 1
+		if iter > 0 && converged(ll, prevLL, cfg.Tol) {
+			stats.Converged = true
+			break
+		}
+		prevLL = ll
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package gmm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"factorml/internal/linalg"
+)
+
+// passFn streams every joined training vector in a deterministic order.
+// All three algorithms expose their data through this shape; only the
+// factorized trainer bypasses it for the EM passes themselves.
+type passFn func(fn func(x []float64) error) error
+
+// initModel performs one pass over the data to (a) count N, (b) accumulate
+// the global per-feature mean and variance, and (c) reservoir-sample K
+// points as initial means. The reservoir uses a seeded RNG over the
+// deterministic stream order, so every algorithm arrives at the identical
+// initial model — a precondition for the exactness comparisons.
+func initModel(pass passFn, d int, cfg Config) (*Model, int, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reservoir := make([][]float64, 0, cfg.K)
+	sum := make([]float64, d)
+	sumSq := make([]float64, d)
+	n := 0
+	err := pass(func(x []float64) error {
+		if len(x) != d {
+			return fmt.Errorf("gmm: stream vector dim %d, want %d", len(x), d)
+		}
+		if n < cfg.K {
+			reservoir = append(reservoir, append([]float64{}, x...))
+		} else if j := rng.Int63n(int64(n + 1)); j < int64(cfg.K) {
+			copy(reservoir[j], x)
+		}
+		for i, v := range x {
+			sum[i] += v
+			sumSq[i] += v * v
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if n < cfg.K {
+		return nil, 0, fmt.Errorf("gmm: %d training points for K=%d components", n, cfg.K)
+	}
+	variance := make([]float64, d)
+	for i := range variance {
+		mean := sum[i] / float64(n)
+		variance[i] = sumSq[i]/float64(n) - mean*mean
+		if variance[i] < cfg.RegEps {
+			variance[i] = cfg.RegEps
+		}
+	}
+	m := &Model{K: cfg.K, D: d, Weights: make([]float64, cfg.K)}
+	for k := 0; k < cfg.K; k++ {
+		m.Weights[k] = 1 / float64(cfg.K)
+		m.Means = append(m.Means, reservoir[k])
+		cov := linalg.Diag(variance)
+		cov.AddDiag(cfg.RegEps)
+		m.Covs = append(m.Covs, cov)
+	}
+	return m, n, nil
+}

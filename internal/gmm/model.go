@@ -1,0 +1,204 @@
+package gmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"factorml/internal/core"
+	"factorml/internal/linalg"
+	"factorml/internal/storage"
+)
+
+// Model is a K-component Gaussian mixture over d-dimensional data.
+type Model struct {
+	K       int
+	D       int
+	Weights []float64       // mixing coefficients π_k, sum to 1
+	Means   [][]float64     // K × D
+	Covs    []*linalg.Dense // K dense D×D covariance matrices
+}
+
+// Config controls EM training.
+type Config struct {
+	K       int     // number of components (required, ≥ 1)
+	MaxIter int     // maximum EM iterations (default 25)
+	Tol     float64 // relative log-likelihood change for convergence (default 1e-4)
+	Seed    int64   // RNG seed for initialization (default 1)
+	RegEps  float64 // diagonal regularizer added to each covariance (default 1e-6)
+
+	// Diagonal restricts covariances to diagonal matrices — the IGMM model
+	// of Cheng & Koudas (ICDE 2019) that this paper generalizes. The
+	// factorized trainer then caches a single scalar per dimension tuple
+	// and component (no cross-relation covariance blocks exist).
+	Diagonal bool
+
+	// BlockPages is forwarded to the join spec (0 = join.DefaultBlockPages).
+	BlockPages int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIter == 0 {
+		c.MaxIter = 25
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.RegEps == 0 {
+		c.RegEps = 1e-6
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("gmm: config K = %d, want ≥ 1", c.K)
+	}
+	if c.MaxIter < 0 || c.Tol < 0 || c.RegEps < 0 {
+		return errors.New("gmm: negative MaxIter/Tol/RegEps")
+	}
+	return nil
+}
+
+// Stats reports how training went.
+type Stats struct {
+	Iters         int
+	Converged     bool
+	LogLikelihood []float64 // per completed iteration
+	Ops           core.Ops  // training-math flop counters
+	IO            storage.IOStats
+	TrainTime     time.Duration
+}
+
+// Result bundles the trained model with its statistics.
+type Result struct {
+	Model *Model
+	Stats Stats
+}
+
+// FinalLL returns the last recorded log-likelihood, or -Inf when training
+// recorded none.
+func (s *Stats) FinalLL() float64 {
+	if len(s.LogLikelihood) == 0 {
+		return math.Inf(-1)
+	}
+	return s.LogLikelihood[len(s.LogLikelihood)-1]
+}
+
+// compState holds the per-component quantities precomputed once per EM
+// iteration: the inverse covariance (paper's I_k), its partition blocks, and
+// the constant part of the log density.
+type compState struct {
+	inv     *linalg.Dense
+	blocked *core.BlockedSym
+	logNorm float64 // -0.5·(d·ln 2π + ln|Σ|)
+	logW    float64 // ln π_k
+}
+
+// precompute factorizes every component covariance. It returns an error when
+// a covariance is not positive definite (which regularization should
+// prevent).
+func (m *Model) precompute(p core.Partition, blockInv bool) ([]compState, error) {
+	states := make([]compState, m.K)
+	for k := 0; k < m.K; k++ {
+		inv, logDet, err := linalg.SPDInverse(m.Covs[k])
+		if err != nil {
+			return nil, fmt.Errorf("gmm: component %d covariance: %w", k, err)
+		}
+		states[k] = compState{
+			inv:     inv,
+			logNorm: -0.5 * (float64(m.D)*math.Log(2*math.Pi) + logDet),
+			logW:    math.Log(math.Max(m.Weights[k], 1e-300)),
+		}
+		if blockInv {
+			states[k].blocked = core.BlockSym(inv, p)
+		}
+	}
+	return states, nil
+}
+
+// LogProb returns ln p(x) under the mixture.
+func (m *Model) LogProb(x []float64) float64 {
+	if len(x) != m.D {
+		panic(fmt.Sprintf("gmm: point has dim %d, model has %d", len(x), m.D))
+	}
+	states, err := m.precompute(core.NewPartition([]int{m.D}), false)
+	if err != nil {
+		return math.Inf(-1)
+	}
+	lp := make([]float64, m.K)
+	pd := make([]float64, m.D)
+	for k := range lp {
+		linalg.VecSub(pd, x, m.Means[k])
+		lp[k] = states[k].logW + states[k].logNorm - 0.5*linalg.QuadForm(states[k].inv, pd)
+	}
+	return linalg.LogSumExp(lp)
+}
+
+// Responsibilities returns γ_k(x) = p(z = k | x) for a single point.
+func (m *Model) Responsibilities(x []float64) []float64 {
+	states, err := m.precompute(core.NewPartition([]int{m.D}), false)
+	if err != nil {
+		out := make([]float64, m.K)
+		for i := range out {
+			out[i] = 1 / float64(m.K)
+		}
+		return out
+	}
+	lp := make([]float64, m.K)
+	pd := make([]float64, m.D)
+	for k := range lp {
+		linalg.VecSub(pd, x, m.Means[k])
+		lp[k] = states[k].logW + states[k].logNorm - 0.5*linalg.QuadForm(states[k].inv, pd)
+	}
+	lse := linalg.LogSumExp(lp)
+	out := make([]float64, m.K)
+	for k := range out {
+		out[k] = math.Exp(lp[k] - lse)
+	}
+	return out
+}
+
+// Predict returns the index of the most responsible component for x.
+func (m *Model) Predict(x []float64) int {
+	r := m.Responsibilities(x)
+	best := 0
+	for k, v := range r {
+		if v > r[best] {
+			best = k
+		}
+	}
+	return best
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	out := &Model{K: m.K, D: m.D, Weights: append([]float64{}, m.Weights...)}
+	for k := 0; k < m.K; k++ {
+		out.Means = append(out.Means, append([]float64{}, m.Means[k]...))
+		out.Covs = append(out.Covs, m.Covs[k].Clone())
+	}
+	return out
+}
+
+// MaxParamDiff returns the largest absolute difference between any parameter
+// of m and o (used by the exactness tests).
+func (m *Model) MaxParamDiff(o *Model) float64 {
+	if m.K != o.K || m.D != o.D {
+		return math.Inf(1)
+	}
+	max := linalg.MaxAbsDiffVec(m.Weights, o.Weights)
+	for k := 0; k < m.K; k++ {
+		if d := linalg.MaxAbsDiffVec(m.Means[k], o.Means[k]); d > max {
+			max = d
+		}
+		if d := m.Covs[k].MaxAbsDiff(o.Covs[k]); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,48 @@
+package gmm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 300, 15, 2, 3)
+	res, err := TrainF(db, spec, Config{K: 3, MaxIter: 3, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Model.MaxParamDiff(loaded); d != 0 {
+		t.Fatalf("round trip changed parameters by %v", d)
+	}
+	// The loaded model must be usable for inference.
+	x := make([]float64, res.Model.D)
+	if got, want := loaded.LogProb(x), res.Model.LogProb(x); got != want {
+		t.Fatalf("LogProb after load: %v vs %v", got, want)
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "not json at all",
+		"bad version":    `{"version":99,"k":1,"d":1,"weights":[1],"means":[[0]],"covs":[[1]]}`,
+		"bad shape":      `{"version":1,"k":0,"d":1,"weights":[],"means":[],"covs":[]}`,
+		"count mismatch": `{"version":1,"k":2,"d":1,"weights":[1],"means":[[0]],"covs":[[1]]}`,
+		"mean dim":       `{"version":1,"k":1,"d":2,"weights":[1],"means":[[0]],"covs":[[1,0,0,1]]}`,
+		"cov entries":    `{"version":1,"k":1,"d":2,"weights":[1],"means":[[0,0]],"covs":[[1,0,0]]}`,
+	}
+	for name, blob := range cases {
+		if _, err := LoadModel(strings.NewReader(blob)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

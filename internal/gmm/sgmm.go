@@ -1,0 +1,51 @@
+package gmm
+
+import (
+	"time"
+
+	"factorml/internal/join"
+	"factorml/internal/storage"
+)
+
+// TrainS is the baseline S-GMM: identical EM to M-GMM, but every pass over
+// T is replaced by re-executing the block-nested-loops join on the fly, so
+// T is never written to disk.
+func TrainS(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	io0 := db.Pool().Stats()
+
+	sp := *spec
+	if sp.BlockPages == 0 {
+		sp.BlockPages = cfg.BlockPages
+	}
+	runner, err := join.NewRunner(&sp)
+	if err != nil {
+		return nil, err
+	}
+	pass := func(fn func(x []float64) error) error {
+		return join.StreamWith(runner, func(_ int64, x []float64, _ float64) error {
+			return fn(x)
+		})
+	}
+
+	d := sp.JoinedWidth()
+	model, n, err := initModel(pass, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Model: model}
+	em := emDense
+	if cfg.Diagonal {
+		em = emDenseDiag
+	}
+	if err := em(pass, d, n, cfg, model, &res.Stats); err != nil {
+		return nil, err
+	}
+	res.Stats.IO = db.Pool().Stats().Sub(io0)
+	res.Stats.TrainTime = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,24 @@
+// Package join implements primary/foreign-key equi-join processing over the
+// storage engine, in the three styles the paper compares:
+//
+//   - Materialize: compute S ⋈ R1 ⋈ … ⋈ Rq with a block-nested-loops join
+//     and write the denormalized result T to disk (input to the M-* training
+//     algorithms).
+//   - Streaming: iterate the join block-by-block without materializing,
+//     delivering fully concatenated feature vectors (input to the S-*
+//     algorithms).
+//   - Factorized: iterate the join block-by-block delivering the S tuple and
+//     *references* to the matching dimension tuples, so the training
+//     algorithm can reuse per-dimension computation (input to the F-*
+//     algorithms).
+//
+// The block structure follows the paper's cost model (§V-A): the first
+// dimension table is read once in blocks of BlockPages pages; for every
+// block, S is scanned in full and probed against an in-memory hash of the
+// block. Any further dimension tables (multi-way joins, §V-C) are resident:
+// loaded once at the start, which matches the paper's experimental setup
+// where only R1 grows. Emission order is deterministic — R blocks in append
+// order, S scan order within a block — and identical across the three
+// styles, which is what makes the M/S/F training algorithms produce
+// identical models.
+package join

@@ -1,0 +1,280 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+
+	"factorml/internal/storage"
+)
+
+// DefaultBlockPages is the block-nested-loops block size (in pages of the
+// first dimension table) when a Spec leaves BlockPages at zero.
+const DefaultBlockPages = 64
+
+// Spec describes a star join between a fact table S and dimension tables
+// R1…Rq.
+//
+// S's key columns must be [sid, fk1, …, fkq] where fk_i references
+// Rs[i].Keys[0]. Every fk must resolve (joins are primary/foreign-key, so
+// the join is lossless on S); a dangling fk is an error.
+type Spec struct {
+	S  *storage.Table
+	Rs []*storage.Table
+
+	// BlockPages is the number of pages of Rs[0] loaded per block of the
+	// block-nested-loops join. Zero selects DefaultBlockPages.
+	BlockPages int
+}
+
+// Validate checks the spec's structural invariants.
+func (sp *Spec) Validate() error {
+	if sp.S == nil {
+		return fmt.Errorf("join: spec has no fact table")
+	}
+	if len(sp.Rs) == 0 {
+		return fmt.Errorf("join: spec has no dimension tables")
+	}
+	if got, want := sp.S.Schema().NumKeys(), 1+len(sp.Rs); got != want {
+		return fmt.Errorf("join: fact table %q has %d key columns, want %d (sid + %d fks)",
+			sp.S.Schema().Name, got, want, len(sp.Rs))
+	}
+	for i, r := range sp.Rs {
+		if r == nil {
+			return fmt.Errorf("join: dimension table %d is nil", i)
+		}
+		if r.Schema().NumKeys() != 1 {
+			return fmt.Errorf("join: dimension table %q must have exactly one key column", r.Schema().Name)
+		}
+		if r.Schema().HasTarget {
+			return fmt.Errorf("join: dimension table %q must not carry a target", r.Schema().Name)
+		}
+	}
+	return nil
+}
+
+func (sp *Spec) blockPages() int {
+	if sp.BlockPages <= 0 {
+		return DefaultBlockPages
+	}
+	return sp.BlockPages
+}
+
+// JoinedWidth returns the feature dimensionality of the join result:
+// dS + Σ dRi.
+func (sp *Spec) JoinedWidth() int {
+	d := sp.S.Schema().NumFeatures()
+	for _, r := range sp.Rs {
+		d += r.Schema().NumFeatures()
+	}
+	return d
+}
+
+// FeatureOffsets returns, for each relation in [S, R1, …, Rq] order, the
+// offset of its features within the joined feature vector.
+func (sp *Spec) FeatureOffsets() []int {
+	offs := make([]int, 1+len(sp.Rs))
+	offs[0] = 0
+	acc := sp.S.Schema().NumFeatures()
+	for i, r := range sp.Rs {
+		offs[1+i] = acc
+		acc += r.Schema().NumFeatures()
+	}
+	return offs
+}
+
+// Callbacks receives the join stream.
+//
+// OnBlockStart is called once per block of Rs[0] with the block's tuples and
+// — on the first block only — the resident tuples of Rs[1:]. Resident slices
+// stay valid for the whole run. Block slices are valid until the next
+// OnBlockStart.
+//
+// OnMatch is called for every joined tuple in deterministic order: for each
+// block (R1 append order), S scan order. r1Idx indexes into the current
+// block's tuples; resIdx[i] indexes into resident table i+1's tuples.
+// The s tuple is only valid for the duration of the call.
+type Callbacks struct {
+	OnBlockStart func(block []*storage.Tuple) error
+	OnMatch      func(s *storage.Tuple, r1Idx int, resIdx []int) error
+	OnBlockEnd   func() error
+}
+
+// Runner executes a block-nested-loops star join.
+type Runner struct {
+	spec     *Spec
+	resident [][]*storage.Tuple // Rs[1:] fully loaded
+	resIndex []map[int64]int    // rid -> index into resident[i]
+	loaded   bool
+	perm     []int64 // optional R1 row permutation (SGD epochs, §VI)
+}
+
+// NewRunner prepares a runner for the spec.
+func NewRunner(spec *Spec) (*Runner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Runner{spec: spec}, nil
+}
+
+// Spec returns the join specification the runner was built from.
+func (r *Runner) Spec() *Spec { return r.spec }
+
+// Shuffle installs a permutation of R1's rows used by subsequent Runs —
+// the paper's per-epoch permutation of R's keys for SGD training (§VI):
+// "we can permute the keys of R for each training epoch, accessing the
+// keys in a different order per epoch while probing relation S". Permuted
+// access is random I/O into R1 (one logical page read per tuple, absorbed
+// by the buffer pool when R1 fits). Pass nil to restore sequential order.
+func (r *Runner) Shuffle(rng *rand.Rand) {
+	if rng == nil {
+		r.perm = nil
+		return
+	}
+	n := r.spec.Rs[0].NumTuples()
+	if int64(len(r.perm)) != n {
+		r.perm = make([]int64, n)
+		for i := range r.perm {
+			r.perm[i] = int64(i)
+		}
+	}
+	rng.Shuffle(len(r.perm), func(i, j int) { r.perm[i], r.perm[j] = r.perm[j], r.perm[i] })
+}
+
+// Resident returns the loaded tuples of dimension table i (1-based among
+// dimension tables, i.e. Resident(0) is Rs[1]). It is only available after
+// Run has started; the slices are shared, do not modify.
+func (r *Runner) Resident(i int) []*storage.Tuple { return r.resident[i] }
+
+func (r *Runner) loadResident() error {
+	if r.loaded {
+		return nil
+	}
+	rs := r.spec.Rs
+	r.resident = make([][]*storage.Tuple, len(rs)-1)
+	r.resIndex = make([]map[int64]int, len(rs)-1)
+	for i, tbl := range rs[1:] {
+		tuples := make([]*storage.Tuple, 0, tbl.NumTuples())
+		idx := make(map[int64]int, tbl.NumTuples())
+		sc := tbl.NewScanner()
+		for sc.Next() {
+			tp := sc.Tuple().Clone()
+			idx[tp.PrimaryKey()] = len(tuples)
+			tuples = append(tuples, tp)
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		r.resident[i] = tuples
+		r.resIndex[i] = idx
+	}
+	r.loaded = true
+	return nil
+}
+
+// Run executes the join, invoking the callbacks. It may be called multiple
+// times (e.g. once per EM pass); each call re-reads the base tables, which
+// is exactly the repeated I/O the paper's cost model charges.
+func (r *Runner) Run(cb Callbacks) error {
+	if err := r.loadResident(); err != nil {
+		return err
+	}
+	sp := r.spec
+	r1 := sp.Rs[0]
+	perPage := int64(r1.Schema().RecordsPerPage())
+	tuplesPerBlock := int64(sp.blockPages()) * perPage
+	nR1 := r1.NumTuples()
+
+	resIdx := make([]int, len(sp.Rs)-1)
+	block := make([]*storage.Tuple, 0, tuplesPerBlock)
+	blockIdx := make(map[int64]int, tuplesPerBlock)
+
+	// A single scanner over R1 reads each of its pages exactly once per Run,
+	// matching the |R| term of the paper's block-nested-loops cost model.
+	// With a shuffle installed, rows are fetched in permuted order instead
+	// (random access through the buffer pool).
+	var r1Scan *storage.Scanner
+	if r.perm == nil {
+		r1Scan = r1.NewScanner()
+	}
+	var permTuple storage.Tuple
+	for start := int64(0); start < nR1; start += tuplesPerBlock {
+		end := start + tuplesPerBlock
+		if end > nR1 {
+			end = nR1
+		}
+		block = block[:0]
+		for k := range blockIdx {
+			delete(blockIdx, k)
+		}
+		for row := start; row < end; row++ {
+			var c *storage.Tuple
+			if r1Scan != nil {
+				if !r1Scan.Next() {
+					if err := r1Scan.Err(); err != nil {
+						return err
+					}
+					return fmt.Errorf("join: dimension table %q ended early at row %d", r1.Schema().Name, row)
+				}
+				c = r1Scan.Tuple().Clone()
+			} else {
+				if err := r1.Get(r.perm[row], &permTuple); err != nil {
+					return err
+				}
+				c = permTuple.Clone()
+			}
+			blockIdx[c.PrimaryKey()] = len(block)
+			block = append(block, c)
+		}
+		if cb.OnBlockStart != nil {
+			if err := cb.OnBlockStart(block); err != nil {
+				return err
+			}
+		}
+		if cb.OnMatch != nil {
+			sc := sp.S.NewScanner()
+			for sc.Next() {
+				s := sc.Tuple()
+				i1, ok := blockIdx[s.Keys[1]]
+				if !ok {
+					continue // fk belongs to another block
+				}
+				matched := true
+				for j := range resIdx {
+					ri, ok := r.resIndex[j][s.Keys[2+j]]
+					if !ok {
+						matched = false // inner-join semantics: skip dangling fks
+						break
+					}
+					resIdx[j] = ri
+				}
+				if !matched {
+					continue
+				}
+				if err := cb.OnMatch(s, i1, resIdx); err != nil {
+					return err
+				}
+			}
+			if err := sc.Err(); err != nil {
+				return err
+			}
+		}
+		if cb.OnBlockEnd != nil {
+			if err := cb.OnBlockEnd(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NumBlocks returns how many R1 blocks a Run will produce.
+func (r *Runner) NumBlocks() int64 {
+	r1 := r.spec.Rs[0]
+	perPage := int64(r1.Schema().RecordsPerPage())
+	tuplesPerBlock := int64(r.spec.blockPages()) * perPage
+	n := r1.NumTuples()
+	if n == 0 {
+		return 0
+	}
+	return (n + tuplesPerBlock - 1) / tuplesPerBlock
+}

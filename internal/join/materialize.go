@@ -1,0 +1,118 @@
+package join
+
+import (
+	"fmt"
+
+	"factorml/internal/storage"
+)
+
+// MaterializedName returns the conventional name for the join result of a
+// spec, T_<S>, used when the caller does not provide one.
+func MaterializedName(sp *Spec) string {
+	return "T_" + sp.S.Schema().Name
+}
+
+// JoinedSchema builds the schema of the denormalized table
+// T(sid, [XS XR1 … XRq], Y?).
+func JoinedSchema(sp *Spec, name string) *storage.Schema {
+	out := &storage.Schema{
+		Name:      name,
+		Keys:      []string{sp.S.Schema().Keys[0]},
+		HasTarget: sp.S.Schema().HasTarget,
+	}
+	add := func(prefix string, cols []string) {
+		for _, c := range cols {
+			out.Features = append(out.Features, prefix+"."+c)
+		}
+	}
+	add(sp.S.Schema().Name, sp.S.Schema().Features)
+	for _, r := range sp.Rs {
+		add(r.Schema().Name, r.Schema().Features)
+	}
+	return out
+}
+
+// Materialize executes the star join and writes the denormalized result T
+// into db under the given name (empty selects MaterializedName). This is
+// step 1 of the M-* algorithms. The page writes of T are charged to the
+// shared buffer pool's counters.
+//
+// The returned counts slice holds the number of joined tuples produced per
+// R1 block, so a consumer of T can reconstruct the block boundaries (the
+// M-NN trainer uses this to form the same mini-batches as S-NN/F-NN).
+func Materialize(db *storage.Database, sp *Spec, name string) (*storage.Table, []int64, error) {
+	if name == "" {
+		name = MaterializedName(sp)
+	}
+	runner, err := NewRunner(sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	tTbl, err := db.CreateTable(JoinedSchema(sp, name))
+	if err != nil {
+		return nil, nil, err
+	}
+	d := sp.JoinedWidth()
+	out := storage.Tuple{Keys: make([]int64, 1), Features: make([]float64, d)}
+
+	var block []*storage.Tuple
+	var counts []int64
+	err = runner.Run(Callbacks{
+		OnBlockStart: func(b []*storage.Tuple) error {
+			block = b
+			counts = append(counts, 0)
+			return nil
+		},
+		OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
+			out.Keys[0] = s.Keys[0]
+			out.Target = s.Target
+			n := copy(out.Features, s.Features)
+			n += copy(out.Features[n:], block[r1Idx].Features)
+			for j, ri := range resIdx {
+				n += copy(out.Features[n:], runner.Resident(j)[ri].Features)
+			}
+			if n != d {
+				return fmt.Errorf("join: assembled %d features, want %d", n, d)
+			}
+			counts[len(counts)-1]++
+			return tTbl.Append(&out)
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tTbl.Flush(); err != nil {
+		return nil, nil, err
+	}
+	return tTbl, counts, nil
+}
+
+// Stream executes the star join and delivers fully concatenated feature
+// vectors to fn, without materializing T. This is the access path of the
+// S-* algorithms. The vector passed to fn is reused across calls.
+func Stream(sp *Spec, fn func(sid int64, x []float64, y float64) error) error {
+	runner, err := NewRunner(sp)
+	if err != nil {
+		return err
+	}
+	return StreamWith(runner, fn)
+}
+
+// StreamWith is Stream over an existing runner (so repeated passes reuse the
+// resident dimension tables, as S-* algorithms do across EM iterations).
+func StreamWith(runner *Runner, fn func(sid int64, x []float64, y float64) error) error {
+	d := runner.spec.JoinedWidth()
+	x := make([]float64, d)
+	var block []*storage.Tuple
+	return runner.Run(Callbacks{
+		OnBlockStart: func(b []*storage.Tuple) error { block = b; return nil },
+		OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
+			n := copy(x, s.Features)
+			n += copy(x[n:], block[r1Idx].Features)
+			for j, ri := range resIdx {
+				n += copy(x[n:], runner.Resident(j)[ri].Features)
+			}
+			return fn(s.Keys[0], x, s.Target)
+		},
+	})
+}

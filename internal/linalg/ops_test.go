@@ -1,0 +1,222 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatVec(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 0, -1}
+	dst := make([]float64, 2)
+	MatVec(dst, a, x)
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("MatVec = %v, want [-2 -2]", dst)
+	}
+}
+
+func TestMatVecAdd(t *testing.T) {
+	a := Eye(2)
+	dst := []float64{10, 20}
+	MatVecAdd(dst, a, []float64{1, 2})
+	if dst[0] != 11 || dst[1] != 22 {
+		t.Fatalf("MatVecAdd = %v, want [11 22]", dst)
+	}
+}
+
+func TestVecMat(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 1}
+	dst := make([]float64, 3)
+	VecMat(dst, x, a)
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("VecMat = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := NewMatMul(a, b)
+	want := NewDenseData(2, 2, []float64{58, 64, 139, 154})
+	if !c.Equalish(want, 1e-12) {
+		t.Fatalf("MatMul = %v, want %v", c, want)
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomDense(rng, 4, 4)
+	c := NewMatMul(a, Eye(4))
+	if !c.Equalish(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestMatMulDimMismatchPanics(t *testing.T) {
+	defer expectPanic(t, "matmul mismatch")
+	NewMatMul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestOuterAccum(t *testing.T) {
+	dst := NewDense(2, 3)
+	OuterAccum(dst, 2, []float64{1, 2}, []float64{3, 4, 5})
+	want := NewDenseData(2, 3, []float64{6, 8, 10, 12, 16, 20})
+	if !dst.Equalish(want, 1e-12) {
+		t.Fatalf("OuterAccum = %v, want %v", dst, want)
+	}
+	// Accumulation adds on top.
+	OuterAccum(dst, -2, []float64{1, 2}, []float64{3, 4, 5})
+	if !dst.Equalish(NewDense(2, 3), 1e-12) {
+		t.Fatalf("OuterAccum accumulate = %v, want zero", dst)
+	}
+}
+
+func TestQuadForm(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{2, 1, 1, 3})
+	x := []float64{1, -1}
+	// xᵀAx = 2 - 1 - 1 + 3 = 3
+	if got := QuadForm(a, x); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("QuadForm = %v, want 3", got)
+	}
+}
+
+func TestBilinearForm(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 1}
+	y := []float64{1, 0, 1}
+	// xᵀAy = (1+3) + (4+6) = 14
+	if got := BilinearForm(x, a, y); math.Abs(got-14) > 1e-12 {
+		t.Fatalf("BilinearForm = %v, want 14", got)
+	}
+}
+
+func TestDotAxpyNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("Dot wrong")
+	}
+	y := []float64{1, 1}
+	Axpy(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	if math.Abs(Norm2([]float64{3, 4})-5) > 1e-12 {
+		t.Fatal("Norm2 wrong")
+	}
+}
+
+func TestVecAddSubScaleZero(t *testing.T) {
+	dst := make([]float64, 2)
+	VecAdd(dst, []float64{1, 2}, []float64{3, 4})
+	if dst[0] != 4 || dst[1] != 6 {
+		t.Fatalf("VecAdd = %v", dst)
+	}
+	VecSub(dst, []float64{1, 2}, []float64{3, 4})
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("VecSub = %v", dst)
+	}
+	VecScale(dst, 3, []float64{1, 2})
+	if dst[0] != 3 || dst[1] != 6 {
+		t.Fatalf("VecScale = %v", dst)
+	}
+	VecZero(dst)
+	if dst[0] != 0 || dst[1] != 0 {
+		t.Fatalf("VecZero = %v", dst)
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	x := []float64{math.Log(1), math.Log(2), math.Log(3)}
+	if got := LogSumExp(x); math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Fatalf("LogSumExp = %v, want log 6", got)
+	}
+	// Stability: huge values must not overflow.
+	if got := LogSumExp([]float64{1000, 1000}); math.Abs(got-(1000+math.Log(2))) > 1e-9 {
+		t.Fatalf("LogSumExp stability: got %v", got)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Fatal("LogSumExp(nil) should be -Inf")
+	}
+	if !math.IsInf(LogSumExp([]float64{math.Inf(-1)}), -1) {
+		t.Fatal("LogSumExp(-Inf) should be -Inf")
+	}
+}
+
+func TestMaxAbsDiffVec(t *testing.T) {
+	if got := MaxAbsDiffVec([]float64{1, 5}, []float64{1, 2}); got != 3 {
+		t.Fatalf("MaxAbsDiffVec = %v, want 3", got)
+	}
+}
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMatVecRange(t *testing.T) {
+	a := NewDenseData(2, 4, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	dst := make([]float64, 2)
+	MatVecRange(dst, a, 1, []float64{1, -1}) // columns 1..2
+	if dst[0] != 2-3 || dst[1] != 6-7 {
+		t.Fatalf("MatVecRange = %v", dst)
+	}
+	MatVecRangeAdd(dst, a, 3, []float64{2}) // column 3
+	if dst[0] != -1+8 || dst[1] != -1+16 {
+		t.Fatalf("MatVecRangeAdd = %v", dst)
+	}
+}
+
+func TestMatVecRangeEqualsBlockMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		r := 1 + rng.Intn(6)
+		c := 2 + rng.Intn(8)
+		a := randomDense(rng, r, c)
+		j0 := rng.Intn(c - 1)
+		w := 1 + rng.Intn(c-j0)
+		x := make([]float64, w)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, r)
+		MatVec(want, a.Block(0, j0, r, w), x)
+		got := make([]float64, r)
+		MatVecRange(got, a, j0, x)
+		if MaxAbsDiffVec(got, want) > 1e-12 {
+			t.Fatalf("trial %d: MatVecRange differs from block MatVec", trial)
+		}
+	}
+}
+
+func TestMatVecRangeBoundsPanic(t *testing.T) {
+	defer expectPanic(t, "matvecrange out of bounds")
+	MatVecRange(make([]float64, 2), NewDense(2, 3), 2, []float64{1, 1})
+}
+
+func TestOuterAccumAt(t *testing.T) {
+	dst := NewDense(3, 4)
+	OuterAccumAt(dst, 1, 2, 1, []float64{1, 2}, []float64{3, 4})
+	if dst.At(1, 2) != 3 || dst.At(1, 3) != 4 || dst.At(2, 2) != 6 || dst.At(2, 3) != 8 {
+		t.Fatalf("OuterAccumAt wrote wrong block: %v", dst)
+	}
+	if dst.At(0, 0) != 0 || dst.At(0, 2) != 0 {
+		t.Fatalf("OuterAccumAt touched outside block: %v", dst)
+	}
+	// Accumulates rather than overwrites.
+	OuterAccumAt(dst, 1, 2, 2, []float64{1, 2}, []float64{3, 4})
+	if dst.At(1, 2) != 9 {
+		t.Fatalf("OuterAccumAt did not accumulate: %v", dst.At(1, 2))
+	}
+}
+
+func TestOuterAccumAtBoundsPanic(t *testing.T) {
+	defer expectPanic(t, "outerAt out of bounds")
+	OuterAccumAt(NewDense(2, 2), 1, 1, 1, []float64{1, 1}, []float64{1})
+}

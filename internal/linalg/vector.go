@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// VecAdd computes dst = x + y.
+func VecAdd(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic(fmt.Sprintf("linalg: add length mismatch %d, %d, %d", len(dst), len(x), len(y)))
+	}
+	for i := range dst {
+		dst[i] = x[i] + y[i]
+	}
+}
+
+// VecSub computes dst = x - y.
+func VecSub(dst, x, y []float64) {
+	if len(x) != len(y) || len(dst) != len(x) {
+		panic(fmt.Sprintf("linalg: sub length mismatch %d, %d, %d", len(dst), len(x), len(y)))
+	}
+	for i := range dst {
+		dst[i] = x[i] - y[i]
+	}
+}
+
+// VecScale computes dst = a*x.
+func VecScale(dst []float64, a float64, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("linalg: scale length mismatch %d vs %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] = a * v
+	}
+}
+
+// VecZero sets every element of x to zero.
+func VecZero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// MaxAbsDiffVec returns the largest absolute element-wise difference.
+func MaxAbsDiffVec(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: diff length mismatch %d vs %d", len(x), len(y)))
+	}
+	max := 0.0
+	for i, v := range x {
+		d := math.Abs(v - y[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// LogSumExp returns log(Σ exp(x_i)) computed stably.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	max := x[0]
+	for _, v := range x[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - max)
+	}
+	return max + math.Log(s)
+}

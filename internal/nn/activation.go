@@ -1,0 +1,98 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Activation selects the hidden-layer nonlinearity.
+type Activation int
+
+const (
+	// Sigmoid is σ(a) = 1/(1+e^{-a}).
+	Sigmoid Activation = iota
+	// Tanh is the hyperbolic tangent.
+	Tanh
+	// ReLU is max(0, a).
+	ReLU
+	// Identity is f(a) = a. It is the only additive activation
+	// (f(x+y) = f(x)+f(y)), hence the only one for which the paper's
+	// layer-2 sharing scheme is exact.
+	Identity
+)
+
+// String names the activation.
+func (a Activation) String() string {
+	switch a {
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case ReLU:
+		return "relu"
+	case Identity:
+		return "identity"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// Additive reports whether the activation satisfies the Cauchy functional
+// form f(x+y) = f(x)+f(y) (paper §VI-A2). Only such activations admit exact
+// computation sharing beyond the first layer.
+func (a Activation) Additive() bool { return a == Identity }
+
+// Apply computes f(v) element-wise into dst (dst may alias v).
+func (a Activation) Apply(dst, v []float64) {
+	switch a {
+	case Sigmoid:
+		for i, x := range v {
+			dst[i] = 1 / (1 + math.Exp(-x))
+		}
+	case Tanh:
+		for i, x := range v {
+			dst[i] = math.Tanh(x)
+		}
+	case ReLU:
+		for i, x := range v {
+			if x > 0 {
+				dst[i] = x
+			} else {
+				dst[i] = 0
+			}
+		}
+	case Identity:
+		copy(dst, v)
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", int(a)))
+	}
+}
+
+// Derivative computes f'(a) element-wise into dst, given both the
+// pre-activations a and the activations h = f(a).
+func (act Activation) Derivative(dst, a, h []float64) {
+	switch act {
+	case Sigmoid:
+		for i := range dst {
+			dst[i] = h[i] * (1 - h[i])
+		}
+	case Tanh:
+		for i := range dst {
+			dst[i] = 1 - h[i]*h[i]
+		}
+	case ReLU:
+		for i := range dst {
+			if a[i] > 0 {
+				dst[i] = 1
+			} else {
+				dst[i] = 0
+			}
+		}
+	case Identity:
+		for i := range dst {
+			dst[i] = 1
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", int(act)))
+	}
+}

@@ -1,0 +1,45 @@
+package nn
+
+// markedPass streams every joined training example in deterministic order,
+// invoking onBlockEnd at each R1-block boundary (so the Block batching mode
+// forms identical mini-batches in all trainers).
+type markedPass func(onTuple func(x []float64, y float64) error, onBlockEnd func() error) error
+
+// trainDense is the engine of both M-NN and S-NN: standard backprop over a
+// dense stream of joined tuples.
+func trainDense(pass markedPass, n int, cfg Config, net *Network, stats *Stats) error {
+	w := newWorkspace(net, &stats.Ops)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		w.zeroGrads()
+		lossSum := 0.0
+		batchN := 0
+		err := pass(
+			func(x []float64, y float64) error {
+				o := w.forwardDense(x)
+				diff := o - y
+				lossSum += 0.5 * diff * diff
+				w.backward(o, y)
+				w.accumulateInputGrad(x)
+				batchN++
+				return nil
+			},
+			func() error {
+				if cfg.Mode == Block {
+					w.applyStep(cfg.LearningRate, batchN)
+					w.zeroGrads()
+					batchN = 0
+				}
+				return nil
+			},
+		)
+		if err != nil {
+			return err
+		}
+		if cfg.Mode == Epoch {
+			w.applyStep(cfg.LearningRate, n)
+		}
+		stats.Loss = append(stats.Loss, lossSum/float64(n))
+		stats.Epochs = epoch + 1
+	}
+	return nil
+}

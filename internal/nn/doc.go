@@ -1,0 +1,25 @@
+// Package nn implements feed-forward neural network training (backprop,
+// squared error) over normalized relations, in the paper's three flavours:
+//
+//   - TrainM (M-NN): materialize T = S ⋈ R1 ⋈ … on disk, train reading T.
+//   - TrainS (S-NN): identical training, streaming the join per pass.
+//   - TrainF (F-NN): the factorized trainer of §VI. In the first layer's
+//     forward pass, the partial pre-activation W_R·x_R (+ share of bias) of
+//     each dimension tuple is computed once per parameter state and reused
+//     for every matching fact tuple. The backward pass reads features
+//     directly from the base relations (the I/O saving of §VI-A3); per the
+//     paper's Eq. 28-29 analysis, it performs the same multiplications as
+//     the dense path unless the GroupedGradient extension is enabled.
+//
+// Factorization stops after the first layer: the paper shows (§VI-A2) that
+// sharing across higher layers requires an additive activation and costs
+// more operations than it saves even then. The ShareLayer2 option
+// implements that scheme anyway — restricted to the Identity activation,
+// where it is exact — so the claim can be demonstrated empirically with
+// the package's operation counters (see BenchmarkAblationLayer2Sharing).
+//
+// Two batching regimes are supported, both producing identical parameter
+// trajectories across M/S/F: Epoch (one gradient step per full pass) and
+// Block (one step per R1 block of the join — M-NN reconstructs the block
+// boundaries of T from the materializer's per-block counts).
+package nn

@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"factorml/internal/join"
+)
+
+// Evaluation summarizes regression quality over a dataset.
+type Evaluation struct {
+	N    int64
+	MSE  float64
+	RMSE float64
+	// R2 is 1 − MSE/Var(y); ≤ 0 means no better than the mean predictor.
+	R2 float64
+}
+
+// Evaluate streams the join and scores the network against the targets,
+// without materializing.
+func Evaluate(net *Network, spec *join.Spec) (*Evaluation, error) {
+	if !spec.S.Schema().HasTarget {
+		return nil, fmt.Errorf("nn: fact table %q has no target column", spec.S.Schema().Name)
+	}
+	var n, sse, sumY, sumY2 float64
+	err := join.Stream(spec, func(_ int64, x []float64, y float64) error {
+		p := net.Predict(x)
+		sse += (p - y) * (p - y)
+		sumY += y
+		sumY2 += y * y
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("nn: no rows to evaluate")
+	}
+	mse := sse / n
+	varY := sumY2/n - (sumY/n)*(sumY/n)
+	r2 := 0.0
+	if varY > 0 {
+		r2 = 1 - mse/varY
+	}
+	return &Evaluation{N: int64(n), MSE: mse, RMSE: math.Sqrt(mse), R2: r2}, nil
+}

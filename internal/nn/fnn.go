@@ -1,0 +1,308 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"factorml/internal/core"
+	"factorml/internal/join"
+	"factorml/internal/linalg"
+	"factorml/internal/storage"
+)
+
+// TrainF is the paper's F-NN: backprop where the layer-1 forward pass is
+// factorized across relations. For every dimension tuple, the partial
+// pre-activation W_R·x_R is computed once per parameter state and reused
+// for all matching fact tuples (§VI-A1); the backward pass reads features
+// directly from the base relations (§VI-A3). With cfg.ShareLayer2 (and the
+// Identity activation) the §VI-A2 second-layer sharing scheme is used, and
+// with cfg.GroupedGradient the layer-1 dimension gradient is accumulated
+// per group (DESIGN.md §6 extensions). All variants are exact: the trained
+// network matches TrainM/TrainS.
+func TrainF(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if !spec.S.Schema().HasTarget {
+		return nil, fmt.Errorf("nn: fact table %q has no target column", spec.S.Schema().Name)
+	}
+	start := time.Now()
+	io0 := db.Pool().Stats()
+
+	sp := *spec
+	if sp.BlockPages == 0 {
+		sp.BlockPages = cfg.BlockPages
+	}
+	runner, err := join.NewRunner(&sp)
+	if err != nil {
+		return nil, err
+	}
+
+	dims := []int{sp.S.Schema().NumFeatures()}
+	for _, r := range sp.Rs {
+		dims = append(dims, r.Schema().NumFeatures())
+	}
+	p := core.NewPartition(dims)
+
+	net, err := NewNetwork(cfg.sizes(p.D), cfg.Act, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Net: net}
+	if err := trainFactorized(runner, p, cfg, net, &res.Stats); err != nil {
+		return nil, err
+	}
+	res.Stats.IO = db.Pool().Stats().Sub(io0)
+	res.Stats.TrainTime = time.Since(start)
+	return res, nil
+}
+
+// partCaches holds per-dimension-tuple cached forward quantities for one
+// parameter state: t = W0_part·x_part (length nh0), and — under layer-2
+// sharing — t3 = W1·f(t) (length nh1).
+type partCaches struct {
+	t  [][]float64
+	t3 [][]float64
+}
+
+func (pc *partCaches) ensure(n, nh0, nh1 int, share bool) {
+	if cap(pc.t) < n {
+		pc.t = make([][]float64, n)
+		pc.t3 = make([][]float64, n)
+	}
+	pc.t = pc.t[:n]
+	pc.t3 = pc.t3[:n]
+	for i := 0; i < n; i++ {
+		if pc.t[i] == nil {
+			pc.t[i] = make([]float64, nh0)
+		}
+		if share && pc.t3[i] == nil {
+			pc.t3[i] = make([]float64, nh1)
+		}
+	}
+}
+
+func trainFactorized(runner *join.Runner, p core.Partition, cfg Config, net *Network, stats *Stats) error {
+	w := newWorkspace(net, &stats.Ops)
+	q := p.Parts() - 1
+	dS := p.Dims[0]
+	nh0 := net.Sizes[1]
+	nh1 := 0
+	if net.Layers() >= 2 {
+		nh1 = net.Sizes[2]
+	}
+	share := cfg.ShareLayer2
+
+	var blkCache partCaches
+	resCache := make([]*partCaches, q-1)
+	for j := range resCache {
+		resCache[j] = &partCaches{}
+	}
+	// Grouped-gradient accumulators (Σ δ⁰ per dimension tuple).
+	var gsumBlk [][]float64
+	gsumRes := make([][][]float64, q-1)
+
+	t1 := make([]float64, nh0) // W0_S·x_S (kept separate under sharing)
+	cBias := make([]float64, nh1)
+
+	n := int(runner.Spec().S.NumTuples())
+
+	fillPart := func(pc *partCaches, tuples []*storage.Tuple, part int) {
+		pc.ensure(len(tuples), nh0, nh1, share)
+		off := p.Offs[part]
+		for i, tp := range tuples {
+			linalg.MatVecRange(pc.t[i], net.W[0], off, tp.Features)
+			stats.Ops.AddMatVec(nh0, p.Dims[part])
+			if share {
+				// t3 = W1·f(t); f = Identity, so f(t) = t.
+				linalg.MatVec(pc.t3[i], net.W[1], pc.t[i])
+				stats.Ops.AddMatVec(nh1, nh0)
+			}
+		}
+	}
+	fillShared := func() {
+		if !share {
+			return
+		}
+		// cBias = W1·b0 + b1 accounts for the layer-1 bias flowing through
+		// the additive activation.
+		linalg.MatVec(cBias, net.W[1], net.B[0])
+		stats.Ops.AddMatVec(nh1, nh0)
+		linalg.VecAdd(cBias, cBias, net.B[1])
+		stats.Ops.Add += int64(nh1)
+	}
+
+	flushGroupedBlock := func(block []*storage.Tuple) {
+		if !cfg.GroupedGradient {
+			return
+		}
+		for i, tp := range block {
+			linalg.OuterAccumAt(w.gW[0], 0, p.Offs[1], 1, gsumBlk[i], tp.Features)
+			stats.Ops.AddOuterPlain(nh0, p.Dims[1])
+			linalg.VecZero(gsumBlk[i])
+		}
+	}
+	flushGroupedResident := func() {
+		if !cfg.GroupedGradient {
+			return
+		}
+		for j := 0; j < q-1; j++ {
+			for t, tp := range runner.Resident(j) {
+				linalg.OuterAccumAt(w.gW[0], 0, p.Offs[2+j], 1, gsumRes[j][t], tp.Features)
+				stats.Ops.AddOuterPlain(nh0, p.Dims[2+j])
+				linalg.VecZero(gsumRes[j][t])
+			}
+		}
+	}
+
+	var shuffleRng *rand.Rand
+	if cfg.ShuffleSeed != 0 {
+		shuffleRng = rand.New(rand.NewSource(cfg.ShuffleSeed))
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if shuffleRng != nil {
+			runner.Shuffle(shuffleRng) // one permutation per epoch (§VI)
+		}
+		w.zeroGrads()
+		lossSum := 0.0
+		batchN := 0
+		residentFresh := false
+		var curBlock []*storage.Tuple
+
+		err := runner.Run(join.Callbacks{
+			OnBlockStart: func(block []*storage.Tuple) error {
+				curBlock = block
+				// Dimension caches are valid for one parameter state: per
+				// block under Block updates, per pass under Epoch updates.
+				if cfg.Mode == Block || !residentFresh {
+					for j := 0; j < q-1; j++ {
+						fillPart(resCache[j], runner.Resident(j), 2+j)
+					}
+					fillShared()
+					residentFresh = true
+					if cfg.GroupedGradient && q > 1 && gsumRes[0] == nil {
+						for j := 0; j < q-1; j++ {
+							gsumRes[j] = make([][]float64, len(runner.Resident(j)))
+							for t := range gsumRes[j] {
+								gsumRes[j][t] = make([]float64, nh0)
+							}
+						}
+					}
+				}
+				fillPart(&blkCache, block, 1)
+				if cfg.GroupedGradient {
+					if cap(gsumBlk) < len(block) {
+						gsumBlk = make([][]float64, len(block))
+					}
+					gsumBlk = gsumBlk[:len(block)]
+					for i := range gsumBlk {
+						if gsumBlk[i] == nil {
+							gsumBlk[i] = make([]float64, nh0)
+						} else {
+							linalg.VecZero(gsumBlk[i])
+						}
+					}
+				}
+				return nil
+			},
+			OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
+				var o float64
+				if !share {
+					// Factorized layer-1 forward (§VI-A1):
+					// a⁰ = W_S·x_S + Σ_m t_m + b. Seed the accumulator with
+					// the cached dimension part, then add the fact part.
+					linalg.VecAdd(w.a[0], blkCache.t[r1Idx], net.B[0])
+					stats.Ops.Add += int64(nh0)
+					for j, ri := range resIdx {
+						linalg.VecAdd(w.a[0], w.a[0], resCache[j].t[ri])
+						stats.Ops.Add += int64(nh0)
+					}
+					linalg.MatVecRangeAdd(w.a[0], net.W[0], 0, s.Features)
+					stats.Ops.AddMatVec(nh0, dS)
+					stats.Ops.Add += int64(nh0)
+					net.Act.Apply(w.h[0], w.a[0])
+					o = w.forwardUpper(1)
+				} else {
+					// §VI-A2 layer-2 sharing (Identity activation):
+					// T1 = W_S·x_S; a¹ = W1·f(T1) + Σ t3_m + (W1·b0 + b1).
+					linalg.MatVecRange(t1, net.W[0], 0, s.Features)
+					stats.Ops.AddMatVec(nh0, dS)
+					copy(w.a[0], t1)
+					linalg.VecAdd(w.a[0], w.a[0], blkCache.t[r1Idx])
+					stats.Ops.Add += int64(nh0)
+					for j, ri := range resIdx {
+						linalg.VecAdd(w.a[0], w.a[0], resCache[j].t[ri])
+						stats.Ops.Add += int64(nh0)
+					}
+					linalg.VecAdd(w.a[0], w.a[0], net.B[0])
+					stats.Ops.Add += int64(nh0)
+					copy(w.h[0], w.a[0]) // Identity
+					// Second layer from shared parts.
+					linalg.MatVec(w.a[1], net.W[1], t1)
+					stats.Ops.AddMatVec(nh1, nh0)
+					linalg.VecAdd(w.a[1], w.a[1], blkCache.t3[r1Idx])
+					stats.Ops.Add += int64(nh1)
+					for j, ri := range resIdx {
+						linalg.VecAdd(w.a[1], w.a[1], resCache[j].t3[ri])
+						stats.Ops.Add += int64(nh1)
+					}
+					linalg.VecAdd(w.a[1], w.a[1], cBias)
+					stats.Ops.Add += int64(nh1)
+					copy(w.h[1], w.a[1]) // Identity
+					o = w.forwardUpper(2)
+				}
+
+				diff := o - s.Target
+				lossSum += 0.5 * diff * diff
+				w.backward(o, s.Target)
+
+				// Input-layer gradients, column-partitioned (Eq. 29/32).
+				delta0 := w.delta[0]
+				linalg.OuterAccumAt(w.gW[0], 0, 0, 1, delta0, s.Features)
+				stats.Ops.AddOuterPlain(nh0, dS)
+				linalg.Axpy(1, delta0, w.gB[0])
+				stats.Ops.Add += int64(nh0)
+				if cfg.GroupedGradient {
+					linalg.Axpy(1, delta0, gsumBlk[r1Idx])
+					stats.Ops.Add += int64(nh0)
+					for j, ri := range resIdx {
+						linalg.Axpy(1, delta0, gsumRes[j][ri])
+						stats.Ops.Add += int64(nh0)
+					}
+				} else {
+					linalg.OuterAccumAt(w.gW[0], 0, p.Offs[1], 1, delta0, curBlock[r1Idx].Features)
+					stats.Ops.AddOuterPlain(nh0, p.Dims[1])
+					for j, ri := range resIdx {
+						linalg.OuterAccumAt(w.gW[0], 0, p.Offs[2+j], 1, delta0, runner.Resident(j)[ri].Features)
+						stats.Ops.AddOuterPlain(nh0, p.Dims[2+j])
+					}
+				}
+				batchN++
+				return nil
+			},
+			OnBlockEnd: func() error {
+				flushGroupedBlock(curBlock)
+				if cfg.Mode == Block {
+					flushGroupedResident()
+					w.applyStep(cfg.LearningRate, batchN)
+					w.zeroGrads()
+					batchN = 0
+					residentFresh = false
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if cfg.Mode == Epoch {
+			flushGroupedResident()
+			w.applyStep(cfg.LearningRate, n)
+		}
+		stats.Loss = append(stats.Loss, lossSum/float64(n))
+		stats.Epochs = epoch + 1
+	}
+	return nil
+}

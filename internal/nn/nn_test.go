@@ -1,0 +1,542 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"factorml/internal/data"
+	"factorml/internal/join"
+	"factorml/internal/storage"
+)
+
+func openDB(t *testing.T) *storage.Database {
+	t.Helper()
+	db, err := storage.Open(t.TempDir(), storage.Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func synthBinary(t *testing.T, db *storage.Database, nS, nR, dS, dR int) *join.Spec {
+	t.Helper()
+	spec, err := data.Generate(db, "t", data.SynthConfig{
+		NS: nS, NR: []int{nR}, DS: dS, DR: []int{dR}, Seed: 21, WithTarget: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func synthMulti(t *testing.T, db *storage.Database, nS int, nR []int, dS int, dR []int) *join.Spec {
+	t.Helper()
+	spec, err := data.Generate(db, "t", data.SynthConfig{
+		NS: nS, NR: nR, DS: dS, DR: dR, Seed: 23, WithTarget: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func trainAll3(t *testing.T, db *storage.Database, spec *join.Spec, cfg Config) (m, s, f *Result) {
+	t.Helper()
+	var err error
+	if m, err = TrainM(db, spec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s, err = TrainS(db, spec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if f, err = TrainF(db, spec, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return m, s, f
+}
+
+// Headline invariant: the three trainers produce the same network.
+func TestExactnessBinaryEpoch(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 400, 25, 3, 4)
+	for _, act := range []Activation{Sigmoid, Tanh, ReLU} {
+		cfg := Config{Hidden: []int{8}, Act: act, Epochs: 5, LearningRate: 0.1}
+		m, s, f := trainAll3(t, db, spec, cfg)
+		if d := m.Net.MaxParamDiff(s.Net); d > 1e-9 {
+			t.Fatalf("%s: M vs S param diff %v", act, d)
+		}
+		if d := s.Net.MaxParamDiff(f.Net); d > 1e-7 {
+			t.Fatalf("%s: S vs F param diff %v", act, d)
+		}
+		// Loss traces must coincide.
+		for i := range m.Stats.Loss {
+			if math.Abs(m.Stats.Loss[i]-f.Stats.Loss[i]) > 1e-7*(1+math.Abs(m.Stats.Loss[i])) {
+				t.Fatalf("%s: epoch %d loss %v vs %v", act, i, m.Stats.Loss[i], f.Stats.Loss[i])
+			}
+		}
+	}
+}
+
+func TestExactnessBinaryBlockMode(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 700, 600, 2, 1) // forces multiple BNL blocks
+	spec.BlockPages = 1
+	cfg := Config{Hidden: []int{6}, Act: Sigmoid, Epochs: 3, LearningRate: 0.1, Mode: Block}
+	m, s, f := trainAll3(t, db, spec, cfg)
+	if d := m.Net.MaxParamDiff(s.Net); d > 1e-9 {
+		t.Fatalf("M vs S param diff %v (block mode)", d)
+	}
+	if d := s.Net.MaxParamDiff(f.Net); d > 1e-7 {
+		t.Fatalf("S vs F param diff %v (block mode)", d)
+	}
+}
+
+func TestExactnessMultiway(t *testing.T) {
+	db := openDB(t)
+	spec := synthMulti(t, db, 400, []int{20, 8}, 2, []int{3, 2})
+	cfg := Config{Hidden: []int{7}, Act: Tanh, Epochs: 4, LearningRate: 0.05}
+	m, s, f := trainAll3(t, db, spec, cfg)
+	if d := m.Net.MaxParamDiff(s.Net); d > 1e-9 {
+		t.Fatalf("M vs S param diff %v", d)
+	}
+	if d := s.Net.MaxParamDiff(f.Net); d > 1e-7 {
+		t.Fatalf("S vs F param diff %v", d)
+	}
+}
+
+func TestGroupedGradientExact(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 300, 15, 2, 3)
+	base := Config{Hidden: []int{5}, Act: Sigmoid, Epochs: 4, LearningRate: 0.1}
+	f1, err := TrainF(db, spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped := base
+	grouped.GroupedGradient = true
+	f2, err := TrainF(db, spec, grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f1.Net.MaxParamDiff(f2.Net); d > 1e-8 {
+		t.Fatalf("grouped gradient diverged: %v", d)
+	}
+	// Grouping must reduce layer-1 gradient multiplications.
+	if f2.Stats.Ops.Mul >= f1.Stats.Ops.Mul {
+		t.Fatalf("grouped gradient ops %d not below per-tuple %d", f2.Stats.Ops.Mul, f1.Stats.Ops.Mul)
+	}
+}
+
+func TestShareLayer2ExactAndCostsMore(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 300, 10, 2, 3)
+	base := Config{Hidden: []int{6, 5}, Act: Identity, Epochs: 3, LearningRate: 0.01}
+	f1, err := TrainF(db, spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := base
+	shared.ShareLayer2 = true
+	f2, err := TrainF(db, spec, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact for the additive activation …
+	if d := f1.Net.MaxParamDiff(f2.Net); d > 1e-7 {
+		t.Fatalf("layer-2 sharing diverged: %v", d)
+	}
+	// … but strictly more expensive (the paper's §VI-A2 conclusion).
+	if f2.Stats.Ops.Mul <= f1.Stats.Ops.Mul {
+		t.Fatalf("layer-2 sharing mults %d not above plain F-NN %d", f2.Stats.Ops.Mul, f1.Stats.Ops.Mul)
+	}
+	// And it must still agree with the dense baseline.
+	s, err := TrainS(db, spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Net.MaxParamDiff(f2.Net); d > 1e-7 {
+		t.Fatalf("shared F-NN vs S-NN diff %v", d)
+	}
+}
+
+func TestShareLayer2RequiresAdditive(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 60, 5, 1, 1)
+	cfg := Config{Hidden: []int{4, 3}, Act: Sigmoid, Epochs: 1, ShareLayer2: true}
+	if _, err := TrainF(db, spec, cfg); err == nil {
+		t.Fatal("ShareLayer2 with sigmoid should be rejected")
+	}
+	cfg = Config{Hidden: []int{4}, Act: Identity, Epochs: 1, ShareLayer2: true}
+	if _, err := TrainF(db, spec, cfg); err == nil {
+		t.Fatal("ShareLayer2 with one hidden layer should be rejected")
+	}
+}
+
+// F-NN must save forward-pass multiplications when redundancy is present.
+func TestFactorizedSavesOps(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 1000, 10, 3, 12)
+	cfg := Config{Hidden: []int{16}, Act: ReLU, Epochs: 2, LearningRate: 0.05}
+	s, err := TrainS(db, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := TrainF(db, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats.Ops.Mul >= s.Stats.Ops.Mul {
+		t.Fatalf("F-NN mults %d not below S-NN %d", f.Stats.Ops.Mul, s.Stats.Ops.Mul)
+	}
+}
+
+// §VI-A1 closed form: the dense layer-1 forward spends nh·d mults per tuple;
+// the factorized one spends nh·dS per tuple plus nh·dR per dimension tuple.
+func TestForwardSavingMatchesClosedForm(t *testing.T) {
+	db := openDB(t)
+	nS, nR, dS, dR, nh := 500, 20, 3, 6, 8
+	spec := synthBinary(t, db, nS, nR, dS, dR)
+	cfg := Config{Hidden: []int{nh}, Act: ReLU, Epochs: 1, LearningRate: 0.05}
+	s, err := TrainS(db, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := TrainF(db, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(nS)*int64(nh*dR) - int64(nR)*int64(nh*dR)
+	got := s.Stats.Ops.Mul - f.Stats.Ops.Mul
+	if got != want {
+		t.Fatalf("forward saving = %d mults, closed form = %d", got, want)
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 600, 30, 4, 4)
+	res, err := TrainF(db, spec, Config{Hidden: []int{12}, Act: Tanh, Epochs: 30, LearningRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Stats.Loss[0], res.Stats.FinalLoss()
+	if last >= first {
+		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestPredictLearnsSignal(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 1500, 20, 4, 2)
+	res, err := TrainF(db, spec, Config{Hidden: []int{16}, Act: Tanh, Epochs: 120, LearningRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare model MSE against the trivial mean predictor.
+	var sumY, sumY2, n float64
+	var sse float64
+	err = join.Stream(spec, func(_ int64, x []float64, y float64) error {
+		p := res.Net.Predict(x)
+		sse += (p - y) * (p - y)
+		sumY += y
+		sumY2 += y * y
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	varY := sumY2/n - (sumY/n)*(sumY/n)
+	if sse/n > 0.9*varY {
+		t.Fatalf("model MSE %v worse than 0.9·Var(y)=%v — did not learn", sse/n, 0.9*varY)
+	}
+}
+
+func TestIOProfiles(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 400, 20, 2, 2)
+	cfg := Config{Hidden: []int{4}, Act: Sigmoid, Epochs: 2, LearningRate: 0.1}
+	m, err := TrainM(db, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.IO.PageWrites == 0 {
+		t.Fatal("M-NN should materialize pages")
+	}
+	f, err := TrainF(db, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats.IO.PageWrites != 0 {
+		t.Fatalf("F-NN wrote %d pages", f.Stats.IO.PageWrites)
+	}
+	// F reads fewer logical pages than M (M re-reads the wide T).
+	if f.Stats.IO.LogicalReads >= m.Stats.IO.LogicalReads {
+		t.Fatalf("F-NN logical reads %d not below M-NN %d", f.Stats.IO.LogicalReads, m.Stats.IO.LogicalReads)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 50, 5, 1, 1)
+	if _, err := TrainF(db, spec, Config{Hidden: []int{0}}); err == nil {
+		t.Fatal("hidden size 0 should fail")
+	}
+	if _, err := TrainF(db, spec, Config{LearningRate: -1}); err == nil {
+		t.Fatal("negative learning rate should fail")
+	}
+	// Missing target.
+	spec2, err := data.Generate(db, "nt", data.SynthConfig{NS: 20, NR: []int{4}, DS: 1, DR: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainF(db, spec2, Config{}); err == nil {
+		t.Fatal("spec without target should fail")
+	}
+	if _, err := TrainM(db, spec2, Config{}); err == nil {
+		t.Fatal("M without target should fail")
+	}
+	if _, err := TrainS(db, spec2, Config{}); err == nil {
+		t.Fatal("S without target should fail")
+	}
+}
+
+func TestNetworkBasics(t *testing.T) {
+	if _, err := NewNetwork([]int{3}, Sigmoid, 1); err == nil {
+		t.Fatal("too few sizes should fail")
+	}
+	if _, err := NewNetwork([]int{3, 2}, Sigmoid, 1); err == nil {
+		t.Fatal("output size != 1 should fail")
+	}
+	if _, err := NewNetwork([]int{3, 0, 1}, Sigmoid, 1); err == nil {
+		t.Fatal("zero layer size should fail")
+	}
+	n1, err := NewNetwork([]int{3, 4, 1}, Sigmoid, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, _ := NewNetwork([]int{3, 4, 1}, Sigmoid, 7)
+	if d := n1.MaxParamDiff(n2); d != 0 {
+		t.Fatalf("same-seed networks differ by %v", d)
+	}
+	n3, _ := NewNetwork([]int{3, 4, 1}, Sigmoid, 8)
+	if d := n1.MaxParamDiff(n3); d == 0 {
+		t.Fatal("different-seed networks identical")
+	}
+	c := n1.Clone()
+	c.B[0][0] += 1
+	if n1.B[0][0] == c.B[0][0] {
+		t.Fatal("Clone aliases original")
+	}
+	if n1.InputDim() != 3 || n1.Layers() != 2 {
+		t.Fatalf("dims: %d layers %d", n1.InputDim(), n1.Layers())
+	}
+}
+
+func TestActivations(t *testing.T) {
+	v := []float64{-2, 0, 3}
+	out := make([]float64, 3)
+	Sigmoid.Apply(out, v)
+	if math.Abs(out[1]-0.5) > 1e-12 || out[0] >= 0.5 || out[2] <= 0.5 {
+		t.Fatalf("sigmoid: %v", out)
+	}
+	ReLU.Apply(out, v)
+	if out[0] != 0 || out[1] != 0 || out[2] != 3 {
+		t.Fatalf("relu: %v", out)
+	}
+	Tanh.Apply(out, v)
+	if math.Abs(out[2]-math.Tanh(3)) > 1e-12 {
+		t.Fatalf("tanh: %v", out)
+	}
+	Identity.Apply(out, v)
+	if out[0] != -2 {
+		t.Fatalf("identity: %v", out)
+	}
+	if !Identity.Additive() || Sigmoid.Additive() || Tanh.Additive() || ReLU.Additive() {
+		t.Fatal("additivity flags wrong")
+	}
+	for _, a := range []Activation{Sigmoid, Tanh, ReLU, Identity} {
+		if a.String() == "" {
+			t.Fatal("empty activation name")
+		}
+	}
+}
+
+// Numerical gradient check on a tiny network: backprop must match finite
+// differences.
+func TestBackpropGradientCheck(t *testing.T) {
+	net, err := NewNetwork([]int{3, 4, 1}, Tanh, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.7, 1.2}
+	y := 0.4
+
+	var stats Stats
+	w := newWorkspace(net, &stats.Ops)
+	w.zeroGrads()
+	o := w.forwardDense(x)
+	w.backward(o, y)
+	w.accumulateInputGrad(x)
+
+	const eps = 1e-6
+	lossAt := func() float64 {
+		p := net.Predict(x)
+		return 0.5 * (p - y) * (p - y)
+	}
+	for l := 0; l < net.Layers(); l++ {
+		r, c := net.W[l].Dims()
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				orig := net.W[l].At(i, j)
+				net.W[l].Set(i, j, orig+eps)
+				up := lossAt()
+				net.W[l].Set(i, j, orig-eps)
+				down := lossAt()
+				net.W[l].Set(i, j, orig)
+				numeric := (up - down) / (2 * eps)
+				analytic := w.gW[l].At(i, j)
+				if math.Abs(numeric-analytic) > 1e-5*(1+math.Abs(numeric)) {
+					t.Fatalf("W[%d][%d,%d]: analytic %v vs numeric %v", l, i, j, analytic, numeric)
+				}
+			}
+		}
+		for i := 0; i < r; i++ {
+			orig := net.B[l][i]
+			net.B[l][i] = orig + eps
+			up := lossAt()
+			net.B[l][i] = orig - eps
+			down := lossAt()
+			net.B[l][i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-w.gB[l][i]) > 1e-5*(1+math.Abs(numeric)) {
+				t.Fatalf("B[%d][%d]: analytic %v vs numeric %v", l, i, w.gB[l][i], numeric)
+			}
+		}
+	}
+}
+
+func TestDeepNetworkExactness(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 200, 10, 2, 2)
+	cfg := Config{Hidden: []int{6, 5, 4}, Act: Sigmoid, Epochs: 3, LearningRate: 0.1}
+	s, err := TrainS(db, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := TrainF(db, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Net.MaxParamDiff(f.Net); d > 1e-7 {
+		t.Fatalf("deep S vs F param diff %v", d)
+	}
+}
+
+func TestStatsFinalLoss(t *testing.T) {
+	var s Stats
+	if !math.IsInf(s.FinalLoss(), 1) {
+		t.Fatal("empty FinalLoss should be +Inf")
+	}
+}
+
+// SGD via per-epoch R-key permutation (§VI): S-NN and F-NN with the same
+// shuffle seed must follow identical trajectories; different seeds (or no
+// shuffle) must differ when batches change per epoch.
+func TestShuffledSGDExactSvsF(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 800, 700, 2, 1) // multiple BNL blocks
+	spec.BlockPages = 1
+	cfg := Config{Hidden: []int{5}, Act: Sigmoid, Epochs: 3, LearningRate: 0.1,
+		Mode: Block, ShuffleSeed: 42}
+	s, err := TrainS(db, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := TrainF(db, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Net.MaxParamDiff(f.Net); d > 1e-7 {
+		t.Fatalf("S vs F diverged under shuffled SGD: %v", d)
+	}
+	// A different seed changes the trajectory.
+	cfg2 := cfg
+	cfg2.ShuffleSeed = 43
+	f2, err := TrainF(db, spec, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Net.MaxParamDiff(f2.Net); d == 0 {
+		t.Fatal("different shuffle seeds produced identical networks")
+	}
+	// No shuffle also differs.
+	cfg3 := cfg
+	cfg3.ShuffleSeed = 0
+	f3, err := TrainF(db, spec, cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Net.MaxParamDiff(f3.Net); d == 0 {
+		t.Fatal("shuffled and unshuffled training produced identical networks")
+	}
+}
+
+func TestShuffleRejectedByMNN(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 50, 5, 1, 1)
+	cfg := Config{Hidden: []int{3}, Epochs: 1, ShuffleSeed: 7}
+	if _, err := TrainM(db, spec, cfg); err == nil {
+		t.Fatal("M-NN must reject ShuffleSeed")
+	}
+}
+
+// Shuffled training still visits every joined tuple exactly once per epoch
+// (same loss denominator, same data), so the loss trace stays finite and
+// the model still learns.
+func TestShuffledSGDStillLearns(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 600, 550, 2, 1)
+	spec.BlockPages = 1
+	cfg := Config{Hidden: []int{8}, Act: Tanh, Epochs: 20, LearningRate: 0.2,
+		Mode: Block, ShuffleSeed: 9}
+	res, err := TrainF(db, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FinalLoss() >= res.Stats.Loss[0] {
+		t.Fatalf("shuffled SGD loss did not decrease: %v -> %v", res.Stats.Loss[0], res.Stats.FinalLoss())
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	db := openDB(t)
+	spec := synthBinary(t, db, 800, 20, 4, 2)
+	res, err := TrainF(db, spec, Config{Hidden: []int{12}, Act: Tanh, Epochs: 80, LearningRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Evaluate(res.Net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.N != 800 {
+		t.Fatalf("Evaluate N = %d", ev.N)
+	}
+	if ev.RMSE != math.Sqrt(ev.MSE) {
+		t.Fatal("RMSE inconsistent with MSE")
+	}
+	if ev.R2 <= 0 {
+		t.Fatalf("trained model R2 = %v, want > 0", ev.R2)
+	}
+	// Evaluation must fail without a target.
+	spec2, err := data.Generate(db, "nt", data.SynthConfig{NS: 10, NR: []int{2}, DS: 1, DR: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := NewNetwork([]int{2, 3, 1}, Sigmoid, 1)
+	if _, err := Evaluate(net, spec2); err == nil {
+		t.Fatal("Evaluate without target should fail")
+	}
+}

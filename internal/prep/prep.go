@@ -1,0 +1,163 @@
+// Package prep computes feature statistics of the (virtual) joined table
+// for standardization, in both a dense and a factorized way.
+//
+// The factorized path applies the paper's core idea to preprocessing: a
+// dimension tuple's features appear once per matching fact tuple, so the
+// joined-table mean and variance of a dimension column are weighted moments
+// over the base relation,
+//
+//	mean = Σ_r cnt(r)·x_r / N,  E[x²] = Σ_r cnt(r)·x_r² / N,
+//
+// where cnt(r) is the number of fact tuples matching dimension tuple r.
+// One key-only pass over the fact table collects the counts, one pass per
+// dimension table finishes the moments — no join is executed and no
+// dimension feature is touched more than once.
+package prep
+
+import (
+	"fmt"
+	"math"
+
+	"factorml/internal/join"
+)
+
+// Stats holds per-column moments of the joined feature space.
+type Stats struct {
+	N    int64
+	Mean []float64
+	Std  []float64 // population standard deviation, floored at MinStd
+}
+
+// MinStd is the floor applied to standard deviations so constant columns do
+// not divide by zero when standardizing.
+const MinStd = 1e-12
+
+// Apply standardizes x in place: x_i ← (x_i − mean_i)/std_i.
+func (st *Stats) Apply(x []float64) {
+	if len(x) != len(st.Mean) {
+		panic(fmt.Sprintf("prep: vector dim %d, stats dim %d", len(x), len(st.Mean)))
+	}
+	for i := range x {
+		x[i] = (x[i] - st.Mean[i]) / st.Std[i]
+	}
+}
+
+// DenseStats computes the moments by streaming the join — the baseline.
+func DenseStats(spec *join.Spec) (*Stats, error) {
+	d := spec.JoinedWidth()
+	sum := make([]float64, d)
+	sumSq := make([]float64, d)
+	var n int64
+	err := join.Stream(spec, func(_ int64, x []float64, _ float64) error {
+		for i, v := range x {
+			sum[i] += v
+			sumSq[i] += v * v
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish(n, sum, sumSq)
+}
+
+// FactorizedStats computes the same moments without joining. Fact rows with
+// a dangling foreign key are excluded, matching the inner-join semantics of
+// DenseStats.
+func FactorizedStats(spec *join.Spec) (*Stats, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	d := spec.JoinedWidth()
+	offs := spec.FeatureOffsets()
+	sum := make([]float64, d)
+	sumSq := make([]float64, d)
+
+	// Phase 1: dimension key sets (key-only scans of the small tables).
+	keySets := make([]map[int64]bool, len(spec.Rs))
+	for j, r := range spec.Rs {
+		keySets[j] = make(map[int64]bool, r.NumTuples())
+		sc := r.NewScanner()
+		for sc.Next() {
+			keySets[j][sc.Tuple().PrimaryKey()] = true
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: one pass over the fact table — its own feature moments plus
+	// per-dimension-tuple match counts, skipping rows that would not join.
+	counts := make([]map[int64]int64, len(spec.Rs))
+	for j := range counts {
+		counts[j] = make(map[int64]int64)
+	}
+	var n int64
+	sc := spec.S.NewScanner()
+	for sc.Next() {
+		tp := sc.Tuple()
+		joins := true
+		for j := range spec.Rs {
+			if !keySets[j][tp.Keys[1+j]] {
+				joins = false
+				break
+			}
+		}
+		if !joins {
+			continue
+		}
+		for i, v := range tp.Features {
+			sum[i] += v
+			sumSq[i] += v * v
+		}
+		for j := range spec.Rs {
+			counts[j][tp.Keys[1+j]]++
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: weighted moments over each dimension relation.
+	for j, r := range spec.Rs {
+		off := offs[1+j]
+		rsc := r.NewScanner()
+		for rsc.Next() {
+			tp := rsc.Tuple()
+			w := float64(counts[j][tp.PrimaryKey()])
+			if w == 0 {
+				continue
+			}
+			for i, v := range tp.Features {
+				sum[off+i] += w * v
+				sumSq[off+i] += w * v * v
+			}
+		}
+		if err := rsc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return finish(n, sum, sumSq)
+}
+
+func finish(n int64, sum, sumSq []float64) (*Stats, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("prep: no rows")
+	}
+	st := &Stats{N: n, Mean: make([]float64, len(sum)), Std: make([]float64, len(sum))}
+	for i := range sum {
+		mean := sum[i] / float64(n)
+		variance := sumSq[i]/float64(n) - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		st.Mean[i] = mean
+		st.Std[i] = math.Sqrt(variance)
+		if st.Std[i] < MinStd {
+			st.Std[i] = MinStd
+		}
+	}
+	return st, nil
+}

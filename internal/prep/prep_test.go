@@ -1,0 +1,186 @@
+package prep
+
+import (
+	"math"
+	"testing"
+
+	"factorml/internal/data"
+	"factorml/internal/join"
+	"factorml/internal/linalg"
+	"factorml/internal/storage"
+)
+
+func openDB(t *testing.T) *storage.Database {
+	t.Helper()
+	db, err := storage.Open(t.TempDir(), storage.Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestFactorizedStatsMatchDense(t *testing.T) {
+	db := openDB(t)
+	spec, err := data.Generate(db, "p", data.SynthConfig{
+		NS: 800, NR: []int{30, 12}, DS: 3, DR: []int{4, 2}, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := DenseStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, err := FactorizedStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.N != fact.N {
+		t.Fatalf("N: dense %d vs fact %d", dense.N, fact.N)
+	}
+	if d := linalg.MaxAbsDiffVec(dense.Mean, fact.Mean); d > 1e-9 {
+		t.Fatalf("means differ by %v", d)
+	}
+	if d := linalg.MaxAbsDiffVec(dense.Std, fact.Std); d > 1e-9 {
+		t.Fatalf("stds differ by %v", d)
+	}
+}
+
+func TestFactorizedStatsSkipDanglingFK(t *testing.T) {
+	db := openDB(t)
+	spec, err := data.Generate(db, "p", data.SynthConfig{
+		NS: 100, NR: []int{10}, DS: 2, DR: []int{2}, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a fact row referencing a missing dimension key with extreme
+	// feature values; both paths must exclude it.
+	err = spec.S.Append(&storage.Tuple{Keys: []int64{999, 555}, Features: []float64{1e9, 1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.S.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	dense, err := DenseStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, err := FactorizedStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.N != 100 || fact.N != 100 {
+		t.Fatalf("dangling row counted: dense %d fact %d", dense.N, fact.N)
+	}
+	if math.Abs(dense.Mean[0]) > 1e6 || math.Abs(fact.Mean[0]) > 1e6 {
+		t.Fatal("dangling row leaked into moments")
+	}
+	if d := linalg.MaxAbsDiffVec(dense.Mean, fact.Mean); d > 1e-9 {
+		t.Fatalf("means differ by %v", d)
+	}
+}
+
+func TestApplyStandardizes(t *testing.T) {
+	db := openDB(t)
+	spec, err := data.Generate(db, "p", data.SynthConfig{
+		NS: 500, NR: []int{20}, DS: 2, DR: []int{3}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FactorizedStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After standardizing the whole stream, every column has mean ~0, var ~1.
+	d := spec.JoinedWidth()
+	sum := make([]float64, d)
+	sumSq := make([]float64, d)
+	var n float64
+	err = join.Stream(spec, func(_ int64, x []float64, _ float64) error {
+		buf := append([]float64{}, x...)
+		st.Apply(buf)
+		for i, v := range buf {
+			sum[i] += v
+			sumSq[i] += v * v
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d; i++ {
+		mean := sum[i] / n
+		variance := sumSq[i]/n - mean*mean
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("column %d mean %v after standardization", i, mean)
+		}
+		if math.Abs(variance-1) > 1e-6 {
+			t.Fatalf("column %d variance %v after standardization", i, variance)
+		}
+	}
+}
+
+func TestApplyDimMismatchPanics(t *testing.T) {
+	st := &Stats{Mean: []float64{0}, Std: []float64{1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	st.Apply([]float64{1, 2})
+}
+
+func TestConstantColumnFloored(t *testing.T) {
+	db := openDB(t)
+	s := &storage.Schema{Name: "S", Keys: []string{"sid", "fk1"}, Features: []string{"c"}}
+	sTbl, err := db.CreateTable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &storage.Schema{Name: "R", Keys: []string{"rid"}, Features: []string{"f"}}
+	rTbl, err := db.CreateTable(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rTbl.Append(&storage.Tuple{Keys: []int64{0}, Features: []float64{5}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := sTbl.Append(&storage.Tuple{Keys: []int64{int64(i), 0}, Features: []float64{7}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := &join.Spec{S: sTbl, Rs: []*storage.Table{rTbl}}
+	st, err := FactorizedStats(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Std[0] != MinStd || st.Std[1] != MinStd {
+		t.Fatalf("constant columns not floored: %v", st.Std)
+	}
+	x := []float64{7, 5}
+	st.Apply(x)
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("standardized constants should be 0: %v", x)
+	}
+}
+
+func TestStatsEmptyFails(t *testing.T) {
+	db := openDB(t)
+	s := &storage.Schema{Name: "S", Keys: []string{"sid", "fk1"}, Features: []string{"c"}}
+	sTbl, _ := db.CreateTable(s)
+	r := &storage.Schema{Name: "R", Keys: []string{"rid"}, Features: []string{"f"}}
+	rTbl, _ := db.CreateTable(r)
+	spec := &join.Spec{S: sTbl, Rs: []*storage.Table{rTbl}}
+	if _, err := FactorizedStats(spec); err == nil {
+		t.Fatal("empty dataset should fail")
+	}
+	if _, err := DenseStats(spec); err == nil {
+		t.Fatal("empty dataset should fail")
+	}
+}

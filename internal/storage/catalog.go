@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const catalogFile = "catalog.json"
+
+type catalogEntry struct {
+	Name      string   `json:"name"`
+	Keys      []string `json:"keys"`
+	Features  []string `json:"features"`
+	HasTarget bool     `json:"has_target"`
+}
+
+// saveCatalog persists the schemas of all tables so a database directory
+// can be reopened by a later process.
+func (db *Database) saveCatalog() error {
+	entries := make([]catalogEntry, 0, len(db.tables))
+	for _, name := range db.TableNames() {
+		s := db.tables[name].schema
+		entries = append(entries, catalogEntry{
+			Name: s.Name, Keys: s.Keys, Features: s.Features, HasTarget: s.HasTarget,
+		})
+	}
+	blob, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(db.dir, catalogFile+".tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("storage: writing catalog: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(db.dir, catalogFile))
+}
+
+// loadCatalog reopens every table recorded in the catalog file, if present.
+func (db *Database) loadCatalog() error {
+	blob, err := os.ReadFile(filepath.Join(db.dir, catalogFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: reading catalog: %w", err)
+	}
+	var entries []catalogEntry
+	if err := json.Unmarshal(blob, &entries); err != nil {
+		return fmt.Errorf("storage: parsing catalog: %w", err)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	for _, e := range entries {
+		schema := &Schema{Name: e.Name, Keys: e.Keys, Features: e.Features, HasTarget: e.HasTarget}
+		if err := db.openExisting(schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openExisting attaches an existing heap file, recovering tuple counts from
+// the file size and the last page's record-count header.
+func (db *Database) openExisting(s *Schema) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	path := filepath.Join(db.dir, s.Name+".tbl")
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: opening table file: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if info.Size()%PageSize != 0 {
+		f.Close()
+		return fmt.Errorf("storage: table file %q has torn size %d", path, info.Size())
+	}
+	pages := info.Size() / PageSize
+	t := &Table{
+		schema: s.Clone(s.Name),
+		db:     db,
+		fileID: db.nextFileID,
+		file:   f,
+		path:   path,
+	}
+	db.nextFileID++
+
+	perPage := int64(s.RecordsPerPage())
+	if pages > 0 {
+		last := newPage()
+		if _, err := f.ReadAt(last.buf, (pages-1)*PageSize); err != nil {
+			f.Close()
+			return fmt.Errorf("storage: reading tail page of %q: %w", path, err)
+		}
+		n := last.numRecords()
+		if int64(n) == perPage {
+			// All pages full.
+			t.numPages = pages
+			t.numTuples = pages * perPage
+		} else {
+			// Last page is a partial tail: keep it buffered for appends.
+			t.numPages = pages - 1
+			t.numTuples = (pages-1)*perPage + int64(n)
+			t.tail = last
+			t.tailUsed = n
+			t.flushed = true
+		}
+	}
+	db.tables[s.Name] = t
+	return nil
+}

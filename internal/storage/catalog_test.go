@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCatalogReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSchema("orders", 2, 3, true)
+	tbl, err := db.CreateTable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := s.RecordsPerPage()
+	n := per + 7 // one full page plus a partial tail
+	for i := 0; i < n; i++ {
+		err := tbl.Append(&Tuple{
+			Keys:     []int64{int64(i), int64(i % 3)},
+			Features: []float64{float64(i), 2, 3},
+			Target:   float64(i) / 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2, err := db2.Table("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.NumTuples() != int64(n) {
+		t.Fatalf("reopened NumTuples = %d, want %d", tbl2.NumTuples(), n)
+	}
+	if tbl2.Schema().String() != s.String() {
+		t.Fatalf("schema changed across reopen: %v vs %v", tbl2.Schema(), s)
+	}
+	var tp Tuple
+	if err := tbl2.Get(int64(n-1), &tp); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Keys[0] != int64(n-1) || tp.Target != float64(n-1)/2 {
+		t.Fatalf("last tuple wrong after reopen: %+v", tp)
+	}
+
+	// Appends must continue in the partial tail without corrupting data.
+	if err := tbl2.Append(&Tuple{Keys: []int64{900, 0}, Features: []float64{9, 9, 9}, Target: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl2.Get(int64(n), &tp); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Keys[0] != 900 {
+		t.Fatalf("appended tuple wrong: %+v", tp)
+	}
+	sc := tbl2.NewScanner()
+	count := 0
+	for sc.Next() {
+		count++
+	}
+	if count != n+1 {
+		t.Fatalf("scan after reopen+append: %d rows, want %d", count, n+1)
+	}
+}
+
+func TestCatalogReopenExactPageBoundary(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSchema("r", 1, 1, false)
+	tbl, _ := db.CreateTable(s)
+	per := s.RecordsPerPage()
+	for i := 0; i < 2*per; i++ {
+		if err := tbl.Append(&Tuple{Keys: []int64{int64(i)}, Features: []float64{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2, err := db2.Table("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl2.NumTuples() != int64(2*per) {
+		t.Fatalf("NumTuples = %d, want %d", tbl2.NumTuples(), 2*per)
+	}
+	if tbl2.NumPages() != 2 {
+		t.Fatalf("NumPages = %d, want 2", tbl2.NumPages())
+	}
+}
+
+func TestCatalogDropPersisted(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir, Options{PoolPages: -1})
+	if _, err := db.CreateTable(testSchema("a", 1, 1, false)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(testSchema("b", 1, 1, false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("a"); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Table("a"); err == nil {
+		t.Fatal("dropped table resurrected after reopen")
+	}
+	if _, err := db2.Table("b"); err != nil {
+		t.Fatal("surviving table lost after reopen")
+	}
+}
+
+func TestCatalogCorruptFileRejected(t *testing.T) {
+	dir := t.TempDir()
+	db, _ := Open(dir, Options{PoolPages: -1})
+	if _, err := db.CreateTable(testSchema("x", 1, 1, false)); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	// Truncate the heap file to a torn size.
+	if err := writeFileSize(filepath.Join(dir, "x.tbl"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{PoolPages: -1}); err == nil {
+		t.Fatal("torn table file should fail to open")
+	}
+}
+
+// writeFileSize truncates/extends a file to an exact size (test helper).
+func writeFileSize(path string, size int64) error {
+	return os.Truncate(path, size)
+}

@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Database is a catalog of tables backed by heap files in a directory,
+// sharing one buffer pool.
+type Database struct {
+	dir        string
+	pool       *BufferPool
+	tables     map[string]*Table
+	nextFileID int
+}
+
+// Options configures a Database.
+type Options struct {
+	// PoolPages is the buffer pool capacity in pages. Zero disables caching;
+	// negative selects the default (256 pages = 2 MiB).
+	PoolPages int
+}
+
+// DefaultPoolPages is the buffer pool capacity used when Options.PoolPages
+// is negative.
+const DefaultPoolPages = 256
+
+// Open creates (or reuses) a database directory.
+func Open(dir string, opts Options) (*Database, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating database dir: %w", err)
+	}
+	pages := opts.PoolPages
+	if pages < 0 {
+		pages = DefaultPoolPages
+	}
+	db := &Database{
+		dir:    dir,
+		pool:   NewBufferPool(pages),
+		tables: make(map[string]*Table),
+	}
+	if err := db.loadCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Pool returns the shared buffer pool (for stats inspection).
+func (db *Database) Pool() *BufferPool { return db.pool }
+
+// Dir returns the database directory.
+func (db *Database) Dir() string { return db.dir }
+
+// CreateTable creates an empty table for the schema. It fails if a table
+// with the same name exists.
+func (db *Database) CreateTable(s *Schema) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := db.tables[s.Name]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", s.Name)
+	}
+	path := filepath.Join(db.dir, s.Name+".tbl")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: creating table file: %w", err)
+	}
+	t := &Table{
+		schema: s.Clone(s.Name),
+		db:     db,
+		fileID: db.nextFileID,
+		file:   f,
+		path:   path,
+	}
+	db.nextFileID++
+	db.tables[s.Name] = t
+	if err := db.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *Database) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: no table %q", name)
+	}
+	return t, nil
+}
+
+// DropTable removes the table and its file.
+func (db *Database) DropTable(name string) error {
+	t, ok := db.tables[name]
+	if !ok {
+		return fmt.Errorf("storage: no table %q", name)
+	}
+	db.pool.invalidateFile(t.fileID)
+	delete(db.tables, name)
+	if err := t.file.Close(); err != nil {
+		return err
+	}
+	if err := os.Remove(t.path); err != nil {
+		return err
+	}
+	return db.saveCatalog()
+}
+
+// TableNames lists tables in sorted order.
+func (db *Database) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close flushes and closes every table. The database directory (including
+// the catalog, so it can be reopened) is left on disk; use os.RemoveAll to
+// delete it.
+func (db *Database) Close() error {
+	var first error
+	if err := db.saveCatalog(); err != nil {
+		first = err
+	}
+	for _, t := range db.tables {
+		if err := t.Flush(); err != nil && first == nil {
+			first = err
+		}
+		if err := t.file.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.tables = map[string]*Table{}
+	return first
+}

@@ -1,0 +1,12 @@
+// Package storage implements the paged relational storage engine underneath
+// the factorized learning algorithms. It plays the role PostgreSQL plays in
+// the paper's artifact: durable storage of the input relations S and R and
+// of the materialized join result T.
+//
+// Relations are heap files of fixed-width records (int64 key columns,
+// float64 feature columns, optional float64 target) packed into 8 KiB pages.
+// All page traffic flows through a shared buffer pool that keeps LRU
+// replacement statistics and separates logical page requests from physical
+// file reads, so that the paper's analytic I/O cost model (§V-A, block
+// nested loops join page counts) can be verified against measured counters.
+package storage

@@ -1,0 +1,41 @@
+package storage
+
+import "encoding/binary"
+
+const (
+	// PageSize is the size of one disk page in bytes.
+	PageSize = 8192
+	// pageHeaderSize holds the record count (uint16) plus padding.
+	pageHeaderSize = 4
+	// PageDataSize is the usable payload capacity of a page.
+	PageDataSize = PageSize - pageHeaderSize
+)
+
+// page wraps a PageSize byte buffer holding fixed-width records.
+type page struct {
+	buf []byte
+}
+
+func newPage() *page {
+	return &page{buf: make([]byte, PageSize)}
+}
+
+func (p *page) numRecords() int {
+	return int(binary.LittleEndian.Uint16(p.buf[0:2]))
+}
+
+func (p *page) setNumRecords(n int) {
+	binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n))
+}
+
+// record returns the byte slice of record i given the record size.
+func (p *page) record(i, recordSize int) []byte {
+	off := pageHeaderSize + i*recordSize
+	return p.buf[off : off+recordSize]
+}
+
+func (p *page) reset() {
+	for i := range p.buf {
+		p.buf[i] = 0
+	}
+}

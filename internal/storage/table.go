@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+)
+
+// Table is a heap file of fixed-width records described by a Schema.
+// Appends buffer into a tail page that is flushed when full (or on Flush).
+// Reads go through the database's shared buffer pool.
+type Table struct {
+	schema *Schema
+	db     *Database
+	fileID int
+	file   *os.File
+	path   string
+
+	numTuples int64
+	numPages  int64 // full pages on disk (tail page excluded until flushed)
+
+	tail     *page
+	tailUsed int
+	flushed  bool // tail page state is on disk
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumTuples returns the number of appended tuples.
+func (t *Table) NumTuples() int64 { return t.numTuples }
+
+// NumPages returns the number of pages the table occupies, counting a
+// partially filled tail page.
+func (t *Table) NumPages() int64 {
+	if t.tailUsed > 0 {
+		return t.numPages + 1
+	}
+	return t.numPages
+}
+
+// Append adds a tuple at the end of the heap file.
+func (t *Table) Append(tp *Tuple) error {
+	rs := t.schema.RecordSize()
+	perPage := t.schema.RecordsPerPage()
+	if t.tail == nil {
+		t.tail = newPage()
+	}
+	if err := encodeTuple(t.tail.record(t.tailUsed, rs), t.schema, tp); err != nil {
+		return err
+	}
+	t.tailUsed++
+	t.tail.setNumRecords(t.tailUsed)
+	t.numTuples++
+	t.flushed = false
+	if t.tailUsed == perPage {
+		if err := t.writePage(t.numPages, t.tail); err != nil {
+			return err
+		}
+		t.numPages++
+		t.tail.reset()
+		t.tailUsed = 0
+		t.flushed = true
+	}
+	return nil
+}
+
+// Flush writes any buffered partial tail page to disk.
+func (t *Table) Flush() error {
+	if t.tailUsed == 0 || t.flushed {
+		return nil
+	}
+	if err := t.writePage(t.numPages, t.tail); err != nil {
+		return err
+	}
+	t.flushed = true
+	return nil
+}
+
+func (t *Table) writePage(pageNo int64, p *page) error {
+	if _, err := t.file.WriteAt(p.buf, pageNo*PageSize); err != nil {
+		return fmt.Errorf("storage: writing page %d of %q: %w", pageNo, t.schema.Name, err)
+	}
+	t.db.pool.noteWrite(t.fileID, pageNo)
+	return nil
+}
+
+// readPage fetches page pageNo through the buffer pool. The unflushed tail
+// page is served from memory (it has never been written, so it costs no IO).
+func (t *Table) readPage(pageNo int64) (*page, error) {
+	if pageNo == t.numPages && t.tailUsed > 0 && !t.flushed {
+		return t.tail, nil
+	}
+	return t.db.pool.get(t.fileID, pageNo, func(p *page) error {
+		if _, err := t.file.ReadAt(p.buf, pageNo*PageSize); err != nil {
+			return fmt.Errorf("storage: reading page %d of %q: %w", pageNo, t.schema.Name, err)
+		}
+		return nil
+	})
+}
+
+// Get reads the tuple with the given row id (0-based append order) into dst.
+func (t *Table) Get(rowID int64, dst *Tuple) error {
+	if rowID < 0 || rowID >= t.numTuples {
+		return fmt.Errorf("storage: row %d out of range [0,%d) in %q", rowID, t.numTuples, t.schema.Name)
+	}
+	perPage := int64(t.schema.RecordsPerPage())
+	p, err := t.readPage(rowID / perPage)
+	if err != nil {
+		return err
+	}
+	decodeTuple(p.record(int(rowID%perPage), t.schema.RecordSize()), t.schema, dst)
+	return nil
+}
+
+// Scanner iterates a table in append order.
+type Scanner struct {
+	t      *Table
+	pageNo int64
+	slot   int
+	page   *page
+	tuple  Tuple
+	err    error
+	served int64
+}
+
+// NewScanner returns a scanner positioned before the first tuple.
+func (t *Table) NewScanner() *Scanner {
+	return &Scanner{t: t}
+}
+
+// Next advances to the next tuple; it returns false at the end of the table
+// or on error (check Err).
+func (s *Scanner) Next() bool {
+	if s.err != nil || s.served >= s.t.numTuples {
+		return false
+	}
+	if s.page == nil || s.slot >= s.page.numRecords() {
+		if s.page != nil {
+			s.pageNo++
+			s.slot = 0
+		}
+		s.page, s.err = s.t.readPage(s.pageNo)
+		if s.err != nil {
+			return false
+		}
+	}
+	decodeTuple(s.page.record(s.slot, s.t.schema.RecordSize()), s.t.schema, &s.tuple)
+	s.slot++
+	s.served++
+	return true
+}
+
+// Tuple returns the current tuple. The returned pointer is reused across
+// Next calls; Clone it to retain.
+func (s *Scanner) Tuple() *Tuple { return &s.tuple }
+
+// Err returns the first error encountered by the scanner.
+func (s *Scanner) Err() error { return s.err }
+
+// Close releases resources (no-op today; kept for interface stability).
+func (s *Scanner) Close() error { return nil }
+
+// PathForTest exposes the backing file path (testing only).
+func (t *Table) PathForTest() string { return t.path }
