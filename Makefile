@@ -1,0 +1,33 @@
+# Single source of truth for the commands CI runs — invoke the same
+# targets locally before pushing.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmark smoke: one iteration of every benchmark, no unit tests. The
+# parallel sweep writes BENCH_parallel.json (ns/op per algorithm x workers).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race bench

@@ -1,0 +1,155 @@
+package factorml
+
+// Worker-scaling benchmarks for the parallel execution engine: every
+// algorithm triple is timed at 1 and N workers on the same synthetic star
+// schema, and the measurements are flushed to BENCH_parallel.json so the
+// perf trajectory is machine-readable from PR 1 onward (see TestMain).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"factorml/internal/data"
+	"factorml/internal/gmm"
+	"factorml/internal/nn"
+)
+
+// benchRecord is one (benchmark, algorithm, workers) timing in BENCH_parallel.json.
+type benchRecord struct {
+	Bench   string  `json:"bench"`
+	Algo    string  `json:"algo"`
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+var benchRecorder struct {
+	mu      sync.Mutex
+	order   []string
+	records map[string]benchRecord
+}
+
+// recordBench keeps the latest measurement per (bench, algo, workers): the
+// testing package re-invokes benchmark bodies while calibrating b.N, and
+// only the final, highest-N invocation should land in the JSON.
+func recordBench(bench, algo string, workers int, nsPerOp float64) {
+	benchRecorder.mu.Lock()
+	defer benchRecorder.mu.Unlock()
+	key := fmt.Sprintf("%s/%s/%d", bench, algo, workers)
+	if benchRecorder.records == nil {
+		benchRecorder.records = make(map[string]benchRecord)
+	}
+	if _, seen := benchRecorder.records[key]; !seen {
+		benchRecorder.order = append(benchRecorder.order, key)
+	}
+	benchRecorder.records[key] = benchRecord{
+		Bench: bench, Algo: algo, Workers: workers, NsPerOp: nsPerOp,
+	}
+}
+
+// TestMain flushes any parallel-benchmark measurements to
+// BENCH_parallel.json after the run (benchmarks only populate the recorder
+// under -bench).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	benchRecorder.mu.Lock()
+	records := make([]benchRecord, 0, len(benchRecorder.order))
+	for _, key := range benchRecorder.order {
+		records = append(records, benchRecorder.records[key])
+	}
+	benchRecorder.mu.Unlock()
+	if len(records) > 0 {
+		out := struct {
+			Unit    string        `json:"unit"`
+			NumCPU  int           `json:"num_cpu"`
+			Results []benchRecord `json:"results"`
+		}{Unit: "ns/op", NumCPU: runtime.NumCPU(), Results: records}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err == nil {
+			err = os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: writing BENCH_parallel.json: %v\n", err)
+		}
+	}
+	os.Exit(code)
+}
+
+// benchWorkerCounts returns the worker counts to sweep: sequential, 4 (the
+// determinism test's point of comparison), and the full machine when it is
+// larger.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// Parallel-bench workload: wider tuples and more components than the
+// figure benchmarks, so the per-tuple training math (which the worker pool
+// parallelizes) dominates the sequential scan/probe feeder.
+const (
+	benchParNS = 10000
+	benchParNR = 200
+	benchParDS = 20
+	benchParDR = 20
+	benchParK  = 8
+)
+
+// BenchmarkParallelGMM sweeps worker counts for the three GMM strategies on
+// a dense synthetic star schema.
+func BenchmarkParallelGMM(b *testing.B) {
+	db := benchDB(b)
+	spec, err := data.Generate(db, "w", data.SynthConfig{
+		NS: benchParNS, NR: []int{benchParNR}, DS: benchParDS, DR: []int{benchParDR}, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trainers := gmmTrainers()
+	for _, algo := range gmmAlgoOrder {
+		train := trainers[algo]
+		for _, workers := range benchWorkerCounts() {
+			cfg := gmm.Config{K: benchParK, MaxIter: benchIt, Tol: 1e-300, NumWorkers: workers}
+			b.Run(fmt.Sprintf("%s/workers=%d", algo, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := train(db, spec, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				recordBench("GMM", algo, workers, float64(b.Elapsed().Nanoseconds())/float64(b.N))
+			})
+		}
+	}
+}
+
+// BenchmarkParallelNN sweeps worker counts for the three NN strategies.
+func BenchmarkParallelNN(b *testing.B) {
+	db := benchDB(b)
+	spec, err := data.Generate(db, "w", data.SynthConfig{
+		NS: benchParNS, NR: []int{benchParNR}, DS: benchParDS, DR: []int{benchParDR},
+		Seed: 3, WithTarget: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trainers := nnTrainers()
+	for _, algo := range nnAlgoOrder {
+		train := trainers[algo]
+		for _, workers := range benchWorkerCounts() {
+			cfg := nn.Config{Hidden: []int{benchNH}, Epochs: benchEp, NumWorkers: workers}
+			b.Run(fmt.Sprintf("%s/workers=%d", algo, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := train(db, spec, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				recordBench("NN", algo, workers, float64(b.Elapsed().Nanoseconds())/float64(b.N))
+			})
+		}
+	}
+}

@@ -38,20 +38,21 @@ func main() {
 	epochs := flag.Int("epochs", 10, "NN training epochs")
 	lr := flag.Float64("lr", 0.05, "NN learning rate")
 	seed := flag.Int64("seed", 1, "initialization seed")
+	workers := flag.Int("workers", 0, "training worker pool size (0 = all CPUs, 1 = sequential); the result is bit-identical for every value")
 	flag.Parse()
 
 	if *dbDir == "" || *fact == "" || *dims == "" {
 		fmt.Fprintln(os.Stderr, "train: -db, -fact and -dims are required")
 		os.Exit(2)
 	}
-	if err := run(*dbDir, *fact, *dims, *model, *algo, *k, *iters, *tol, *hidden, *act, *epochs, *lr, *seed); err != nil {
+	if err := run(*dbDir, *fact, *dims, *model, *algo, *k, *iters, *tol, *hidden, *act, *epochs, *lr, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
-	hidden, act string, epochs int, lr float64, seed int64) error {
+	hidden, act string, epochs int, lr float64, seed int64, workers int) error {
 
 	db, err := storage.Open(dbDir, storage.Options{PoolPages: -1})
 	if err != nil {
@@ -77,7 +78,7 @@ func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
 
 	switch model {
 	case "gmm":
-		cfg := gmm.Config{K: k, MaxIter: iters, Tol: tol, Seed: seed}
+		cfg := gmm.Config{K: k, MaxIter: iters, Tol: tol, Seed: seed, NumWorkers: workers}
 		var res *gmm.Result
 		switch algo {
 		case "m":
@@ -122,7 +123,7 @@ func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
 		default:
 			return fmt.Errorf("unknown activation %q", act)
 		}
-		cfg := nn.Config{Hidden: sizes, Act: activation, Epochs: epochs, LearningRate: lr, Seed: seed}
+		cfg := nn.Config{Hidden: sizes, Act: activation, Epochs: epochs, LearningRate: lr, Seed: seed, NumWorkers: workers}
 		var res *nn.Result
 		switch algo {
 		case "m":

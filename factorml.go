@@ -18,6 +18,13 @@
 //	Streaming    — re-execute the join on the fly each pass (no T storage)
 //	Factorized   — stream the join and factorize the computation (the paper)
 //
+// Training additionally runs on a chunked worker pool (internal/parallel),
+// sized by Options.NumWorkers or the per-training NumWorkers field of
+// GMMConfig/NNConfig (0 = all CPUs, 1 = sequential). The pool's chunk
+// geometry and merge order never depend on the worker count, so the
+// trained model is bit-for-bit identical for every setting — parallelism
+// preserves the exactness guarantee above.
+//
 // Quick start:
 //
 //	db, _ := factorml.Open(dir, factorml.Options{})
@@ -111,12 +118,24 @@ type Options struct {
 	// PoolPages is the buffer-pool capacity in pages (8 KiB each).
 	// Zero disables caching; negative selects the default (256).
 	PoolPages int
+
+	// NumWorkers is the default worker-pool size for training over this
+	// database, used whenever a GMMConfig/NNConfig leaves its own
+	// NumWorkers at zero: 0 = all CPUs, 1 = sequential, n > 1 = n workers.
+	// Note that a per-training NumWorkers of 0 therefore means "inherit
+	// this default", not "all CPUs"; pass runtime.NumCPU() explicitly to
+	// override a sequential default for one call.
+	// The trained model is bit-for-bit identical for every value — the
+	// parallel engine's chunk geometry and merge order never depend on the
+	// worker count (see internal/parallel).
+	NumWorkers int
 }
 
 // DB is a database of normalized relations backed by heap files in a
 // directory.
 type DB struct {
-	db *storage.Database
+	db   *storage.Database
+	opts Options
 }
 
 // Open creates or opens a database directory.
@@ -129,7 +148,7 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{db: sdb}, nil
+	return &DB{db: sdb, opts: opts}, nil
 }
 
 // Close flushes and closes all tables.
@@ -267,6 +286,9 @@ func (ds *Dataset) Stream(fn func(sid int64, features []float64, target float64)
 // TrainGMM trains a Gaussian mixture over the dataset with the chosen
 // execution strategy.
 func TrainGMM(ds *Dataset, algo Algorithm, cfg GMMConfig) (*GMMResult, error) {
+	if cfg.NumWorkers == 0 {
+		cfg.NumWorkers = ds.db.opts.NumWorkers
+	}
 	switch algo {
 	case Materialized:
 		return gmm.TrainM(ds.db.db, ds.spec, cfg)
@@ -282,6 +304,9 @@ func TrainGMM(ds *Dataset, algo Algorithm, cfg GMMConfig) (*GMMResult, error) {
 // TrainNN trains a feed-forward network over the dataset with the chosen
 // execution strategy. The fact table must have been created with a target.
 func TrainNN(ds *Dataset, algo Algorithm, cfg NNConfig) (*NNResult, error) {
+	if cfg.NumWorkers == 0 {
+		cfg.NumWorkers = ds.db.opts.NumWorkers
+	}
 	switch algo {
 	case Materialized:
 		return nn.TrainM(ds.db.db, ds.spec, cfg)

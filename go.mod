@@ -1,0 +1,3 @@
+module factorml
+
+go 1.24

@@ -73,6 +73,10 @@ func (h *Harness) withDB(name string, fn func(db *storage.Database) error) error
 func (h *Harness) runGMM(name string, dcfg data.SynthConfig, gcfg gmm.Config, figure, series string, x float64) (Row, error) {
 	row := Row{Figure: figure, Series: series, X: x}
 	gcfg.Tol = 1e-300 // effectively disable early stopping: compare fixed work
+	// Single-threaded: the figure rows compare M/S/F algorithmic cost, and
+	// the worker pool parallelizes the three variants asymmetrically (the
+	// factorized M-step stays sequential), which would distort the ratios.
+	gcfg.NumWorkers = 1
 	err := h.withDB(name, func(db *storage.Database) error {
 		spec, err := data.Generate(db, name, dcfg)
 		if err != nil {
@@ -121,6 +125,7 @@ func (h *Harness) runNN(name string, dcfg data.SynthConfig, ncfg nn.Config, figu
 }
 
 func (h *Harness) trainNN3(db *storage.Database, spec *join.Spec, ncfg nn.Config, row *Row) error {
+	ncfg.NumWorkers = 1 // single-threaded, same reason as runGMM
 	m, err := nn.TrainM(db, spec, ncfg)
 	if err != nil {
 		return err

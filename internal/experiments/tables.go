@@ -34,7 +34,7 @@ func (h *Harness) TableVI() ([]Row, error) {
 			if err != nil {
 				return err
 			}
-			gcfg := gmm.Config{K: sweepK, MaxIter: h.P.GMMIters, Tol: 1e-300}
+			gcfg := gmm.Config{K: sweepK, MaxIter: h.P.GMMIters, Tol: 1e-300, NumWorkers: 1}
 			m, err := gmm.TrainM(db, spec, gcfg)
 			if err != nil {
 				return err

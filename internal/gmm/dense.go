@@ -2,9 +2,11 @@ package gmm
 
 import (
 	"math"
+	"sync"
 
 	"factorml/internal/core"
 	"factorml/internal/linalg"
+	"factorml/internal/parallel"
 )
 
 // emDense runs EM over a dense pass source. It is the engine of both M-GMM
@@ -12,19 +14,58 @@ import (
 // E-step responsibilities, M-step means, M-step covariances — through
 // whatever access path `pass` encapsulates (reading the materialized T, or
 // re-joining on the fly).
+//
+// Every pass is executed by the chunked worker pool of internal/parallel:
+// rows are cut into fixed chunks, each chunk folds into its own accumulator
+// on a worker, and the accumulators merge in chunk order. The trained model
+// is therefore bit-identical for every cfg.NumWorkers value.
 func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) error {
+	nw := parallel.Workers(cfg.NumWorkers)
 	k := cfg.K
 	gamma := make([]float64, n*k)
-	logp := make([]float64, k)
-	pd := make([]float64, d)
 	p := core.NewPartition([]int{d})
+
+	// Per-chunk accumulators, pooled across passes and iterations.
+	type eAcc struct {
+		ll   float64
+		ops  core.Ops
+		logp []float64
+		pd   []float64
+	}
+	ePool := sync.Pool{New: func() any {
+		return &eAcc{logp: make([]float64, k), pd: make([]float64, d)}
+	}}
+	type m1Acc struct {
+		ops   core.Ops
+		nk    []float64
+		sumMu [][]float64
+	}
+	m1Pool := sync.Pool{New: func() any {
+		a := &m1Acc{nk: make([]float64, k), sumMu: make([][]float64, k)}
+		for c := 0; c < k; c++ {
+			a.sumMu[c] = make([]float64, d)
+		}
+		return a
+	}}
+	type m2Acc struct {
+		ops    core.Ops
+		pd     []float64
+		sumCov []*linalg.Dense
+	}
+	m2Pool := sync.Pool{New: func() any {
+		a := &m2Acc{pd: make([]float64, d), sumCov: make([]*linalg.Dense, k)}
+		for c := 0; c < k; c++ {
+			a.sumCov[c] = linalg.NewDense(d, d)
+		}
+		return a
+	}}
 
 	nk := make([]float64, k)
 	sumMu := make([][]float64, k)
 	sumCov := make([]*linalg.Dense, k)
-	for i := 0; i < k; i++ {
-		sumMu[i] = make([]float64, d)
-		sumCov[i] = linalg.NewDense(d, d)
+	for c := 0; c < k; c++ {
+		sumMu[c] = make([]float64, d)
+		sumCov[c] = linalg.NewDense(d, d)
 	}
 
 	prevLL := math.Inf(-1)
@@ -35,25 +76,42 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 		}
 
 		// --- E-step pass: responsibilities and log-likelihood (Eq. 1-2, 6).
+		// Workers write γ rows at disjoint indices; the per-chunk
+		// log-likelihood partials merge in chunk order.
 		ll := 0.0
-		idx := 0
-		err = pass(func(x []float64) error {
-			for c := 0; c < k; c++ {
-				linalg.VecSub(pd, x, model.Means[c])
-				stats.Ops.AddSub(d)
-				q := linalg.QuadForm(states[c].inv, pd)
-				stats.Ops.AddQuadForm(d)
-				logp[c] = states[c].logW + states[c].logNorm - 0.5*q
-			}
-			lse := linalg.LogSumExp(logp)
-			ll += lse
-			g := gamma[idx*k : (idx+1)*k]
-			for c := 0; c < k; c++ {
-				g[c] = math.Exp(logp[c] - lse)
-			}
-			idx++
-			return nil
-		})
+		err = runRowPass(nw, d, pass,
+			func() any {
+				a := ePool.Get().(*eAcc)
+				a.ll, a.ops = 0, core.Ops{}
+				return a
+			},
+			func(acc any, start int, rows []float64, nr int) error {
+				a := acc.(*eAcc)
+				for i := 0; i < nr; i++ {
+					x := rows[i*d : (i+1)*d]
+					for c := 0; c < k; c++ {
+						linalg.VecSub(a.pd, x, model.Means[c])
+						a.ops.AddSub(d)
+						q := linalg.QuadForm(states[c].inv, a.pd)
+						a.ops.AddQuadForm(d)
+						a.logp[c] = states[c].logW + states[c].logNorm - 0.5*q
+					}
+					lse := linalg.LogSumExp(a.logp)
+					a.ll += lse
+					g := gamma[(start+i)*k : (start+i+1)*k]
+					for c := 0; c < k; c++ {
+						g[c] = math.Exp(a.logp[c] - lse)
+					}
+				}
+				return nil
+			},
+			func(acc any) error {
+				a := acc.(*eAcc)
+				ll += a.ll
+				stats.Ops = stats.Ops.Plus(a.ops)
+				ePool.Put(a)
+				return nil
+			})
 		if err != nil {
 			return err
 		}
@@ -63,17 +121,39 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 			nk[c] = 0
 			linalg.VecZero(sumMu[c])
 		}
-		idx = 0
-		err = pass(func(x []float64) error {
-			g := gamma[idx*k : (idx+1)*k]
-			for c := 0; c < k; c++ {
-				nk[c] += g[c]
-				linalg.Axpy(g[c], x, sumMu[c])
-				stats.Ops.AddAxpy(d)
-			}
-			idx++
-			return nil
-		})
+		err = runRowPass(nw, d, pass,
+			func() any {
+				a := m1Pool.Get().(*m1Acc)
+				a.ops = core.Ops{}
+				for c := 0; c < k; c++ {
+					a.nk[c] = 0
+					linalg.VecZero(a.sumMu[c])
+				}
+				return a
+			},
+			func(acc any, start int, rows []float64, nr int) error {
+				a := acc.(*m1Acc)
+				for i := 0; i < nr; i++ {
+					x := rows[i*d : (i+1)*d]
+					g := gamma[(start+i)*k : (start+i+1)*k]
+					for c := 0; c < k; c++ {
+						a.nk[c] += g[c]
+						linalg.Axpy(g[c], x, a.sumMu[c])
+						a.ops.AddAxpy(d)
+					}
+				}
+				return nil
+			},
+			func(acc any) error {
+				a := acc.(*m1Acc)
+				for c := 0; c < k; c++ {
+					nk[c] += a.nk[c]
+					linalg.VecAdd(sumMu[c], sumMu[c], a.sumMu[c])
+				}
+				stats.Ops = stats.Ops.Plus(a.ops)
+				m1Pool.Put(a)
+				return nil
+			})
 		if err != nil {
 			return err
 		}
@@ -83,18 +163,38 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 		for c := 0; c < k; c++ {
 			sumCov[c].Zero()
 		}
-		idx = 0
-		err = pass(func(x []float64) error {
-			g := gamma[idx*k : (idx+1)*k]
-			for c := 0; c < k; c++ {
-				linalg.VecSub(pd, x, model.Means[c])
-				stats.Ops.AddSub(d)
-				linalg.OuterAccum(sumCov[c], g[c], pd, pd)
-				stats.Ops.AddOuter(d, d)
-			}
-			idx++
-			return nil
-		})
+		err = runRowPass(nw, d, pass,
+			func() any {
+				a := m2Pool.Get().(*m2Acc)
+				a.ops = core.Ops{}
+				for c := 0; c < k; c++ {
+					a.sumCov[c].Zero()
+				}
+				return a
+			},
+			func(acc any, start int, rows []float64, nr int) error {
+				a := acc.(*m2Acc)
+				for i := 0; i < nr; i++ {
+					x := rows[i*d : (i+1)*d]
+					g := gamma[(start+i)*k : (start+i+1)*k]
+					for c := 0; c < k; c++ {
+						linalg.VecSub(a.pd, x, model.Means[c])
+						a.ops.AddSub(d)
+						linalg.OuterAccum(a.sumCov[c], g[c], a.pd, a.pd)
+						a.ops.AddOuter(d, d)
+					}
+				}
+				return nil
+			},
+			func(acc any) error {
+				a := acc.(*m2Acc)
+				for c := 0; c < k; c++ {
+					sumCov[c].AddScaled(1, a.sumCov[c])
+				}
+				stats.Ops = stats.Ops.Plus(a.ops)
+				m2Pool.Put(a)
+				return nil
+			})
 		if err != nil {
 			return err
 		}

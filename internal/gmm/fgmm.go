@@ -2,11 +2,13 @@ package gmm
 
 import (
 	"math"
+	"sync"
 	"time"
 
 	"factorml/internal/core"
 	"factorml/internal/join"
 	"factorml/internal/linalg"
+	"factorml/internal/parallel"
 	"factorml/internal/storage"
 )
 
@@ -67,16 +69,42 @@ func TrainF(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 
 // emFactorized runs the factorized EM loop. Parts: 0 = S, 1 = the blocked
 // dimension relation R1, 2+j = resident dimension relation Rs[1+j].
+//
+// The E-step — the dimension-cache fills and the per-match responsibility
+// computation — runs on the chunked worker pool (cfg.NumWorkers): caches
+// fill over disjoint index grains, matches stream through RunParallel with
+// per-chunk log-likelihood/γ buffers merged in chunk order, so the model is
+// bit-identical for every worker count. The M-step passes stay sequential:
+// factorization already collapses their per-tuple work to the small fact
+// part plus per-group flushes.
 func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, model *Model, stats *Stats) error {
+	nw := parallel.Workers(cfg.NumWorkers)
 	k := cfg.K
 	q := p.Parts() - 1 // number of dimension relations
 	dS := p.Dims[0]
 
 	gamma := make([]float64, n*k)
-	logp := make([]float64, k)
 	pds := make([]float64, dS)
-	cachesBuf := make([]*core.QuadCache, q)
 	pdBuf := make([][]float64, q) // per-part PD pointers for cross terms
+
+	// feAcc is the per-chunk E-step accumulator: responsibilities for the
+	// chunk's matches plus the partial log-likelihood.
+	type feAcc struct {
+		ll     float64
+		ops    core.Ops
+		ng     int
+		gamma  []float64
+		logp   []float64
+		pds    []float64
+		caches []*core.QuadCache
+	}
+	fePool := sync.Pool{New: func() any {
+		return &feAcc{
+			logp:   make([]float64, k),
+			pds:    make([]float64, dS),
+			caches: make([]*core.QuadCache, q),
+		}
+	}}
 
 	nk := make([]float64, k)
 	// Per-part mean accumulators, assembled into full vectors for the shared
@@ -111,52 +139,80 @@ func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, mode
 		// ------------------------------------------------------------------
 		// E-step: factorized responsibilities (Eq. 7-12 / 19-21).
 		// ------------------------------------------------------------------
-		// Resident caches are filled once per iteration.
+		// Resident caches are filled once per iteration (parallel fill,
+		// disjoint (tuple, component) slots).
 		resCache := make([][]core.QuadCache, q-1)
 		for j := 0; j < q-1; j++ {
 			tuples := runner.Resident(j)
 			resCache[j] = make([]core.QuadCache, len(tuples)*k)
-			for t, tp := range tuples {
-				for c := 0; c < k; c++ {
-					core.FillQuadCache(&resCache[j][t*k+c], states[c].blocked, 2+j, tp.Features, model.Means[c], &stats.Ops)
+			rj := resCache[j]
+			part := 2 + j
+			err = fillRange(nw, len(tuples), stats, func(s, e int, ops *core.Ops) error {
+				for t := s; t < e; t++ {
+					for c := 0; c < k; c++ {
+						core.FillQuadCache(&rj[t*k+c], states[c].blocked, part, tuples[t].Features, model.Means[c], ops)
+					}
 				}
+				return nil
+			})
+			if err != nil {
+				return err
 			}
 		}
 
 		ll := 0.0
 		idx := 0
-		err = runner.Run(join.Callbacks{
+		err = runner.RunParallel(nw, join.ParallelChunkRows, join.ParallelCallbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k
 				if cap(blkCache) < need {
 					blkCache = make([]core.QuadCache, need)
 				}
 				blkCache = blkCache[:need]
-				for i, tp := range block {
-					for c := 0; c < k; c++ {
-						core.FillQuadCache(&blkCache[i*k+c], states[c].blocked, 1, tp.Features, model.Means[c], &stats.Ops)
+				return fillRange(nw, len(block), stats, func(s, e int, ops *core.Ops) error {
+					for i := s; i < e; i++ {
+						for c := 0; c < k; c++ {
+							core.FillQuadCache(&blkCache[i*k+c], states[c].blocked, 1, block[i].Features, model.Means[c], ops)
+						}
 					}
+					return nil
+				})
+			},
+			NewState: func() any {
+				a := fePool.Get().(*feAcc)
+				a.ll, a.ops, a.ng = 0, core.Ops{}, 0
+				a.gamma = a.gamma[:0]
+				return a
+			},
+			OnMatchChunk: func(state any, matches []join.Match) error {
+				a := state.(*feAcc)
+				for _, m := range matches {
+					for c := 0; c < k; c++ {
+						linalg.VecSub(a.pds, m.S.Features, p.Slice(model.Means[c], 0))
+						a.ops.AddSub(dS)
+						a.caches[0] = &blkCache[m.R1*k+c]
+						for j, ri := range m.Res {
+							a.caches[1+j] = &resCache[j][ri*k+c]
+						}
+						qv := core.FactQuad(states[c].blocked, a.pds, a.caches, &a.ops)
+						a.logp[c] = states[c].logW + states[c].logNorm - 0.5*qv
+					}
+					lse := linalg.LogSumExp(a.logp)
+					a.ll += lse
+					for c := 0; c < k; c++ {
+						a.gamma = append(a.gamma, math.Exp(a.logp[c]-lse))
+					}
+					a.ng++
 				}
 				return nil
 			},
-			OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
-				for c := 0; c < k; c++ {
-					linalg.VecSub(pds, s.Features, p.Slice(model.Means[c], 0))
-					stats.Ops.AddSub(dS)
-					cachesBuf[0] = &blkCache[r1Idx*k+c]
-					for j, ri := range resIdx {
-						cachesBuf[1+j] = &resCache[j][ri*k+c]
-					}
-					qv := core.FactQuad(states[c].blocked, pds, cachesBuf, &stats.Ops)
-					logp[c] = states[c].logW + states[c].logNorm - 0.5*qv
-				}
-				lse := linalg.LogSumExp(logp)
-				ll += lse
-				g := gamma[idx*k : (idx+1)*k]
-				for c := 0; c < k; c++ {
-					g[c] = math.Exp(logp[c] - lse)
-				}
-				idx++
+			OnChunkMerged: func(state any) error {
+				a := state.(*feAcc)
+				copy(gamma[idx*k:(idx+a.ng)*k], a.gamma)
+				idx += a.ng
+				ll += a.ll
+				stats.Ops = stats.Ops.Plus(a.ops)
+				fePool.Put(a)
 				return nil
 			},
 		})

@@ -3,10 +3,12 @@ package gmm
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"factorml/internal/core"
 	"factorml/internal/join"
 	"factorml/internal/linalg"
+	"factorml/internal/parallel"
 	"factorml/internal/storage"
 )
 
@@ -57,11 +59,42 @@ func diagQuad(x, mu, inv []float64) float64 {
 }
 
 // emDenseDiag is the diagonal-covariance EM over a dense pass source
-// (M-IGMM and S-IGMM).
+// (M-IGMM and S-IGMM). Like emDense, every pass runs on the chunked worker
+// pool with ordered merges, so the model is bit-identical for every
+// cfg.NumWorkers value.
 func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) error {
+	nw := parallel.Workers(cfg.NumWorkers)
 	k := cfg.K
 	gamma := make([]float64, n*k)
-	logp := make([]float64, k)
+
+	type eAcc struct {
+		ll   float64
+		ops  core.Ops
+		logp []float64
+	}
+	ePool := sync.Pool{New: func() any { return &eAcc{logp: make([]float64, k)} }}
+	type mAcc struct {
+		ops core.Ops
+		nk  []float64
+		sum [][]float64 // means in pass 1, variances in pass 2
+	}
+	newMAcc := func() any {
+		a := &mAcc{nk: make([]float64, k), sum: make([][]float64, k)}
+		for c := 0; c < k; c++ {
+			a.sum[c] = make([]float64, d)
+		}
+		return a
+	}
+	mPool := sync.Pool{New: newMAcc}
+	getMAcc := func() any {
+		a := mPool.Get().(*mAcc)
+		a.ops = core.Ops{}
+		for c := 0; c < k; c++ {
+			a.nk[c] = 0
+			linalg.VecZero(a.sum[c])
+		}
+		return a
+	}
 
 	nk := make([]float64, k)
 	sumMu := make([][]float64, k)
@@ -80,22 +113,37 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 
 		// E pass.
 		ll := 0.0
-		idx := 0
-		err = pass(func(x []float64) error {
-			for c := 0; c < k; c++ {
-				q := diagQuad(x, model.Means[c], states[c].invVar)
-				stats.Ops.AddDiagQuad(d)
-				logp[c] = states[c].logW + states[c].logNorm - 0.5*q
-			}
-			lse := linalg.LogSumExp(logp)
-			ll += lse
-			g := gamma[idx*k : (idx+1)*k]
-			for c := 0; c < k; c++ {
-				g[c] = math.Exp(logp[c] - lse)
-			}
-			idx++
-			return nil
-		})
+		err = runRowPass(nw, d, pass,
+			func() any {
+				a := ePool.Get().(*eAcc)
+				a.ll, a.ops = 0, core.Ops{}
+				return a
+			},
+			func(acc any, start int, rows []float64, nr int) error {
+				a := acc.(*eAcc)
+				for i := 0; i < nr; i++ {
+					x := rows[i*d : (i+1)*d]
+					for c := 0; c < k; c++ {
+						q := diagQuad(x, model.Means[c], states[c].invVar)
+						a.ops.AddDiagQuad(d)
+						a.logp[c] = states[c].logW + states[c].logNorm - 0.5*q
+					}
+					lse := linalg.LogSumExp(a.logp)
+					a.ll += lse
+					g := gamma[(start+i)*k : (start+i+1)*k]
+					for c := 0; c < k; c++ {
+						g[c] = math.Exp(a.logp[c] - lse)
+					}
+				}
+				return nil
+			},
+			func(acc any) error {
+				a := acc.(*eAcc)
+				ll += a.ll
+				stats.Ops = stats.Ops.Plus(a.ops)
+				ePool.Put(a)
+				return nil
+			})
 		if err != nil {
 			return err
 		}
@@ -105,17 +153,30 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 			nk[c] = 0
 			linalg.VecZero(sumMu[c])
 		}
-		idx = 0
-		err = pass(func(x []float64) error {
-			g := gamma[idx*k : (idx+1)*k]
-			for c := 0; c < k; c++ {
-				nk[c] += g[c]
-				linalg.Axpy(g[c], x, sumMu[c])
-				stats.Ops.AddAxpy(d)
-			}
-			idx++
-			return nil
-		})
+		err = runRowPass(nw, d, pass, getMAcc,
+			func(acc any, start int, rows []float64, nr int) error {
+				a := acc.(*mAcc)
+				for i := 0; i < nr; i++ {
+					x := rows[i*d : (i+1)*d]
+					g := gamma[(start+i)*k : (start+i+1)*k]
+					for c := 0; c < k; c++ {
+						a.nk[c] += g[c]
+						linalg.Axpy(g[c], x, a.sum[c])
+						a.ops.AddAxpy(d)
+					}
+				}
+				return nil
+			},
+			func(acc any) error {
+				a := acc.(*mAcc)
+				for c := 0; c < k; c++ {
+					nk[c] += a.nk[c]
+					linalg.VecAdd(sumMu[c], sumMu[c], a.sum[c])
+				}
+				stats.Ops = stats.Ops.Plus(a.ops)
+				mPool.Put(a)
+				return nil
+			})
 		if err != nil {
 			return err
 		}
@@ -125,22 +186,34 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 		for c := 0; c < k; c++ {
 			linalg.VecZero(sumVar[c])
 		}
-		idx = 0
-		err = pass(func(x []float64) error {
-			g := gamma[idx*k : (idx+1)*k]
-			for c := 0; c < k; c++ {
-				mu := model.Means[c]
-				sv := sumVar[c]
-				gc := g[c]
-				for i, v := range x {
-					pd := v - mu[i]
-					sv[i] += gc * pd * pd
+		err = runRowPass(nw, d, pass, getMAcc,
+			func(acc any, start int, rows []float64, nr int) error {
+				a := acc.(*mAcc)
+				for i := 0; i < nr; i++ {
+					x := rows[i*d : (i+1)*d]
+					g := gamma[(start+i)*k : (start+i+1)*k]
+					for c := 0; c < k; c++ {
+						mu := model.Means[c]
+						sv := a.sum[c]
+						gc := g[c]
+						for i2, v := range x {
+							pd := v - mu[i2]
+							sv[i2] += gc * pd * pd
+						}
+						a.ops.AddDiagQuad(d)
+					}
 				}
-				stats.Ops.AddDiagQuad(d)
-			}
-			idx++
-			return nil
-		})
+				return nil
+			},
+			func(acc any) error {
+				a := acc.(*mAcc)
+				for c := 0; c < k; c++ {
+					linalg.VecAdd(sumVar[c], sumVar[c], a.sum[c])
+				}
+				stats.Ops = stats.Ops.Plus(a.ops)
+				mPool.Put(a)
+				return nil
+			})
 		if err != nil {
 			return err
 		}
@@ -172,14 +245,25 @@ func applyDiagCovUpdates(model *Model, nk []float64, sumVar [][]float64, collaps
 }
 
 // emFactorizedDiag is F-IGMM: like emFactorized but with per-relation
-// scalar caches (no cross blocks exist for a diagonal covariance).
+// scalar caches (no cross blocks exist for a diagonal covariance). The
+// E-step runs on the chunked worker pool; the factorized M-step passes stay
+// sequential (see emFactorized).
 func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, model *Model, stats *Stats) error {
+	nw := parallel.Workers(cfg.NumWorkers)
 	k := cfg.K
 	q := p.Parts() - 1
 	dS := p.Dims[0]
 
 	gamma := make([]float64, n*k)
-	logp := make([]float64, k)
+
+	type fdAcc struct {
+		ll    float64
+		ops   core.Ops
+		ng    int
+		gamma []float64
+		logp  []float64
+	}
+	fdPool := sync.Pool{New: func() any { return &fdAcc{logp: make([]float64, k)} }}
 
 	nk := make([]float64, k)
 	sumMuParts := make([][][]float64, p.Parts())
@@ -210,25 +294,33 @@ func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, 
 			return err
 		}
 
-		// Resident caches: partial quads per (tuple, component).
+		// Resident caches: partial quads per (tuple, component), filled on
+		// the pool over disjoint slots.
 		qRes := make([][]float64, q-1)
 		for j := 0; j < q-1; j++ {
 			tuples := runner.Resident(j)
 			qRes[j] = make([]float64, len(tuples)*k)
+			qj := qRes[j]
 			off := p.Offs[2+j]
 			dj := p.Dims[2+j]
-			for t, tp := range tuples {
-				for c := 0; c < k; c++ {
-					qRes[j][t*k+c] = diagQuad(tp.Features, model.Means[c][off:off+dj], states[c].invVar[off:off+dj])
-					stats.Ops.AddDiagQuad(dj)
+			err = fillRange(nw, len(tuples), stats, func(s, e int, ops *core.Ops) error {
+				for t := s; t < e; t++ {
+					for c := 0; c < k; c++ {
+						qj[t*k+c] = diagQuad(tuples[t].Features, model.Means[c][off:off+dj], states[c].invVar[off:off+dj])
+						ops.AddDiagQuad(dj)
+					}
 				}
+				return nil
+			})
+			if err != nil {
+				return err
 			}
 		}
 
 		// E pass.
 		ll := 0.0
 		idx := 0
-		err = runner.Run(join.Callbacks{
+		err = runner.RunParallel(nw, join.ParallelChunkRows, join.ParallelCallbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k
 				if cap(qBlk) < need {
@@ -237,32 +329,51 @@ func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, 
 				qBlk = qBlk[:need]
 				off := p.Offs[1]
 				d1 := p.Dims[1]
-				for i, tp := range block {
-					for c := 0; c < k; c++ {
-						qBlk[i*k+c] = diagQuad(tp.Features, model.Means[c][off:off+d1], states[c].invVar[off:off+d1])
-						stats.Ops.AddDiagQuad(d1)
+				return fillRange(nw, len(block), stats, func(s, e int, ops *core.Ops) error {
+					for i := s; i < e; i++ {
+						for c := 0; c < k; c++ {
+							qBlk[i*k+c] = diagQuad(block[i].Features, model.Means[c][off:off+d1], states[c].invVar[off:off+d1])
+							ops.AddDiagQuad(d1)
+						}
 					}
+					return nil
+				})
+			},
+			NewState: func() any {
+				a := fdPool.Get().(*fdAcc)
+				a.ll, a.ops, a.ng = 0, core.Ops{}, 0
+				a.gamma = a.gamma[:0]
+				return a
+			},
+			OnMatchChunk: func(state any, matches []join.Match) error {
+				a := state.(*fdAcc)
+				for _, m := range matches {
+					for c := 0; c < k; c++ {
+						qv := diagQuad(m.S.Features, model.Means[c][:dS], states[c].invVar[:dS])
+						a.ops.AddDiagQuad(dS)
+						qv += qBlk[m.R1*k+c]
+						for j, ri := range m.Res {
+							qv += qRes[j][ri*k+c]
+						}
+						a.ops.Add += int64(q)
+						a.logp[c] = states[c].logW + states[c].logNorm - 0.5*qv
+					}
+					lse := linalg.LogSumExp(a.logp)
+					a.ll += lse
+					for c := 0; c < k; c++ {
+						a.gamma = append(a.gamma, math.Exp(a.logp[c]-lse))
+					}
+					a.ng++
 				}
 				return nil
 			},
-			OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
-				for c := 0; c < k; c++ {
-					qv := diagQuad(s.Features, model.Means[c][:dS], states[c].invVar[:dS])
-					stats.Ops.AddDiagQuad(dS)
-					qv += qBlk[r1Idx*k+c]
-					for j, ri := range resIdx {
-						qv += qRes[j][ri*k+c]
-					}
-					stats.Ops.Add += int64(q)
-					logp[c] = states[c].logW + states[c].logNorm - 0.5*qv
-				}
-				lse := linalg.LogSumExp(logp)
-				ll += lse
-				g := gamma[idx*k : (idx+1)*k]
-				for c := 0; c < k; c++ {
-					g[c] = math.Exp(logp[c] - lse)
-				}
-				idx++
+			OnChunkMerged: func(state any) error {
+				a := state.(*fdAcc)
+				copy(gamma[idx*k:(idx+a.ng)*k], a.gamma)
+				idx += a.ng
+				ll += a.ll
+				stats.Ops = stats.Ops.Plus(a.ops)
+				fdPool.Put(a)
 				return nil
 			},
 		})

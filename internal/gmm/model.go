@@ -36,6 +36,17 @@ type Config struct {
 
 	// BlockPages is forwarded to the join spec (0 = join.DefaultBlockPages).
 	BlockPages int
+
+	// NumWorkers sets the size of the worker pool that parallelizes the
+	// training passes: 0 uses every CPU (runtime.NumCPU()), 1 runs
+	// sequentially on the calling goroutine, n > 1 uses n workers. (The
+	// factorml facade first resolves 0 to its database-wide
+	// Options.NumWorkers default, which itself defaults to every CPU.) The
+	// chunk geometry and reduction order are independent of this knob
+	// (see internal/parallel), so the trained model is bit-for-bit
+	// identical for every value — parallelism never trades away the
+	// paper's exactness guarantee.
+	NumWorkers int
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,91 @@
+package gmm
+
+import (
+	"factorml/internal/core"
+	"factorml/internal/parallel"
+)
+
+// runRowPass drives one chunked-parallel pass over the dense row stream of
+// pass: the producer copies rows into fixed-size chunks (geometry
+// independent of the worker count), workers fold each chunk into an
+// accumulator from newAcc, and accumulators are merged strictly in chunk
+// order — so the reduction is bit-identical for every worker count.
+//
+// With workers <= 1 no chunks are materialized at all: each streamed row
+// folds directly into the current accumulator, with merges at the same
+// fixed boundaries, which reproduces the identical floating-point reduction
+// without the copy.
+func runRowPass(workers, d int, pass passFn,
+	newAcc func() any,
+	work func(acc any, start int, rows []float64, n int) error,
+	merge func(acc any) error,
+) error {
+	if workers <= 1 {
+		var acc any
+		inChunk := 0
+		row := 0
+		err := pass(func(x []float64) error {
+			if acc == nil {
+				acc = newAcc()
+			}
+			if err := work(acc, row, x, 1); err != nil {
+				return err
+			}
+			row++
+			inChunk++
+			if inChunk == parallel.DefaultChunkRows {
+				if err := merge(acc); err != nil {
+					return err
+				}
+				acc, inChunk = nil, 0
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if acc != nil {
+			return merge(acc)
+		}
+		return nil
+	}
+	return parallel.Run(workers,
+		func(f *parallel.Feed[*parallel.RowChunk]) error {
+			cur := parallel.GetRowChunk(0, d, false)
+			next := 0
+			err := pass(func(x []float64) error {
+				copy(cur.Rows[cur.N*d:(cur.N+1)*d], x)
+				cur.N++
+				next++
+				if cur.N == parallel.DefaultChunkRows {
+					if err := f.Emit(cur); err != nil {
+						return err
+					}
+					cur = parallel.GetRowChunk(next, d, false)
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if cur.N > 0 {
+				return f.Emit(cur)
+			}
+			parallel.PutRowChunk(cur)
+			return nil
+		},
+		func(c *parallel.RowChunk) (any, error) {
+			acc := newAcc()
+			if err := work(acc, c.Start, c.Rows, c.N); err != nil {
+				return nil, err
+			}
+			parallel.PutRowChunk(c)
+			return acc, nil
+		},
+		merge)
+}
+
+// fillRange is parallel.RunRange charging the pass's op counters.
+func fillRange(workers, n int, stats *Stats, body func(start, end int, ops *core.Ops) error) error {
+	return parallel.RunRange(workers, n, body, &stats.Ops)
+}

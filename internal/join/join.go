@@ -171,27 +171,27 @@ func (r *Runner) loadResident() error {
 	return nil
 }
 
-// Run executes the join, invoking the callbacks. It may be called multiple
-// times (e.g. once per EM pass); each call re-reads the base tables, which
-// is exactly the repeated I/O the paper's cost model charges.
-func (r *Runner) Run(cb Callbacks) error {
-	if err := r.loadResident(); err != nil {
-		return err
-	}
+// forEachBlock loads consecutive R1 blocks — sequential scan, or installed
+// permutation — and invokes fn once per block with the block's tuples and
+// its key index. The slices and map are reused between blocks; fn must be
+// done with them when it returns. Run and RunParallel both drive their
+// passes through this iterator, so the two access paths share one block
+// geometry (and hence one deterministic match order).
+//
+// A single scanner over R1 reads each of its pages exactly once per pass,
+// matching the |R| term of the paper's block-nested-loops cost model. With
+// a shuffle installed, rows are fetched in permuted order instead (random
+// access through the buffer pool).
+func (r *Runner) forEachBlock(fn func(block []*storage.Tuple, blockIdx map[int64]int) error) error {
 	sp := r.spec
 	r1 := sp.Rs[0]
 	perPage := int64(r1.Schema().RecordsPerPage())
 	tuplesPerBlock := int64(sp.blockPages()) * perPage
 	nR1 := r1.NumTuples()
 
-	resIdx := make([]int, len(sp.Rs)-1)
 	block := make([]*storage.Tuple, 0, tuplesPerBlock)
 	blockIdx := make(map[int64]int, tuplesPerBlock)
 
-	// A single scanner over R1 reads each of its pages exactly once per Run,
-	// matching the |R| term of the paper's block-nested-loops cost model.
-	// With a shuffle installed, rows are fetched in permuted order instead
-	// (random access through the buffer pool).
 	var r1Scan *storage.Scanner
 	if r.perm == nil {
 		r1Scan = r1.NewScanner()
@@ -225,6 +225,23 @@ func (r *Runner) Run(cb Callbacks) error {
 			blockIdx[c.PrimaryKey()] = len(block)
 			block = append(block, c)
 		}
+		if err := fn(block, blockIdx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes the join, invoking the callbacks. It may be called multiple
+// times (e.g. once per EM pass); each call re-reads the base tables, which
+// is exactly the repeated I/O the paper's cost model charges.
+func (r *Runner) Run(cb Callbacks) error {
+	if err := r.loadResident(); err != nil {
+		return err
+	}
+	sp := r.spec
+	resIdx := make([]int, len(sp.Rs)-1)
+	return r.forEachBlock(func(block []*storage.Tuple, blockIdx map[int64]int) error {
 		if cb.OnBlockStart != nil {
 			if err := cb.OnBlockStart(block); err != nil {
 				return err
@@ -259,12 +276,10 @@ func (r *Runner) Run(cb Callbacks) error {
 			}
 		}
 		if cb.OnBlockEnd != nil {
-			if err := cb.OnBlockEnd(); err != nil {
-				return err
-			}
+			return cb.OnBlockEnd()
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // NumBlocks returns how many R1 blocks a Run will produce.

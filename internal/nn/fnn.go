@@ -8,6 +8,7 @@ import (
 	"factorml/internal/core"
 	"factorml/internal/join"
 	"factorml/internal/linalg"
+	"factorml/internal/parallel"
 	"factorml/internal/storage"
 )
 
@@ -67,6 +68,69 @@ type partCaches struct {
 	t3 [][]float64
 }
 
+// fwdCtx bundles the read-only state of the factorized forward pass. Both
+// the sequential and the parallel F-NN trainer call forward once per
+// joined tuple, so the §VI-A1/§VI-A2 math lives in exactly one place.
+type fwdCtx struct {
+	net          *Network
+	share        bool
+	dS, nh0, nh1 int
+	blkCache     *partCaches
+	resCache     []*partCaches
+	cBias        []float64
+}
+
+// forward computes the factorized forward pass for one joined tuple using
+// ws's buffers (and the caller's t1 scratch under layer-2 sharing),
+// charging ws's op counter, and returns the network output.
+func (fc *fwdCtx) forward(ws *workspace, t1 []float64, s *storage.Tuple, r1 int, res []int) float64 {
+	net := fc.net
+	ops := ws.ops
+	if !fc.share {
+		// Factorized layer-1 forward (§VI-A1): a⁰ = W_S·x_S + Σ_m t_m + b.
+		// Seed the accumulator with the cached dimension part, then add the
+		// fact part.
+		linalg.VecAdd(ws.a[0], fc.blkCache.t[r1], net.B[0])
+		ops.Add += int64(fc.nh0)
+		for j, ri := range res {
+			linalg.VecAdd(ws.a[0], ws.a[0], fc.resCache[j].t[ri])
+			ops.Add += int64(fc.nh0)
+		}
+		linalg.MatVecRangeAdd(ws.a[0], net.W[0], 0, s.Features)
+		ops.AddMatVec(fc.nh0, fc.dS)
+		ops.Add += int64(fc.nh0)
+		net.Act.Apply(ws.h[0], ws.a[0])
+		return ws.forwardUpper(1)
+	}
+	// §VI-A2 layer-2 sharing (Identity activation):
+	// T1 = W_S·x_S; a¹ = W1·f(T1) + Σ t3_m + (W1·b0 + b1).
+	linalg.MatVecRange(t1, net.W[0], 0, s.Features)
+	ops.AddMatVec(fc.nh0, fc.dS)
+	copy(ws.a[0], t1)
+	linalg.VecAdd(ws.a[0], ws.a[0], fc.blkCache.t[r1])
+	ops.Add += int64(fc.nh0)
+	for j, ri := range res {
+		linalg.VecAdd(ws.a[0], ws.a[0], fc.resCache[j].t[ri])
+		ops.Add += int64(fc.nh0)
+	}
+	linalg.VecAdd(ws.a[0], ws.a[0], net.B[0])
+	ops.Add += int64(fc.nh0)
+	copy(ws.h[0], ws.a[0]) // Identity
+	// Second layer from shared parts.
+	linalg.MatVec(ws.a[1], net.W[1], t1)
+	ops.AddMatVec(fc.nh1, fc.nh0)
+	linalg.VecAdd(ws.a[1], ws.a[1], fc.blkCache.t3[r1])
+	ops.Add += int64(fc.nh1)
+	for j, ri := range res {
+		linalg.VecAdd(ws.a[1], ws.a[1], fc.resCache[j].t3[ri])
+		ops.Add += int64(fc.nh1)
+	}
+	linalg.VecAdd(ws.a[1], ws.a[1], fc.cBias)
+	ops.Add += int64(fc.nh1)
+	copy(ws.h[1], ws.a[1]) // Identity
+	return ws.forwardUpper(2)
+}
+
 func (pc *partCaches) ensure(n, nh0, nh1 int, share bool) {
 	if cap(pc.t) < n {
 		pc.t = make([][]float64, n)
@@ -84,7 +148,169 @@ func (pc *partCaches) ensure(n, nh0, nh1 int, share bool) {
 	}
 }
 
+// trainFactorized dispatches to the chunked-parallel implementation, except
+// under the GroupedGradient extension, whose sparse per-group accumulators
+// are a sequential cost-model study (DESIGN.md §6) and stay on the legacy
+// loop for every NumWorkers value.
 func trainFactorized(runner *join.Runner, p core.Partition, cfg Config, net *Network, stats *Stats) error {
+	if cfg.GroupedGradient {
+		return trainFactorizedSeq(runner, p, cfg, net, stats)
+	}
+	return trainFactorizedPar(runner, p, cfg, net, stats)
+}
+
+// trainFactorizedPar is F-NN on the worker pool: the per-block dimension
+// caches fill over disjoint grains, matches stream through the parallel
+// join probe in fixed chunks, each chunk folds its example gradients into a
+// private gradAcc, and the accumulators merge in chunk order — so the
+// parameter trajectory is bit-identical for every cfg.NumWorkers value.
+// Cache refills and Block-mode gradient steps happen at full barriers.
+func trainFactorizedPar(runner *join.Runner, p core.Partition, cfg Config, net *Network, stats *Stats) error {
+	nw := parallel.Workers(cfg.NumWorkers)
+	w := newWorkspace(net, &stats.Ops)
+	q := p.Parts() - 1
+	dS := p.Dims[0]
+	nh0 := net.Sizes[1]
+	nh1 := 0
+	if net.Layers() >= 2 {
+		nh1 = net.Sizes[2]
+	}
+	share := cfg.ShareLayer2
+
+	var blkCache partCaches
+	resCache := make([]*partCaches, q-1)
+	for j := range resCache {
+		resCache[j] = &partCaches{}
+	}
+	cBias := make([]float64, nh1)
+	n := int(runner.Spec().S.NumTuples())
+	accPool := newGradAccPool(net, nh0)
+	fc := &fwdCtx{net: net, share: share, dS: dS, nh0: nh0, nh1: nh1,
+		blkCache: &blkCache, resCache: resCache, cBias: cBias}
+
+	fillPart := func(pc *partCaches, tuples []*storage.Tuple, part int) error {
+		pc.ensure(len(tuples), nh0, nh1, share)
+		off := p.Offs[part]
+		dPart := p.Dims[part]
+		return parallel.RunRange(nw, len(tuples), func(s, e int, ops *core.Ops) error {
+			for i := s; i < e; i++ {
+				linalg.MatVecRange(pc.t[i], net.W[0], off, tuples[i].Features)
+				ops.AddMatVec(nh0, dPart)
+				if share {
+					// t3 = W1·f(t); f = Identity, so f(t) = t.
+					linalg.MatVec(pc.t3[i], net.W[1], pc.t[i])
+					ops.AddMatVec(nh1, nh0)
+				}
+			}
+			return nil
+		}, &stats.Ops)
+	}
+	fillShared := func() {
+		if !share {
+			return
+		}
+		// cBias = W1·b0 + b1 accounts for the layer-1 bias flowing through
+		// the additive activation.
+		linalg.MatVec(cBias, net.W[1], net.B[0])
+		stats.Ops.AddMatVec(nh1, nh0)
+		linalg.VecAdd(cBias, cBias, net.B[1])
+		stats.Ops.Add += int64(nh1)
+	}
+
+	var shuffleRng *rand.Rand
+	if cfg.ShuffleSeed != 0 {
+		shuffleRng = rand.New(rand.NewSource(cfg.ShuffleSeed))
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if shuffleRng != nil {
+			runner.Shuffle(shuffleRng) // one permutation per epoch (§VI)
+		}
+		w.zeroGrads()
+		lossSum := 0.0
+		batchN := 0
+		residentFresh := false
+		var curBlock []*storage.Tuple
+
+		err := runner.RunParallel(nw, join.ParallelChunkRows, join.ParallelCallbacks{
+			OnBlockStart: func(block []*storage.Tuple) error {
+				curBlock = block
+				// Dimension caches are valid for one parameter state: per
+				// block under Block updates, per pass under Epoch updates.
+				if cfg.Mode == Block || !residentFresh {
+					for j := 0; j < q-1; j++ {
+						if err := fillPart(resCache[j], runner.Resident(j), 2+j); err != nil {
+							return err
+						}
+					}
+					fillShared()
+					residentFresh = true
+				}
+				return fillPart(&blkCache, block, 1)
+			},
+			NewState: func() any {
+				a := accPool.Get().(*gradAcc)
+				a.reset()
+				return a
+			},
+			OnMatchChunk: func(state any, matches []join.Match) error {
+				a := state.(*gradAcc)
+				ws := a.ws
+				for _, m := range matches {
+					s := m.S
+					o := fc.forward(ws, a.t1, s, m.R1, m.Res)
+
+					diff := o - s.Target
+					a.loss += 0.5 * diff * diff
+					ws.backward(o, s.Target)
+
+					// Input-layer gradients, column-partitioned (Eq. 29/32).
+					delta0 := ws.delta[0]
+					linalg.OuterAccumAt(ws.gW[0], 0, 0, 1, delta0, s.Features)
+					a.ops.AddOuterPlain(nh0, dS)
+					linalg.Axpy(1, delta0, ws.gB[0])
+					a.ops.Add += int64(nh0)
+					linalg.OuterAccumAt(ws.gW[0], 0, p.Offs[1], 1, delta0, curBlock[m.R1].Features)
+					a.ops.AddOuterPlain(nh0, p.Dims[1])
+					for j, ri := range m.Res {
+						linalg.OuterAccumAt(ws.gW[0], 0, p.Offs[2+j], 1, delta0, runner.Resident(j)[ri].Features)
+						a.ops.AddOuterPlain(nh0, p.Dims[2+j])
+					}
+					a.batchN++
+				}
+				return nil
+			},
+			OnChunkMerged: func(state any) error {
+				a := state.(*gradAcc)
+				a.mergeInto(w, &lossSum, &batchN, stats)
+				accPool.Put(a)
+				return nil
+			},
+			OnBlockEnd: func() error {
+				if cfg.Mode == Block {
+					w.applyStep(cfg.LearningRate, batchN)
+					w.zeroGrads()
+					batchN = 0
+					residentFresh = false
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if cfg.Mode == Epoch {
+			w.applyStep(cfg.LearningRate, n)
+		}
+		stats.Loss = append(stats.Loss, lossSum/float64(n))
+		stats.Epochs = epoch + 1
+	}
+	return nil
+}
+
+// trainFactorizedSeq is the legacy single-threaded F-NN loop, kept for the
+// GroupedGradient extension whose per-group gradient accumulators are not
+// chunked.
+func trainFactorizedSeq(runner *join.Runner, p core.Partition, cfg Config, net *Network, stats *Stats) error {
 	w := newWorkspace(net, &stats.Ops)
 	q := p.Parts() - 1
 	dS := p.Dims[0]
@@ -108,6 +334,8 @@ func trainFactorized(runner *join.Runner, p core.Partition, cfg Config, net *Net
 	cBias := make([]float64, nh1)
 
 	n := int(runner.Spec().S.NumTuples())
+	fc := &fwdCtx{net: net, share: share, dS: dS, nh0: nh0, nh1: nh1,
+		blkCache: &blkCache, resCache: resCache, cBias: cBias}
 
 	fillPart := func(pc *partCaches, tuples []*storage.Tuple, part int) {
 		pc.ensure(len(tuples), nh0, nh1, share)
@@ -208,51 +436,7 @@ func trainFactorized(runner *join.Runner, p core.Partition, cfg Config, net *Net
 				return nil
 			},
 			OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
-				var o float64
-				if !share {
-					// Factorized layer-1 forward (§VI-A1):
-					// a⁰ = W_S·x_S + Σ_m t_m + b. Seed the accumulator with
-					// the cached dimension part, then add the fact part.
-					linalg.VecAdd(w.a[0], blkCache.t[r1Idx], net.B[0])
-					stats.Ops.Add += int64(nh0)
-					for j, ri := range resIdx {
-						linalg.VecAdd(w.a[0], w.a[0], resCache[j].t[ri])
-						stats.Ops.Add += int64(nh0)
-					}
-					linalg.MatVecRangeAdd(w.a[0], net.W[0], 0, s.Features)
-					stats.Ops.AddMatVec(nh0, dS)
-					stats.Ops.Add += int64(nh0)
-					net.Act.Apply(w.h[0], w.a[0])
-					o = w.forwardUpper(1)
-				} else {
-					// §VI-A2 layer-2 sharing (Identity activation):
-					// T1 = W_S·x_S; a¹ = W1·f(T1) + Σ t3_m + (W1·b0 + b1).
-					linalg.MatVecRange(t1, net.W[0], 0, s.Features)
-					stats.Ops.AddMatVec(nh0, dS)
-					copy(w.a[0], t1)
-					linalg.VecAdd(w.a[0], w.a[0], blkCache.t[r1Idx])
-					stats.Ops.Add += int64(nh0)
-					for j, ri := range resIdx {
-						linalg.VecAdd(w.a[0], w.a[0], resCache[j].t[ri])
-						stats.Ops.Add += int64(nh0)
-					}
-					linalg.VecAdd(w.a[0], w.a[0], net.B[0])
-					stats.Ops.Add += int64(nh0)
-					copy(w.h[0], w.a[0]) // Identity
-					// Second layer from shared parts.
-					linalg.MatVec(w.a[1], net.W[1], t1)
-					stats.Ops.AddMatVec(nh1, nh0)
-					linalg.VecAdd(w.a[1], w.a[1], blkCache.t3[r1Idx])
-					stats.Ops.Add += int64(nh1)
-					for j, ri := range resIdx {
-						linalg.VecAdd(w.a[1], w.a[1], resCache[j].t3[ri])
-						stats.Ops.Add += int64(nh1)
-					}
-					linalg.VecAdd(w.a[1], w.a[1], cBias)
-					stats.Ops.Add += int64(nh1)
-					copy(w.h[1], w.a[1]) // Identity
-					o = w.forwardUpper(2)
-				}
+				o := fc.forward(w, t1, s, r1Idx, resIdx)
 
 				diff := o - s.Target
 				lossSum += 0.5 * diff * diff

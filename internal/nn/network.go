@@ -132,6 +132,17 @@ type Config struct {
 	// BlockPages is forwarded to the join spec (0 = join.DefaultBlockPages).
 	BlockPages int
 
+	// NumWorkers sets the size of the worker pool that parallelizes the
+	// per-example forward/backward computation: 0 uses every CPU
+	// (runtime.NumCPU()), 1 runs sequentially, n > 1 uses n workers. (The
+	// factorml facade first resolves 0 to its database-wide
+	// Options.NumWorkers default, which itself defaults to every CPU.) Chunk
+	// geometry and gradient-merge order are independent of this knob (see
+	// internal/parallel), so the trained network is bit-for-bit identical
+	// for every value. The GroupedGradient extension keeps its sequential
+	// implementation regardless of NumWorkers.
+	NumWorkers int
+
 	// ShuffleSeed, when non-zero, permutes R1's keys before every epoch —
 	// the paper's SGD scheme (§VI). Combined with Mode == Block this gives
 	// stochastic mini-batch training whose batch composition varies per

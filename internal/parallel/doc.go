@@ -1,0 +1,36 @@
+// Package parallel is the shared execution engine that lets the trainers
+// split one pass over the fact tuples across worker goroutines without
+// giving up the paper's exactness guarantee.
+//
+// # Determinism contract
+//
+// Floating-point addition is not associative, so a naive parallel reduction
+// would make the trained model depend on goroutine scheduling and on the
+// worker count. This engine removes both dependencies:
+//
+//   - The producer cuts the stream into chunks whose boundaries depend only
+//     on the data (fixed chunk row counts, block boundaries), never on the
+//     number of workers.
+//   - Each chunk is processed against its own accumulator by whichever
+//     worker picks it up; workers share nothing.
+//   - Chunk accumulators are merged into the global state in chunk order,
+//     by a single goroutine, regardless of the order in which workers
+//     finish.
+//
+// The sequence of floating-point operations applied to any accumulator is
+// therefore a pure function of the input stream and the chunk geometry.
+// Training with Workers(1) — which runs the identical chunked structure
+// inline, with no goroutines — produces bit-for-bit the same model as
+// training with any other worker count. The determinism tests in
+// internal/gmm and internal/nn assert exactly this.
+//
+// # Barriers
+//
+// Run's producer may call Feed.Barrier to wait until every chunk emitted so
+// far has been worked and merged, and then run a function on the producer
+// goroutine while the pool is quiescent. The trainers use barriers at
+// R1-block boundaries: per-block dimension caches are refilled, and Block-
+// mode gradient steps are applied, only while no worker is in flight. All
+// synchronization is by channel hand-off, so the code is clean under the
+// race detector.
+package parallel

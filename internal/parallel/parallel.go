@@ -1,0 +1,329 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"factorml/internal/core"
+)
+
+// DefaultChunkRows is the number of stream rows grouped into one work chunk
+// by callers that have no better block structure to follow. It is a fixed
+// constant — never derived from the worker count — because chunk geometry
+// determines the floating-point reduction order (see the package comment).
+const DefaultChunkRows = 256
+
+// Workers resolves a NumWorkers configuration knob: 0 selects
+// runtime.NumCPU(), anything below 1 clamps to 1 (sequential), and any
+// other value is used as given.
+func Workers(n int) int {
+	if n == 0 {
+		return runtime.NumCPU()
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// errAborted is handed to the producer once the run has failed elsewhere;
+// Run itself always returns the original error.
+var errAborted = errors.New("parallel: run aborted")
+
+// RowChunk is a pooled batch of dense rows copied out of a training stream:
+// N rows of width D flattened row-major, starting at global row index
+// Start, optionally with one scalar per row (Ys). The GMM and NN trainers
+// share this type so the determinism-critical chunk geometry lives in one
+// place.
+type RowChunk struct {
+	Start int
+	N     int
+	D     int
+	Rows  []float64
+	Ys    []float64
+}
+
+var rowChunkPool = sync.Pool{New: func() any { return new(RowChunk) }}
+
+// GetRowChunk returns a pooled chunk with capacity for DefaultChunkRows
+// rows of width d (withY adds the per-row scalar column), positioned at
+// global row index start.
+func GetRowChunk(start, d int, withY bool) *RowChunk {
+	c := rowChunkPool.Get().(*RowChunk)
+	need := DefaultChunkRows * d
+	if cap(c.Rows) < need {
+		c.Rows = make([]float64, need)
+	}
+	c.Rows = c.Rows[:need]
+	if withY {
+		if cap(c.Ys) < DefaultChunkRows {
+			c.Ys = make([]float64, DefaultChunkRows)
+		}
+		c.Ys = c.Ys[:DefaultChunkRows]
+	}
+	c.Start = start
+	c.N = 0
+	c.D = d
+	return c
+}
+
+// PutRowChunk recycles a chunk obtained from GetRowChunk.
+func PutRowChunk(c *RowChunk) { rowChunkPool.Put(c) }
+
+// DefaultFillGrain is the index-range grain used by RunRange.
+const DefaultFillGrain = 64
+
+// RunRange splits [0, n) into fixed grains and runs body on the worker
+// pool. It is meant for cache fills whose writes land at disjoint indexes,
+// so the only reduction is the op accounting: each grain charges a private
+// core.Ops, and the grain counters are merged in grain order into total
+// (integer sums, so the totals match the sequential accounting exactly).
+func RunRange(workers, n int, body func(start, end int, ops *core.Ops) error, total *core.Ops) error {
+	// Never spin up more workers than there are grains — tiny fills (a
+	// handful of grains per block, once per EM pass) run inline instead of
+	// paying pool startup. The grain geometry and merge order are the same
+	// either way, so the results are unchanged.
+	if g := (n + DefaultFillGrain - 1) / DefaultFillGrain; workers > g {
+		workers = g
+	}
+	return Run(workers,
+		func(f *Feed[[2]int]) error {
+			for s := 0; s < n; s += DefaultFillGrain {
+				e := s + DefaultFillGrain
+				if e > n {
+					e = n
+				}
+				if err := f.Emit([2]int{s, e}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(r [2]int) (core.Ops, error) {
+			var ops core.Ops
+			err := body(r[0], r[1], &ops)
+			return ops, err
+		},
+		func(ops core.Ops) error {
+			*total = total.Plus(ops)
+			return nil
+		})
+}
+
+// Feed is the producer's handle into a Run. It is only valid for the
+// duration of the produce callback and must be used from that goroutine.
+type Feed[C any] struct {
+	emit    func(C) error
+	barrier func(func() error) error
+}
+
+// Emit hands one chunk to the pool. Chunks are worked concurrently but
+// merged strictly in emission order.
+func (f *Feed[C]) Emit(c C) error { return f.emit(c) }
+
+// Barrier blocks until every chunk emitted so far has been worked and
+// merged, then runs fn (which may be nil) on the producer goroutine while
+// the pool is quiescent. Shared state written inside fn is safely visible
+// to workers processing later chunks, and vice versa.
+func (f *Feed[C]) Barrier(fn func() error) error { return f.barrier(fn) }
+
+type job[C any] struct {
+	seq int
+	c   C
+}
+
+type result[R any] struct {
+	seq int
+	r   R
+}
+
+type barrierReq struct {
+	upto int // number of chunks that must be merged before release
+	done chan struct{}
+}
+
+// Run executes one deterministic chunked map-reduce pass.
+//
+// produce runs on the calling goroutine and emits chunks through the Feed.
+// work runs on worker goroutines, one chunk at a time, and returns the
+// chunk's partial result. merge runs on a single goroutine and receives the
+// partial results strictly in emission order; it may be nil when chunks
+// carry no reduction (pure fills into disjoint locations).
+//
+// With workers <= 1 everything runs inline on the calling goroutine in the
+// exact same chunk/merge structure, so the produced floating-point results
+// are bit-identical for every worker count.
+func Run[C, R any](workers int, produce func(f *Feed[C]) error, work func(c C) (R, error), merge func(r R) error) error {
+	if workers <= 1 {
+		f := &Feed[C]{
+			emit: func(c C) error {
+				r, err := work(c)
+				if err != nil {
+					return err
+				}
+				if merge == nil {
+					return nil
+				}
+				return merge(r)
+			},
+			barrier: func(fn func() error) error {
+				if fn == nil {
+					return nil
+				}
+				return fn()
+			},
+		}
+		return produce(f)
+	}
+
+	// The reorder window bounds how far emission may run ahead of in-order
+	// merging: Emit blocks once `window` chunks are outstanding, so one
+	// stalled worker cannot make the merger buffer an unbounded number of
+	// completed accumulators (which can be large — e.g. full gradient
+	// workspaces).
+	window := 4 * workers
+	var (
+		jobs     = make(chan job[C])
+		results  = make(chan result[R], 2*workers)
+		barriers = make(chan barrierReq)
+		credits  = make(chan struct{}, window)
+		abort    = make(chan struct{})
+		failOnce sync.Once
+		runErr   error
+	)
+	for i := 0; i < window; i++ {
+		credits <- struct{}{}
+	}
+	fail := func(err error) {
+		failOnce.Do(func() {
+			runErr = err
+			close(abort)
+		})
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobs {
+				r, err := work(jb.c)
+				if err != nil {
+					fail(err)
+					return
+				}
+				select {
+				case results <- result[R]{seq: jb.seq, r: r}:
+				case <-abort:
+					return
+				}
+			}
+		}()
+	}
+
+	mergerDone := make(chan struct{})
+	go func() {
+		defer close(mergerDone)
+		next := 0
+		pending := make(map[int]R)
+		var waiting []barrierReq
+		release := func() {
+			kept := waiting[:0]
+			for _, b := range waiting {
+				if b.upto <= next {
+					close(b.done)
+				} else {
+					kept = append(kept, b)
+				}
+			}
+			waiting = kept
+		}
+		for {
+			select {
+			case res, ok := <-results:
+				if !ok {
+					return
+				}
+				pending[res.seq] = res.r
+				for {
+					r, ok := pending[next]
+					if !ok {
+						break
+					}
+					delete(pending, next)
+					if merge != nil {
+						if err := merge(r); err != nil {
+							fail(err)
+							return
+						}
+					}
+					next++
+					// Each merged chunk returns one emission credit; the
+					// channel has capacity for every outstanding token, so
+					// this never blocks.
+					credits <- struct{}{}
+				}
+				release()
+			case b := <-barriers:
+				if b.upto <= next {
+					close(b.done)
+				} else {
+					waiting = append(waiting, b)
+				}
+			case <-abort:
+				return
+			}
+		}
+	}()
+
+	seq := 0
+	f := &Feed[C]{
+		emit: func(c C) error {
+			select {
+			case <-credits:
+			case <-abort:
+				return errAborted
+			}
+			select {
+			case jobs <- job[C]{seq: seq, c: c}:
+				seq++
+				return nil
+			case <-abort:
+				return errAborted
+			}
+		},
+		barrier: func(fn func() error) error {
+			done := make(chan struct{})
+			select {
+			case barriers <- barrierReq{upto: seq, done: done}:
+			case <-abort:
+				return errAborted
+			}
+			select {
+			case <-done:
+			case <-abort:
+				return errAborted
+			}
+			if fn == nil {
+				return nil
+			}
+			return fn()
+		},
+	}
+	prodErr := produce(f)
+	close(jobs)
+	wg.Wait()
+	close(results)
+	<-mergerDone
+
+	if runErr != nil {
+		return runErr
+	}
+	if errors.Is(prodErr, errAborted) {
+		// Aborted without a recorded cause cannot happen, but never surface
+		// the sentinel.
+		return nil
+	}
+	return prodErr
+}
