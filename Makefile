@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet ci
+.PHONY: all build test race bench serve-smoke fmt vet ci
 
 all: build
 
@@ -17,9 +17,16 @@ race:
 	$(GO) test -race ./...
 
 # Benchmark smoke: one iteration of every benchmark, no unit tests. The
-# parallel sweep writes BENCH_parallel.json (ns/op per algorithm x workers).
+# parallel sweep writes BENCH_parallel.json (ns/op per algorithm x workers)
+# and the serving sweep writes BENCH_serve.json (rows/sec per model x
+# workers).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Serving smoke: datagen a tiny star schema, train -save both model kinds,
+# boot cmd/serve and curl /healthz + predictions + /statsz.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -30,4 +37,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench
+ci: fmt vet build race bench serve-smoke

@@ -50,32 +50,39 @@ func recordBench(bench, algo string, workers int, nsPerOp float64) {
 	}
 }
 
-// TestMain flushes any parallel-benchmark measurements to
-// BENCH_parallel.json after the run (benchmarks only populate the recorder
-// under -bench).
+// TestMain flushes any benchmark measurements to their JSON files after
+// the run (benchmarks only populate the recorders under -bench).
 func TestMain(m *testing.M) {
 	code := m.Run()
+	flushParallelBench()
+	flushServeBench() // see bench_serve_test.go
+	os.Exit(code)
+}
+
+// flushParallelBench writes the parallel-sweep measurements to
+// BENCH_parallel.json.
+func flushParallelBench() {
 	benchRecorder.mu.Lock()
 	records := make([]benchRecord, 0, len(benchRecorder.order))
 	for _, key := range benchRecorder.order {
 		records = append(records, benchRecorder.records[key])
 	}
 	benchRecorder.mu.Unlock()
-	if len(records) > 0 {
-		out := struct {
-			Unit    string        `json:"unit"`
-			NumCPU  int           `json:"num_cpu"`
-			Results []benchRecord `json:"results"`
-		}{Unit: "ns/op", NumCPU: runtime.NumCPU(), Results: records}
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err == nil {
-			err = os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644)
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: writing BENCH_parallel.json: %v\n", err)
-		}
+	if len(records) == 0 {
+		return
 	}
-	os.Exit(code)
+	out := struct {
+		Unit    string        `json:"unit"`
+		NumCPU  int           `json:"num_cpu"`
+		Results []benchRecord `json:"results"`
+	}{Unit: "ns/op", NumCPU: runtime.NumCPU(), Results: records}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: writing BENCH_parallel.json: %v\n", err)
+	}
 }
 
 // benchWorkerCounts returns the worker counts to sweep: sequential, 4 (the

@@ -1,0 +1,158 @@
+package factorml
+
+// Serving-throughput benchmark: the factorized prediction engine is timed
+// over a fixed request batch at 1 and N workers for both model families,
+// and the measurements are flushed to BENCH_serve.json (uploaded as a CI
+// artifact alongside BENCH_parallel.json; see TestMain).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"factorml/internal/data"
+	"factorml/internal/gmm"
+	"factorml/internal/nn"
+	"factorml/internal/serve"
+)
+
+// serveBenchRecord is one (model, workers) throughput measurement in
+// BENCH_serve.json.
+type serveBenchRecord struct {
+	Model      string  `json:"model"`
+	Workers    int     `json:"workers"`
+	BatchRows  int     `json:"batch_rows"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+var serveBenchRecorder struct {
+	mu      sync.Mutex
+	order   []string
+	records map[string]serveBenchRecord
+}
+
+// recordServeBench keeps the latest measurement per (model, workers) — the
+// testing package re-invokes benchmark bodies while calibrating b.N.
+func recordServeBench(rec serveBenchRecord) {
+	serveBenchRecorder.mu.Lock()
+	defer serveBenchRecorder.mu.Unlock()
+	key := fmt.Sprintf("%s/%d", rec.Model, rec.Workers)
+	if serveBenchRecorder.records == nil {
+		serveBenchRecorder.records = make(map[string]serveBenchRecord)
+	}
+	if _, seen := serveBenchRecorder.records[key]; !seen {
+		serveBenchRecorder.order = append(serveBenchRecorder.order, key)
+	}
+	serveBenchRecorder.records[key] = rec
+}
+
+// flushServeBench writes the serving measurements to BENCH_serve.json
+// (called from TestMain).
+func flushServeBench() {
+	serveBenchRecorder.mu.Lock()
+	records := make([]serveBenchRecord, 0, len(serveBenchRecorder.order))
+	for _, key := range serveBenchRecorder.order {
+		records = append(records, serveBenchRecorder.records[key])
+	}
+	serveBenchRecorder.mu.Unlock()
+	if len(records) == 0 {
+		return
+	}
+	out := struct {
+		Unit    string             `json:"unit"`
+		NumCPU  int                `json:"num_cpu"`
+		Results []serveBenchRecord `json:"results"`
+	}{Unit: "ns per batch", NumCPU: runtime.NumCPU(), Results: records}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_serve.json", append(blob, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: writing BENCH_serve.json: %v\n", err)
+	}
+}
+
+// Serving workload: enough rows per batch to amortize pool startup, with
+// rr = nS/nR = 25 repeated foreign keys per dimension tuple so the
+// dimension cache carries the factorization payoff.
+const (
+	benchServeNS = 5000
+	benchServeNR = 200
+	benchServeDS = 10
+	benchServeDR = 10
+)
+
+// BenchmarkServeThroughput times Engine.Predict over a full fact-table
+// batch per op, sweeping worker counts for both model families.
+func BenchmarkServeThroughput(b *testing.B) {
+	db := benchDB(b)
+	spec, err := data.Generate(db, "sv", data.SynthConfig{
+		NS: benchServeNS, NR: []int{benchServeNR}, DS: benchServeDS, DR: []int{benchServeDR},
+		Seed: 3, WithTarget: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nres, err := nn.TrainF(db, spec, nn.Config{Hidden: []int{benchNH}, Epochs: 1, NumWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gres, err := gmm.TrainF(db, spec, gmm.Config{K: 4, MaxIter: 1, Tol: 1e-300, NumWorkers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := serve.NewRegistry(db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.SaveNN("bench-nn", nres.Net); err != nil {
+		b.Fatal(err)
+	}
+	if err := reg.SaveGMM("bench-gmm", gres.Model); err != nil {
+		b.Fatal(err)
+	}
+
+	var rows []serve.Row
+	sc := spec.S.NewScanner()
+	for sc.Next() {
+		tp := sc.Tuple()
+		rows = append(rows, serve.Row{
+			Fact: append([]float64{}, tp.Features...),
+			FKs:  append([]int64{}, tp.Keys[1:]...),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, model := range []string{"bench-nn", "bench-gmm"} {
+		for _, workers := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/workers=%d", model, workers), func(b *testing.B) {
+				eng, err := serve.NewEngine(reg, spec.Rs, serve.EngineConfig{NumWorkers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					preds, _, err := eng.Predict(model, rows)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if preds[0].Err != "" {
+						b.Fatal(preds[0].Err)
+					}
+				}
+				nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+				recordServeBench(serveBenchRecord{
+					Model: model, Workers: workers, BatchRows: len(rows),
+					NsPerOp:    nsPerOp,
+					RowsPerSec: float64(len(rows)) / (nsPerOp / 1e9),
+				})
+			})
+		}
+	}
+}

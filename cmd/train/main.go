@@ -5,10 +5,12 @@
 //
 //	train -db orders.db -fact synth_S -dims synth_R1 -model gmm -algo f -k 5
 //	train -db orders.db -fact synth_S -dims synth_R1,synth_R2 \
-//	      -model nn -algo f -hidden 50 -epochs 10
+//	      -model nn -algo f -hidden 50 -epochs 10 -save orders-nn
 //
 // It prints training time, page I/O, multiplication counts and the model's
-// final log-likelihood (GMM) or loss (NN).
+// final log-likelihood (GMM) or loss (NN). With -save the trained model is
+// persisted in the database's model registry under the given name, ready
+// for the serve command.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"factorml/internal/gmm"
 	"factorml/internal/join"
 	"factorml/internal/nn"
+	"factorml/internal/serve"
 	"factorml/internal/storage"
 )
 
@@ -39,20 +42,75 @@ func main() {
 	lr := flag.Float64("lr", 0.05, "NN learning rate")
 	seed := flag.Int64("seed", 1, "initialization seed")
 	workers := flag.Int("workers", 0, "training worker pool size (0 = all CPUs, 1 = sequential); the result is bit-identical for every value")
+	save := flag.String("save", "", "save the trained model in the database's model registry under this name (for the serve command)")
 	flag.Parse()
 
 	if *dbDir == "" || *fact == "" || *dims == "" {
 		fmt.Fprintln(os.Stderr, "train: -db, -fact and -dims are required")
 		os.Exit(2)
 	}
-	if err := run(*dbDir, *fact, *dims, *model, *algo, *k, *iters, *tol, *hidden, *act, *epochs, *lr, *seed, *workers); err != nil {
+	if err := validateFlags(*model, *k, *iters, *tol, *epochs, *lr, *workers, *save); err != nil {
+		fmt.Fprintln(os.Stderr, "train:", err)
+		os.Exit(2)
+	}
+	if err := run(*dbDir, *fact, *dims, *model, *algo, *k, *iters, *tol, *hidden, *act, *epochs, *lr, *seed, *workers, *save); err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
 }
 
+// validateFlags rejects out-of-range numeric flags up front with a clear
+// message, instead of passing them through to the trainers (where, e.g., a
+// negative -workers would silently clamp to sequential).
+func validateFlags(model string, k, iters int, tol float64, epochs int, lr float64, workers int, save string) error {
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (0 = all CPUs, 1 = sequential), got %d", workers)
+	}
+	switch model {
+	case "gmm":
+		if k < 1 {
+			return fmt.Errorf("-k must be >= 1, got %d", k)
+		}
+		if iters < 1 {
+			return fmt.Errorf("-iters must be >= 1, got %d", iters)
+		}
+		if tol < 0 {
+			return fmt.Errorf("-tol must be >= 0, got %g", tol)
+		}
+	case "nn":
+		if epochs < 1 {
+			return fmt.Errorf("-epochs must be >= 1, got %d", epochs)
+		}
+		if lr <= 0 {
+			return fmt.Errorf("-lr must be > 0, got %g", lr)
+		}
+		// An unknown -model is rejected by run's switch; this function only
+		// range-checks the numeric flags of the known families.
+	}
+	if save != "" && !serve.ValidModelName(save) {
+		return fmt.Errorf("-save %q is not a valid model name (1-64 chars: letters, digits, '_', '-', starting alphanumeric)", save)
+	}
+	return nil
+}
+
+// parseHidden parses and validates the -hidden layer list.
+func parseHidden(hidden string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(hidden, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -hidden %q: %w", hidden, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("bad -hidden %q: layer size %d, want >= 1", hidden, v)
+		}
+		sizes = append(sizes, v)
+	}
+	return sizes, nil
+}
+
 func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
-	hidden, act string, epochs int, lr float64, seed int64, workers int) error {
+	hidden, act string, epochs int, lr float64, seed int64, workers int, save string) error {
 
 	db, err := storage.Open(dbDir, storage.Options{PoolPages: -1})
 	if err != nil {
@@ -74,6 +132,27 @@ func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
 	}
 	if err := spec.Validate(); err != nil {
 		return err
+	}
+
+	saveModel := func(kind string, doSave func(*serve.Registry) error) error {
+		if save == "" {
+			return nil
+		}
+		// NewRegistry loads every model persisted in the database, not just
+		// the one being overwritten — the price of keeping version numbering
+		// and validation in one place. Fine for a training CLI; a dedicated
+		// save-only path is only worth it if databases accumulate many large
+		// models.
+		reg, err := serve.NewRegistry(db)
+		if err != nil {
+			return err
+		}
+		if err := doSave(reg); err != nil {
+			return err
+		}
+		info, _ := reg.Get(save)
+		fmt.Printf("  saved:          %s model %q (version %d)\n", kind, save, info.Version)
+		return nil
 	}
 
 	switch model {
@@ -99,16 +178,12 @@ func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
 		fmt.Printf("  train time:     %v\n", res.Stats.TrainTime)
 		fmt.Printf("  multiplies:     %d\n", res.Stats.Ops.Mul)
 		fmt.Printf("  page IO:        %v\n", res.Stats.IO)
-		return nil
+		return saveModel("gmm", func(reg *serve.Registry) error { return reg.SaveGMM(save, res.Model) })
 
 	case "nn":
-		var sizes []int
-		for _, part := range strings.Split(hidden, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				return fmt.Errorf("bad -hidden %q: %w", hidden, err)
-			}
-			sizes = append(sizes, v)
+		sizes, err := parseHidden(hidden)
+		if err != nil {
+			return err
 		}
 		var activation nn.Activation
 		switch act {
@@ -144,7 +219,7 @@ func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
 		fmt.Printf("  train time:  %v\n", res.Stats.TrainTime)
 		fmt.Printf("  multiplies:  %d\n", res.Stats.Ops.Mul)
 		fmt.Printf("  page IO:     %v\n", res.Stats.IO)
-		return nil
+		return saveModel("nn", func(reg *serve.Registry) error { return reg.SaveNN(save, res.Net) })
 
 	default:
 		return fmt.Errorf("unknown model %q (gmm or nn)", model)

@@ -39,11 +39,14 @@ package factorml
 import (
 	"errors"
 	"fmt"
+	"net/http"
+	"sync"
 
 	"factorml/internal/data"
 	"factorml/internal/gmm"
 	"factorml/internal/join"
 	"factorml/internal/nn"
+	"factorml/internal/serve"
 	"factorml/internal/storage"
 )
 
@@ -100,6 +103,19 @@ type (
 	SyntheticConfig = data.SynthConfig
 	// DatasetShape describes one of the paper's real-dataset shapes.
 	DatasetShape = data.Shape
+	// ModelInfo describes one model in the database's model registry.
+	ModelInfo = serve.ModelInfo
+	// ModelKind identifies a registered model's family ("gmm" or "nn").
+	ModelKind = serve.Kind
+	// ServeConfig tunes the prediction engine behind NewPredictionServer
+	// (worker pool size, dimension-cache capacity, micro-batch rows).
+	ServeConfig = serve.EngineConfig
+)
+
+// Registered model kinds.
+const (
+	KindGMM = serve.KindGMM
+	KindNN  = serve.KindNN
 )
 
 // Re-exported NN activation and batching constants.
@@ -136,6 +152,10 @@ type Options struct {
 type DB struct {
 	db   *storage.Database
 	opts Options
+
+	regOnce sync.Once
+	reg     *serve.Registry
+	regErr  error
 }
 
 // Open creates or opens a database directory.
@@ -347,4 +367,105 @@ func GenerateRealShape(d *DB, name string, scale float64, seed int64) (*Dataset,
 		return nil, err
 	}
 	return &Dataset{db: d, spec: spec}, nil
+}
+
+// registry lazily opens the model registry of the database directory. The
+// registry loads every persisted model on first use and is shared by the
+// save/load methods and NewPredictionServer.
+func (d *DB) registry() (*serve.Registry, error) {
+	d.regOnce.Do(func() { d.reg, d.regErr = serve.NewRegistry(d.db) })
+	return d.reg, d.regErr
+}
+
+// SaveGMM persists a trained mixture model under a name in the database's
+// model registry (version 1, or a bumped version when the name exists).
+// Saved models survive Close/Open and are served by NewPredictionServer
+// and cmd/serve. The registry keeps a reference to the model; do not
+// mutate it afterwards.
+func (d *DB) SaveGMM(name string, m *GMMModel) error {
+	reg, err := d.registry()
+	if err != nil {
+		return err
+	}
+	return reg.SaveGMM(name, m)
+}
+
+// SaveNN persists a trained network under a name in the database's model
+// registry. See SaveGMM for the registry semantics.
+func (d *DB) SaveNN(name string, n *NNNetwork) error {
+	reg, err := d.registry()
+	if err != nil {
+		return err
+	}
+	return reg.SaveNN(name, n)
+}
+
+// LoadGMM returns the named mixture model from the registry. The model is
+// shared with the registry: treat it as read-only.
+func (d *DB) LoadGMM(name string) (*GMMModel, error) {
+	reg, err := d.registry()
+	if err != nil {
+		return nil, err
+	}
+	return reg.GMM(name)
+}
+
+// LoadNN returns the named network from the registry. The network is
+// shared with the registry: treat it as read-only.
+func (d *DB) LoadNN(name string) (*NNNetwork, error) {
+	reg, err := d.registry()
+	if err != nil {
+		return nil, err
+	}
+	return reg.NN(name)
+}
+
+// Models lists every registered model's metadata, sorted by name.
+func (d *DB) Models() ([]ModelInfo, error) {
+	reg, err := d.registry()
+	if err != nil {
+		return nil, err
+	}
+	return reg.List(), nil
+}
+
+// DeleteModel removes a model from the registry and from disk.
+func (d *DB) DeleteModel(name string) error {
+	reg, err := d.registry()
+	if err != nil {
+		return err
+	}
+	return reg.Delete(name)
+}
+
+// NewPredictionServer builds the factorized inference HTTP handler over
+// this database: registered models are scored against normalized fact rows
+// whose foreign keys are resolved in the named dimension tables (join
+// order — the same order used at training time). The handler exposes
+//
+//	POST /v1/models/{name}/predict, GET /v1/models,
+//	GET /healthz, GET /statsz
+//
+// Like training, prediction does dimension-tuple work once, not once per
+// row: per-dimension-tuple partial results are cached in a bounded LRU and
+// batches fan out over the worker pool, with responses bit-identical for
+// every ServeConfig.NumWorkers value. See cmd/serve for a runnable server.
+func NewPredictionServer(d *DB, dimTables []string, cfg ServeConfig) (http.Handler, error) {
+	reg, err := d.registry()
+	if err != nil {
+		return nil, err
+	}
+	var dims []*storage.Table
+	for _, name := range dimTables {
+		tbl, err := d.db.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		dims = append(dims, tbl)
+	}
+	eng, err := serve.NewEngine(reg, dims, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewServer(eng), nil
 }

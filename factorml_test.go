@@ -1,7 +1,11 @@
 package factorml
 
 import (
+	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 )
 
@@ -190,5 +194,131 @@ func TestIOStatsExposed(t *testing.T) {
 	}
 	if db.IOStats().LogicalReads == 0 {
 		t.Fatal("expected page reads to be counted")
+	}
+}
+
+// TestPublicAPIModelRegistry covers the facade's save/load/list/delete
+// surface and the persistence of models across Open cycles.
+func TestPublicAPIModelRegistry(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := buildRetail(t, db, 120, 8)
+	nres, err := TrainNN(ds, Factorized, NNConfig{Hidden: []int{6}, Epochs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := TrainGMM(ds, Factorized, GMMConfig{K: 2, MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveNN("retail-nn", nres.Net); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveGMM("retail-gmm", gres.Model); err != nil {
+		t.Fatal(err)
+	}
+	models, err := db.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 || models[0].Kind != KindGMM || models[1].Kind != KindNN {
+		t.Fatalf("Models = %+v", models)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	net, err := db2.LoadNN("retail-nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := net.MaxParamDiff(nres.Net); d != 0 {
+		t.Fatalf("reloaded network differs by %g, want bit-identical", d)
+	}
+	model, err := db2.LoadGMM("retail-gmm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := model.MaxParamDiff(gres.Model); d != 0 {
+		t.Fatalf("reloaded mixture differs by %g, want bit-identical", d)
+	}
+	if err := db2.DeleteModel("retail-gmm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.LoadGMM("retail-gmm"); err == nil {
+		t.Fatal("LoadGMM succeeded after DeleteModel")
+	}
+}
+
+// TestPublicAPIPredictionServer boots the facade's HTTP handler and checks
+// a served prediction bit-for-bit against the in-process network.
+func TestPublicAPIPredictionServer(t *testing.T) {
+	db := openDB(t)
+	ds := buildRetail(t, db, 120, 8)
+	nres, err := TrainNN(ds, Factorized, NNConfig{Hidden: []int{6}, Epochs: 2, NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveNN("retail-nn", nres.Net); err != nil {
+		t.Fatal(err)
+	}
+	handler, err := NewPredictionServer(db, []string{"items"}, ServeConfig{NumWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/models/retail-nn/predict", "application/json",
+		strings.NewReader(`{"rows":[{"fact":[1.5,10],"fks":[3]},{"fact":[1.5,10],"fks":[3]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+	var out struct {
+		Predictions []struct {
+			Output *float64 `json:"output"`
+		} `json:"predictions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Predictions) != 2 || out.Predictions[0].Output == nil {
+		t.Fatalf("response = %+v", out)
+	}
+	// items tuple 3 has features [13, 3, 1.5] (see buildRetail).
+	want := nres.Net.Predict([]float64{1.5, 10, 13, 3, 1.5})
+	if got := *out.Predictions[0].Output; math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+		t.Fatalf("served %v, in-process %v", got, want)
+	}
+	if *out.Predictions[0].Output != *out.Predictions[1].Output {
+		t.Fatal("identical rows served different outputs")
+	}
+
+	// The repeated foreign key must register as a dimension-cache hit.
+	sresp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		HitRate float64 `json:"dim_cache_hit_rate"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.HitRate == 0 {
+		t.Fatal("dimension-cache hit rate is zero after a repeated fk")
 	}
 }

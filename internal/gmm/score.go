@@ -1,0 +1,104 @@
+package gmm
+
+import (
+	"fmt"
+
+	"factorml/internal/core"
+	"factorml/internal/linalg"
+)
+
+// Scorer evaluates a trained mixture over normalized fact tuples with the
+// same factorization the F-GMM E-step uses (Eq. 7-12/19-21): the
+// per-component inverse covariances are factorized once at construction,
+// and the per-dimension-tuple quadratic-form contributions (core.QuadCache)
+// are computed by FillDimCaches — once per distinct dimension tuple — and
+// reused by Score for every matching fact tuple. All methods except
+// construction are safe for concurrent use; the serving engine shares one
+// Scorer across its worker pool.
+type Scorer struct {
+	m      *Model
+	p      core.Partition
+	states []compState
+}
+
+// NewScorer precomputes the blocked inverse covariances for scoring over
+// the relation partition p (p's total width must equal the model dimension;
+// part 0 is the fact relation).
+func (m *Model) NewScorer(p core.Partition) (*Scorer, error) {
+	if p.D != m.D {
+		return nil, fmt.Errorf("gmm: partition width %d does not match model dimension %d", p.D, m.D)
+	}
+	states, err := m.precompute(p, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Scorer{m: m, p: p, states: states}, nil
+}
+
+// K returns the number of mixture components (the length FillDimCaches
+// expects for its destination slice).
+func (s *Scorer) K() int { return s.m.K }
+
+// Partition returns the relation partition the scorer was built over.
+func (s *Scorer) Partition() core.Partition { return s.p }
+
+// FillDimCaches computes the K per-component quadratic-form caches of
+// dimension part i (i ≥ 1) for a dimension tuple with features xr.
+// dst must have length K. The result is a pure function of (model, part,
+// xr) — cache it per dimension tuple and share it across fact tuples.
+func (s *Scorer) FillDimCaches(dst []core.QuadCache, part int, xr []float64, ops *core.Ops) {
+	if len(dst) != s.m.K {
+		panic(fmt.Sprintf("gmm: dim-cache slice length %d, want K=%d", len(dst), s.m.K))
+	}
+	for c := range dst {
+		core.FillQuadCache(&dst[c], s.states[c].blocked, part, xr, s.m.Means[c], ops)
+	}
+}
+
+// ScoreScratch carries the per-goroutine buffers of Score.
+type ScoreScratch struct {
+	pds   []float64
+	logp  []float64
+	cptrs []*core.QuadCache
+	// Ops accumulates the floating-point op counts of every Score call made
+	// with this scratch.
+	Ops core.Ops
+}
+
+// NewScratch allocates scratch sized for this scorer.
+func (s *Scorer) NewScratch() *ScoreScratch {
+	return &ScoreScratch{
+		pds:   make([]float64, s.p.Dims[0]),
+		logp:  make([]float64, s.m.K),
+		cptrs: make([]*core.QuadCache, s.p.Parts()-1),
+	}
+}
+
+// Score computes ln p(x) and the most responsible component for one
+// normalized fact tuple: xs is the fact feature sub-vector (part 0),
+// caches[j] holds the K per-component caches of dimension part j+1 (from
+// FillDimCaches). The floating-point evaluation order is fixed, so the
+// result is bit-identical regardless of worker count or cache state, and
+// exact versus Model.LogProb/Model.Predict over the assembled joined
+// vector up to summation order.
+func (s *Scorer) Score(xs []float64, caches [][]core.QuadCache, sc *ScoreScratch) (logProb float64, cluster int) {
+	if len(caches) != s.p.Parts()-1 {
+		panic(fmt.Sprintf("gmm: %d dimension caches, partition has %d dimension parts", len(caches), s.p.Parts()-1))
+	}
+	for c := 0; c < s.m.K; c++ {
+		linalg.VecSub(sc.pds, xs, s.p.Slice(s.m.Means[c], 0))
+		sc.Ops.AddSub(len(sc.pds))
+		for j := range caches {
+			sc.cptrs[j] = &caches[j][c]
+		}
+		qv := core.FactQuad(s.states[c].blocked, sc.pds, sc.cptrs, &sc.Ops)
+		sc.logp[c] = s.states[c].logW + s.states[c].logNorm - 0.5*qv
+	}
+	best := 0
+	for c, v := range sc.logp {
+		if v > sc.logp[best] {
+			best = c
+		}
+	}
+	return linalg.LogSumExp(sc.logp), best
+}

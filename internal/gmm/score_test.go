@@ -1,0 +1,110 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"factorml/internal/core"
+	"factorml/internal/linalg"
+)
+
+// scoreTestModel builds a well-conditioned K=3 mixture over D=6 by hand.
+func scoreTestModel(t *testing.T) *Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	const K, D = 3, 6
+	m := &Model{K: K, D: D}
+	for k := 0; k < K; k++ {
+		m.Weights = append(m.Weights, float64(k+1))
+		mean := make([]float64, D)
+		for i := range mean {
+			mean[i] = rng.NormFloat64()
+		}
+		m.Means = append(m.Means, mean)
+		// SPD covariance: A·Aᵀ + 0.5·I.
+		a := linalg.NewDense(D, D)
+		for i := range a.Data() {
+			a.Data()[i] = 0.3 * rng.NormFloat64()
+		}
+		cov := linalg.NewDense(D, D)
+		for i := 0; i < D; i++ {
+			for j := 0; j < D; j++ {
+				s := 0.0
+				for l := 0; l < D; l++ {
+					s += a.At(i, l) * a.At(j, l)
+				}
+				cov.Set(i, j, s)
+			}
+			cov.Set(i, i, cov.At(i, i)+0.5)
+		}
+		m.Covs = append(m.Covs, cov)
+	}
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	for k := range m.Weights {
+		m.Weights[k] /= total
+	}
+	return m
+}
+
+// TestScorerMatchesLogProb checks the factorized scorer against the dense
+// Model.LogProb/Model.Predict on the assembled joined vector, and that its
+// output is bit-identical across cache refills.
+func TestScorerMatchesLogProb(t *testing.T) {
+	m := scoreTestModel(t)
+	p := core.NewPartition([]int{2, 3, 1}) // S ⋈ R1 ⋈ R2
+	s, err := m.NewScorer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != m.K {
+		t.Fatalf("K = %d, want %d", s.K(), m.K)
+	}
+	rng := rand.New(rand.NewSource(9))
+	sc := s.NewScratch()
+	var ops core.Ops
+	for trial := 0; trial < 25; trial++ {
+		x := make([]float64, m.D)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 2
+		}
+		caches := make([][]core.QuadCache, p.Parts()-1)
+		for j := range caches {
+			caches[j] = make([]core.QuadCache, s.K())
+			s.FillDimCaches(caches[j], 1+j, p.Slice(x, 1+j), &ops)
+		}
+		got, cluster := s.Score(p.Slice(x, 0), caches, sc)
+		want := m.LogProb(x)
+		if d := math.Abs(got - want); d > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: Score = %v, LogProb = %v (diff %g)", trial, got, want, d)
+		}
+		if dense := m.Predict(x); cluster != dense {
+			t.Fatalf("trial %d: Score cluster %d, Predict %d", trial, cluster, dense)
+		}
+
+		// Refilled caches produce bit-identical scores.
+		caches2 := make([][]core.QuadCache, p.Parts()-1)
+		for j := range caches2 {
+			caches2[j] = make([]core.QuadCache, s.K())
+			s.FillDimCaches(caches2[j], 1+j, p.Slice(x, 1+j), &ops)
+		}
+		again, _ := s.Score(p.Slice(x, 0), caches2, sc)
+		if again != got {
+			t.Fatalf("trial %d: refilled caches changed the score: %v vs %v", trial, again, got)
+		}
+	}
+	if ops.Mul == 0 {
+		t.Fatal("scorer charged no multiplies")
+	}
+}
+
+// TestScorerShapeValidation covers the constructor's width check.
+func TestScorerShapeValidation(t *testing.T) {
+	m := scoreTestModel(t)
+	if _, err := m.NewScorer(core.NewPartition([]int{2, 3})); err == nil {
+		t.Fatal("NewScorer accepted a partition narrower than the model")
+	}
+}

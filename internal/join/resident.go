@@ -1,0 +1,59 @@
+package join
+
+import (
+	"fmt"
+
+	"factorml/internal/storage"
+)
+
+// ResidentIndex pins a dimension table's feature vectors in memory, keyed
+// by primary key. Unlike HashIndex — whose lookups read pages through the
+// (single-threaded) buffer pool — a ResidentIndex is immutable after
+// construction and safe for concurrent probing, which is what the serving
+// path needs: the prediction engine probes one ResidentIndex per dimension
+// table from every worker of a request batch. The paper's setting already
+// assumes the dimension relations fit in memory (the block-nested-loops
+// join keeps Rs[1:] resident); this reuses that assumption at serve time.
+type ResidentIndex struct {
+	name  string
+	width int
+	feats map[int64][]float64
+}
+
+// BuildResidentIndex scans the table once and pins every tuple's features.
+func BuildResidentIndex(t *storage.Table) (*ResidentIndex, error) {
+	ix := &ResidentIndex{
+		name:  t.Schema().Name,
+		width: t.Schema().NumFeatures(),
+		feats: make(map[int64][]float64, t.NumTuples()),
+	}
+	sc := t.NewScanner()
+	for sc.Next() {
+		tp := sc.Tuple()
+		pk := tp.PrimaryKey()
+		if _, dup := ix.feats[pk]; dup {
+			return nil, fmt.Errorf("join: duplicate primary key %d in %q", pk, ix.name)
+		}
+		ix.feats[pk] = append([]float64{}, tp.Features...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// Name returns the indexed table's name.
+func (ix *ResidentIndex) Name() string { return ix.name }
+
+// Width returns the indexed table's feature width.
+func (ix *ResidentIndex) Width() int { return ix.width }
+
+// Len returns the number of indexed tuples.
+func (ix *ResidentIndex) Len() int { return len(ix.feats) }
+
+// Lookup returns the features of the tuple with the given primary key. The
+// slice is shared and must not be modified.
+func (ix *ResidentIndex) Lookup(pk int64) ([]float64, bool) {
+	f, ok := ix.feats[pk]
+	return f, ok
+}

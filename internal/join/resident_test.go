@@ -1,0 +1,84 @@
+package join
+
+import (
+	"testing"
+
+	"factorml/internal/storage"
+)
+
+func TestResidentIndex(t *testing.T) {
+	db, err := storage.Open(t.TempDir(), storage.Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable(&storage.Schema{
+		Name: "r", Keys: []string{"rid"}, Features: []string{"a", "b"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if err := tbl.Append(&storage.Tuple{Keys: []int64{i * 3}, Features: []float64{float64(i), -float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix, err := BuildResidentIndex(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 100 || ix.Width() != 2 || ix.Name() != "r" {
+		t.Fatalf("index shape: len=%d width=%d name=%q", ix.Len(), ix.Width(), ix.Name())
+	}
+	f, ok := ix.Lookup(42 * 3)
+	if !ok || f[0] != 42 || f[1] != -42 {
+		t.Fatalf("Lookup(126) = %v, %v", f, ok)
+	}
+	if _, ok := ix.Lookup(1); ok {
+		t.Fatal("Lookup(1) found a missing key")
+	}
+
+	// Concurrent probing is safe (exercised fully under -race).
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := int64(0); i < 100; i++ {
+				if _, ok := ix.Lookup(i * 3); !ok {
+					t.Error("missing key during concurrent probe")
+					return
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+func TestResidentIndexDuplicateKey(t *testing.T) {
+	db, err := storage.Open(t.TempDir(), storage.Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable(&storage.Schema{Name: "r", Keys: []string{"rid"}, Features: []string{"a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{1, 2, 1} {
+		if err := tbl.Append(&storage.Tuple{Keys: []int64{k}, Features: []float64{0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildResidentIndex(tbl); err == nil {
+		t.Fatal("BuildResidentIndex accepted a duplicate primary key")
+	}
+}

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"fmt"
+
+	"factorml/internal/linalg"
+)
+
+// This file exports the per-relation partial computations of the factorized
+// layer-1 forward pass (§VI-A1) for use outside the trainers — most notably
+// by the serving engine (internal/serve), which caches PartialPreAct results
+// per dimension tuple and completes each fact tuple's forward pass with
+// ForwardFactorized. The accumulation order is fixed (dimension parts in
+// relation order, then the layer-1 bias, then the fact part), so the output
+// for a given tuple is bit-identical regardless of worker count or cache
+// state.
+
+// HiddenWidth returns the width of the first hidden layer (Sizes[1]), the
+// length of every layer-1 partial pre-activation.
+func (n *Network) HiddenWidth() int { return n.Sizes[1] }
+
+// PartialPreAct computes the layer-1 pre-activation contribution of one
+// relation part: dst = W0[:, off:off+len(x)]·x, where x is the part's
+// feature sub-vector and off its column offset within the joined feature
+// vector. dst must have length HiddenWidth(). This is the quantity the
+// factorized trainers cache once per dimension tuple (the t_m of §VI-A1);
+// it is a pure function of (network, off, x).
+func (n *Network) PartialPreAct(dst []float64, off int, x []float64) {
+	if len(dst) != n.Sizes[1] {
+		panic(fmt.Sprintf("nn: partial pre-activation length %d, want %d", len(dst), n.Sizes[1]))
+	}
+	linalg.MatVecRange(dst, n.W[0], off, x)
+}
+
+// ForwardScratch holds one goroutine's activation buffers for
+// ForwardFactorized, so the serving hot path performs no per-row
+// allocation. Obtain one per worker via NewForwardScratch.
+type ForwardScratch struct {
+	a [][]float64 // a[l] has length Sizes[l+1]
+}
+
+// NewForwardScratch allocates scratch sized for this network.
+func (n *Network) NewForwardScratch() *ForwardScratch {
+	fs := &ForwardScratch{}
+	for l := 0; l < n.Layers(); l++ {
+		fs.a = append(fs.a, make([]float64, n.Sizes[l+1]))
+	}
+	return fs
+}
+
+// ForwardFactorized completes a forward pass from cached per-relation
+// partials: parts holds one PartialPreAct result per dimension relation (in
+// relation order) and xs is the fact tuple's feature sub-vector at column
+// offset 0. It mirrors the factorized trainers' accumulation order —
+// Σ parts, + b⁰, + W0_S·x_S — then runs the dense upper layers in fs's
+// buffers, and returns the scalar network output. The result is exact: it
+// equals Predict over the assembled joined vector up to floating-point
+// summation order.
+func (n *Network) ForwardFactorized(fs *ForwardScratch, xs []float64, parts [][]float64) float64 {
+	if len(fs.a) != n.Layers() {
+		panic(fmt.Sprintf("nn: scratch has %d layers, network %d", len(fs.a), n.Layers()))
+	}
+	a0 := fs.a[0]
+	if len(parts) == 0 {
+		copy(a0, n.B[0])
+	} else {
+		linalg.VecAdd(a0, parts[0], n.B[0])
+		for _, t := range parts[1:] {
+			linalg.VecAdd(a0, a0, t)
+		}
+	}
+	linalg.MatVecRangeAdd(a0, n.W[0], 0, xs)
+	if n.Layers() == 1 {
+		return a0[0] // single-layer network: linear output, no activation
+	}
+	n.Act.Apply(a0, a0)
+	cur := a0
+	for l := 1; l < n.Layers(); l++ {
+		out := fs.a[l]
+		linalg.MatVec(out, n.W[l], cur)
+		linalg.VecAdd(out, out, n.B[l])
+		if l < n.Layers()-1 {
+			n.Act.Apply(out, out)
+		}
+		cur = out
+	}
+	return cur[0]
+}

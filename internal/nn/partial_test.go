@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestForwardFactorizedMatchesPredict checks that the exported factorized
+// forward pass is exact versus the dense Predict over the assembled joined
+// vector, and bit-identical to itself across cache states (recomputed
+// partials are pure functions of the inputs).
+func TestForwardFactorizedMatchesPredict(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		sizes []int
+		act   Activation
+		dims  []int // relation partition of the input width
+	}{
+		{"one-hidden/binary", []int{7, 9, 1}, Sigmoid, []int{3, 4}},
+		{"two-hidden/3way", []int{10, 6, 5, 1}, Tanh, []int{4, 3, 3}},
+		{"relu/no-fact-features", []int{5, 4, 1}, ReLU, []int{0, 2, 3}},
+		{"single-layer", []int{6, 1}, Identity, []int{2, 4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net, err := NewNetwork(tc.sizes, tc.act, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			x := make([]float64, tc.sizes[0])
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			dS := tc.dims[0]
+			nh0 := net.HiddenWidth()
+
+			// Per-dimension partials at their column offsets.
+			var parts [][]float64
+			off := dS
+			for _, dR := range tc.dims[1:] {
+				part := make([]float64, nh0)
+				net.PartialPreAct(part, off, x[off:off+dR])
+				parts = append(parts, part)
+				off += dR
+			}
+
+			fs := net.NewForwardScratch()
+			got := net.ForwardFactorized(fs, x[:dS], parts)
+			want := net.Predict(x)
+			if d := math.Abs(got - want); d > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("ForwardFactorized = %v, Predict = %v (diff %g)", got, want, d)
+			}
+
+			// Recomputing the partials yields bit-identical output: partials
+			// are pure functions, so cache hits and misses cannot differ.
+			var parts2 [][]float64
+			off = dS
+			for _, dR := range tc.dims[1:] {
+				part := make([]float64, nh0)
+				net.PartialPreAct(part, off, x[off:off+dR])
+				parts2 = append(parts2, part)
+				off += dR
+			}
+			again := net.ForwardFactorized(fs, x[:dS], parts2)
+			if again != got {
+				t.Fatalf("recomputed partials changed the output: %v vs %v", again, got)
+			}
+		})
+	}
+}

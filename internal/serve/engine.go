@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"factorml/internal/core"
+	"factorml/internal/gmm"
+	"factorml/internal/join"
+	"factorml/internal/nn"
+	"factorml/internal/parallel"
+	"factorml/internal/storage"
+)
+
+// DefaultCacheEntries is the per-(model, dimension relation) LRU capacity
+// when EngineConfig.CacheEntries is zero.
+const DefaultCacheEntries = 4096
+
+// DefaultBatchRows is the micro-batch chunk size when
+// EngineConfig.BatchRows is zero. Like every chunk-geometry constant in
+// this codebase it is independent of the worker count.
+const DefaultBatchRows = 64
+
+// EngineConfig tunes the prediction engine.
+type EngineConfig struct {
+	// NumWorkers sizes the worker pool a request batch fans out over:
+	// 0 = all CPUs, 1 = sequential, n > 1 = n workers. Predictions are
+	// bit-identical for every value.
+	NumWorkers int
+
+	// CacheEntries bounds each per-(model, dimension relation) LRU of
+	// cached partial results (entries, not bytes). 0 selects
+	// DefaultCacheEntries. Cache hits and misses never change a prediction
+	// — cached partials are pure functions of the model and the dimension
+	// tuple — only its cost.
+	CacheEntries int
+
+	// BatchRows is the number of request rows per worker chunk. 0 selects
+	// DefaultBatchRows. The chunk geometry depends only on this knob and
+	// the batch size, never on NumWorkers.
+	BatchRows int
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.BatchRows <= 0 {
+		c.BatchRows = DefaultBatchRows
+	}
+	return c
+}
+
+// Row is one normalized prediction request: the fact tuple's own features
+// plus one foreign key per dimension table (in the engine's dimension
+// order). The joined feature vector is never materialized.
+type Row struct {
+	Fact []float64
+	FKs  []int64
+}
+
+// Prediction is the engine's result for one row. Exactly one of the value
+// fields is meaningful, selected by the model kind; Err is set when the row
+// failed (unknown foreign key, wrong width) while the rest of the batch
+// proceeded.
+type Prediction struct {
+	// Output is the network output (KindNN).
+	Output float64
+	// LogProb is ln p(x) under the mixture (KindGMM).
+	LogProb float64
+	// Cluster is the most responsible mixture component (KindGMM).
+	Cluster int
+	// Err describes a per-row failure; empty on success.
+	Err string
+}
+
+// modelState is the engine's prepared per-model-version scoring state.
+type modelState struct {
+	info ModelInfo
+	// ent is the registry entry this state was built from. Staleness is
+	// detected by entry identity, not version number: every save installs
+	// a fresh (immutable) entry, and a delete followed by a re-save under
+	// the same name restarts version numbering at 1, which version
+	// comparison alone would miss.
+	ent     *entry
+	p       core.Partition
+	net     *nn.Network // KindNN
+	scorer  *gmm.Scorer // KindGMM
+	caches  []*dimCache // one per dimension relation
+	scratch sync.Pool   // *predScratch
+}
+
+// predScratch is per-goroutine scoring scratch.
+type predScratch struct {
+	fwd     *nn.ForwardScratch
+	parts   [][]float64
+	qcaches [][]core.QuadCache
+	gsc     *gmm.ScoreScratch
+	ops     core.Ops
+}
+
+// Engine scores request batches against registered models over a fixed set
+// of dimension tables, without materializing the join. It is safe for
+// concurrent use.
+type Engine struct {
+	reg  *Registry
+	cfg  EngineConfig
+	idxs []*join.ResidentIndex
+	// dimWidths[j] is the feature width of dimension relation j; sumDR is
+	// their total, so a model of dimension D has a fact part of D - sumDR.
+	dimWidths []int
+	sumDR     int
+
+	mu     sync.Mutex
+	states map[string]*modelState
+
+	requests  atomic.Uint64
+	rows      atomic.Uint64
+	predictNs atomic.Uint64
+}
+
+// NewEngine builds an engine over the given dimension tables (join order:
+// the model's feature layout must be [fact features, dims[0] features, …]).
+// The dimension tables are pinned in memory, mirroring the resident-
+// relation assumption of the training-side block-nested-loops join.
+func NewEngine(reg *Registry, dims []*storage.Table, cfg EngineConfig) (*Engine, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("serve: engine needs a registry")
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("serve: engine needs at least one dimension table")
+	}
+	e := &Engine{reg: reg, cfg: cfg.withDefaults(), states: make(map[string]*modelState)}
+	for _, t := range dims {
+		ix, err := join.BuildResidentIndex(t)
+		if err != nil {
+			return nil, err
+		}
+		e.idxs = append(e.idxs, ix)
+		e.dimWidths = append(e.dimWidths, ix.Width())
+		e.sumDR += ix.Width()
+	}
+	return e, nil
+}
+
+// Registry returns the registry the engine serves from.
+func (e *Engine) Registry() *Registry { return e.reg }
+
+// DimensionTables returns the names of the engine's dimension tables in
+// join order.
+func (e *Engine) DimensionTables() []string {
+	names := make([]string, len(e.idxs))
+	for i, ix := range e.idxs {
+		names[i] = ix.Name()
+	}
+	return names
+}
+
+// state returns the prepared scoring state for the named model, rebuilding
+// it when the registry holds a newer version (saves bump versions, so a
+// re-saved model invalidates its cached partials).
+func (e *Engine) state(name string) (*modelState, error) {
+	ent, ok := e.reg.lookup(name)
+	if !ok {
+		// Drop any state left over from a deleted model so its caches are
+		// reclaimed (Stats prunes the remaining cases).
+		e.mu.Lock()
+		delete(e.states, name)
+		e.mu.Unlock()
+		return nil, errUnknownModel{name}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.states[name]; ok && st.ent == ent {
+		return st, nil
+	}
+	dS := ent.info.Dim - e.sumDR
+	if dS < 0 {
+		return nil, fmt.Errorf("serve: model %q has dimension %d, smaller than the %d dimension-table features",
+			name, ent.info.Dim, e.sumDR)
+	}
+	p := core.NewPartition(append([]int{dS}, e.dimWidths...))
+	st := &modelState{info: ent.info, ent: ent, p: p}
+	switch ent.info.Kind {
+	case KindNN:
+		st.net = ent.nn
+	case KindGMM:
+		scorer, err := ent.gmm.NewScorer(p)
+		if err != nil {
+			return nil, err
+		}
+		st.scorer = scorer
+	default:
+		return nil, fmt.Errorf("serve: model %q has unknown kind %q", name, ent.info.Kind)
+	}
+	st.caches = make([]*dimCache, len(e.idxs))
+	for j := range st.caches {
+		st.caches[j] = newDimCache(e.cfg.CacheEntries)
+	}
+	q := len(e.idxs)
+	st.scratch.New = func() any {
+		sc := &predScratch{
+			parts:   make([][]float64, q),
+			qcaches: make([][]core.QuadCache, q),
+		}
+		if st.net != nil {
+			sc.fwd = st.net.NewForwardScratch()
+		}
+		if st.scorer != nil {
+			sc.gsc = st.scorer.NewScratch()
+		}
+		return sc
+	}
+	e.states[name] = st
+	return st, nil
+}
+
+// dimPartial returns dimension relation j's cached partial for the tuple
+// with primary key fk, computing and caching it on a miss: the NN layer-1
+// partial pre-activation t_m (§VI-A1) or the K GMM quadratic-form caches
+// (Eq. 7-12). The value is a pure function of (model version, j, fk), so
+// hits, misses and racing double-computations all yield identical bits.
+func (e *Engine) dimPartial(st *modelState, sc *predScratch, j int, fk int64) (any, error) {
+	if v, ok := st.caches[j].get(fk); ok {
+		return v, nil
+	}
+	feats, ok := e.idxs[j].Lookup(fk)
+	if !ok {
+		return nil, fmt.Errorf("unknown foreign key %d for dimension table %q", fk, e.idxs[j].Name())
+	}
+	var v any
+	if st.net != nil {
+		t := make([]float64, st.net.HiddenWidth())
+		st.net.PartialPreAct(t, st.p.Offs[1+j], feats)
+		v = t
+	} else {
+		qc := make([]core.QuadCache, st.scorer.K())
+		st.scorer.FillDimCaches(qc, 1+j, feats, &sc.ops)
+		v = qc
+	}
+	st.caches[j].put(fk, v)
+	return v, nil
+}
+
+// scoreRow fills out for one row. Row-level failures land in out.Err.
+func (e *Engine) scoreRow(st *modelState, sc *predScratch, row *Row, out *Prediction) {
+	if len(row.Fact) != st.p.Dims[0] {
+		out.Err = fmt.Sprintf("row has %d fact features, model %q wants %d", len(row.Fact), st.info.Name, st.p.Dims[0])
+		return
+	}
+	if len(row.FKs) != len(e.idxs) {
+		out.Err = fmt.Sprintf("row has %d foreign keys, engine probes %d dimension tables", len(row.FKs), len(e.idxs))
+		return
+	}
+	for j, fk := range row.FKs {
+		v, err := e.dimPartial(st, sc, j, fk)
+		if err != nil {
+			out.Err = err.Error()
+			return
+		}
+		if st.net != nil {
+			sc.parts[j] = v.([]float64)
+		} else {
+			sc.qcaches[j] = v.([]core.QuadCache)
+		}
+	}
+	if st.net != nil {
+		out.Output = st.net.ForwardFactorized(sc.fwd, row.Fact, sc.parts)
+		return
+	}
+	out.LogProb, out.Cluster = st.scorer.Score(row.Fact, sc.qcaches, sc.gsc)
+}
+
+// Predict scores a batch of rows against the named model. The batch is cut
+// into fixed-size chunks (EngineConfig.BatchRows) and fanned across the
+// worker pool; each prediction lands at its row's index, so the response
+// order — and, because every cached partial is pure, every floating-point
+// result — is bit-identical for any worker count. Per-row failures are
+// reported in Prediction.Err without failing the batch; batch-level
+// failures (unknown model, model/table shape mismatch) return an error.
+func (e *Engine) Predict(name string, rows []Row) ([]Prediction, ModelInfo, error) {
+	start := time.Now()
+	st, err := e.state(name)
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	out := make([]Prediction, len(rows))
+	batch := e.cfg.BatchRows
+	chunks := (len(rows) + batch - 1) / batch
+	nw := parallel.Workers(e.cfg.NumWorkers)
+	if nw > chunks {
+		nw = chunks // tiny batches run inline; geometry is unchanged
+	}
+	err = parallel.Run(nw,
+		func(f *parallel.Feed[[2]int]) error {
+			for s := 0; s < len(rows); s += batch {
+				end := s + batch
+				if end > len(rows) {
+					end = len(rows)
+				}
+				if err := f.Emit([2]int{s, end}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(rg [2]int) (struct{}, error) {
+			sc := st.scratch.Get().(*predScratch)
+			for i := rg[0]; i < rg[1]; i++ {
+				e.scoreRow(st, sc, &rows[i], &out[i])
+			}
+			st.scratch.Put(sc)
+			return struct{}{}, nil
+		},
+		nil)
+	if err != nil {
+		return nil, ModelInfo{}, err
+	}
+	e.requests.Add(1)
+	e.rows.Add(uint64(len(rows)))
+	e.predictNs.Add(uint64(time.Since(start).Nanoseconds()))
+	return out, st.info, nil
+}
+
+// Stats is a snapshot of the engine's serving counters.
+type Stats struct {
+	Models          int     `json:"models"`
+	Requests        uint64  `json:"requests"`
+	Rows            uint64  `json:"rows"`
+	DimCacheHits    uint64  `json:"dim_cache_hits"`
+	DimCacheMisses  uint64  `json:"dim_cache_misses"`
+	DimCacheHitRate float64 `json:"dim_cache_hit_rate"`
+	DimCacheEntries int     `json:"dim_cache_entries"`
+	PredictNsTotal  uint64  `json:"predict_ns_total"`
+	AvgRowMicros    float64 `json:"avg_row_micros"`
+}
+
+// Stats returns cumulative serving counters across all models. States of
+// models that have been deleted from the registry are pruned (their caches
+// reclaimed and their counters dropped) rather than reported as phantom
+// cache traffic.
+func (e *Engine) Stats() Stats {
+	s := Stats{Models: e.reg.Len(), Requests: e.requests.Load(), Rows: e.rows.Load(), PredictNsTotal: e.predictNs.Load()}
+	e.mu.Lock()
+	for name, st := range e.states {
+		if _, ok := e.reg.lookup(name); !ok {
+			delete(e.states, name)
+			continue
+		}
+		for _, c := range st.caches {
+			h, m := c.counters()
+			s.DimCacheHits += h
+			s.DimCacheMisses += m
+			s.DimCacheEntries += c.len()
+		}
+	}
+	e.mu.Unlock()
+	if total := s.DimCacheHits + s.DimCacheMisses; total > 0 {
+		s.DimCacheHitRate = float64(s.DimCacheHits) / float64(total)
+	}
+	if s.Rows > 0 {
+		s.AvgRowMicros = float64(s.PredictNsTotal) / 1e3 / float64(s.Rows)
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package serve_test
+
+import (
+	"testing"
+
+	"factorml/internal/data"
+	"factorml/internal/gmm"
+	"factorml/internal/join"
+	"factorml/internal/nn"
+	"factorml/internal/serve"
+	"factorml/internal/storage"
+)
+
+// testStar generates a small two-dimension star schema with a target.
+func testStar(t testing.TB, dir string) (*storage.Database, *join.Spec) {
+	t.Helper()
+	db, err := storage.Open(dir, storage.Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := data.Generate(db, "synth", data.SynthConfig{
+		NS: 600, NR: []int{25, 10}, DS: 3, DR: []int{2, 2}, Seed: 2, WithTarget: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, spec
+}
+
+// trainModels trains one NN and one GMM over the spec (factorized,
+// sequential — the serving tests own the worker-count sweeps).
+func trainModels(t testing.TB, db *storage.Database, spec *join.Spec) (*nn.Network, *gmm.Model) {
+	t.Helper()
+	nres, err := nn.TrainF(db, spec, nn.Config{Hidden: []int{8}, Epochs: 2, NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := gmm.TrainF(db, spec, gmm.Config{K: 3, MaxIter: 3, Tol: 1e-12, NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nres.Net, gres.Model
+}
+
+// factRows scans the fact table into engine request rows and, for expected-
+// value computation, the assembled joined feature vectors.
+func factRows(t testing.TB, spec *join.Spec, limit int) (rows []serve.Row, joined [][]float64) {
+	t.Helper()
+	var idxs []*join.ResidentIndex
+	for _, r := range spec.Rs {
+		ix, err := join.BuildResidentIndex(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxs = append(idxs, ix)
+	}
+	sc := spec.S.NewScanner()
+	for sc.Next() {
+		tp := sc.Tuple()
+		row := serve.Row{
+			Fact: append([]float64{}, tp.Features...),
+			FKs:  append([]int64{}, tp.Keys[1:]...),
+		}
+		x := append([]float64{}, tp.Features...)
+		for j, fk := range row.FKs {
+			feats, ok := idxs[j].Lookup(fk)
+			if !ok {
+				t.Fatalf("fact tuple references missing fk %d in dim %d", fk, j)
+			}
+			x = append(x, feats...)
+		}
+		rows = append(rows, row)
+		joined = append(joined, x)
+		if limit > 0 && len(rows) == limit {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return rows, joined
+}
+
+// newTestEngine builds a registry+engine over the spec's dimension tables.
+func newTestEngine(t testing.TB, db *storage.Database, spec *join.Spec, cfg serve.EngineConfig) (*serve.Registry, *serve.Engine) {
+	t.Helper()
+	reg, err := serve.NewRegistry(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.NewEngine(reg, spec.Rs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, eng
+}

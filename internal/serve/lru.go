@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// dimCache is a bounded LRU of per-dimension-tuple partial results, keyed
+// by the tuple's primary key. Values are immutable once inserted (they are
+// pure functions of the model and the dimension tuple), so concurrent
+// readers may share them freely; the map and recency list are guarded by a
+// mutex. Two goroutines that miss on the same key may both compute the
+// value — the results are bit-identical, so whichever insert lands last
+// wins without affecting any prediction.
+type dimCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[int64]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type dimCacheItem struct {
+	key int64
+	val any
+}
+
+func newDimCache(capacity int) *dimCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &dimCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[int64]*list.Element, capacity),
+	}
+}
+
+// get returns the cached value for key, marking it most recently used.
+func (c *dimCache) get(key int64) (any, bool) {
+	c.mu.Lock()
+	el, ok := c.items[key]
+	var val any
+	if ok {
+		c.ll.MoveToFront(el)
+		// Read val inside the critical section: put's existing-key branch
+		// overwrites it under the same lock.
+		val = el.Value.(*dimCacheItem).val
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return val, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put inserts a value, evicting the least recently used entry when full.
+func (c *dimCache) put(key int64, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*dimCacheItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	for c.ll.Len() >= c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*dimCacheItem).key)
+	}
+	c.items[key] = c.ll.PushFront(&dimCacheItem{key: key, val: val})
+}
+
+// len returns the number of cached entries.
+func (c *dimCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// counters returns the cumulative hit/miss counts.
+func (c *dimCache) counters() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

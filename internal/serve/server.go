@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxPredictBody bounds a predict request body (32 MiB).
+const maxPredictBody = 32 << 20
+
+// Server is the HTTP JSON front end over a Registry and an Engine.
+//
+//	GET    /healthz                  — liveness + model count
+//	GET    /statsz                   — engine counters (cache hit rate, latency)
+//	GET    /v1/models                — list registered models
+//	GET    /v1/models/{name}         — one model's metadata
+//	DELETE /v1/models/{name}         — unregister and delete a model
+//	POST   /v1/models/{name}/predict — score a batch of normalized rows
+type Server struct {
+	reg   *Registry
+	eng   *Engine
+	start time.Time
+	mux   *http.ServeMux
+}
+
+// NewServer wires the handlers. The engine's registry is used for the
+// model endpoints.
+func NewServer(eng *Engine) *Server {
+	s := &Server{reg: eng.Registry(), eng: eng, start: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
+	s.mux.HandleFunc("GET /v1/models/{name}", s.handleGetModel)
+	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDeleteModel)
+	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"models":         s.reg.Len(),
+		"dimensions":     s.eng.DimensionTables(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.List()})
+}
+
+func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no model %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Delete(name); err != nil {
+		status := http.StatusInternalServerError
+		if IsUnknownModel(err) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// predictRequest is the POST /v1/models/{name}/predict body.
+type predictRequest struct {
+	Rows []predictRowJSON `json:"rows"`
+}
+
+type predictRowJSON struct {
+	Fact []float64 `json:"fact"`
+	FKs  []int64   `json:"fks"`
+}
+
+// predictionJSON is one row's result. Value fields are pointers so the
+// response carries exactly the fields meaningful for the model kind.
+type predictionJSON struct {
+	Output  *float64 `json:"output,omitempty"`
+	LogProb *float64 `json:"log_prob,omitempty"`
+	Cluster *int     `json:"cluster,omitempty"`
+	Err     string   `json:"error,omitempty"`
+}
+
+type predictResponse struct {
+	Model       string           `json:"model"`
+	Kind        Kind             `json:"kind"`
+	Version     int              `json:"version"`
+	Predictions []predictionJSON `json:"predictions"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req predictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "request has no rows")
+		return
+	}
+	rows := make([]Row, len(req.Rows))
+	for i, rr := range req.Rows {
+		rows[i] = Row{Fact: rr.Fact, FKs: rr.FKs}
+	}
+	preds, info, err := s.eng.Predict(name, rows)
+	if err != nil {
+		status := http.StatusBadRequest
+		if IsUnknownModel(err) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	resp := predictResponse{
+		Model: info.Name, Kind: info.Kind, Version: info.Version,
+		Predictions: make([]predictionJSON, len(preds)),
+	}
+	for i := range preds {
+		p := &preds[i]
+		if p.Err != "" {
+			resp.Predictions[i].Err = p.Err
+			continue
+		}
+		switch info.Kind {
+		case KindNN:
+			resp.Predictions[i].Output = &p.Output
+		case KindGMM:
+			resp.Predictions[i].LogProb = &p.LogProb
+			resp.Predictions[i].Cluster = &p.Cluster
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Serve smoke test: datagen → train -save → boot cmd/serve → curl /healthz,
+# one predict, and /statsz. Exercises the full train→save→reload→serve path
+# through the real binaries, the way CI and operators run them.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$tmp/datagen" ./cmd/datagen
+go build -o "$tmp/train" ./cmd/train
+go build -o "$tmp/serve" ./cmd/serve
+
+echo "== generating tiny synthetic star schema"
+"$tmp/datagen" -db "$tmp/db" -ns 500 -nr 20 -ds 3 -dr 3 -seed 1
+
+echo "== rejecting invalid flags"
+if "$tmp/train" -db "$tmp/db" -fact synth_S -dims synth_R1 -model nn -workers -2 2>"$tmp/err"; then
+    echo "train accepted -workers -2" >&2; exit 1
+fi
+grep -q 'workers must be >= 0' "$tmp/err"
+
+echo "== training and saving models"
+"$tmp/train" -db "$tmp/db" -fact synth_S -dims synth_R1 -model nn -algo f \
+    -hidden 8 -epochs 2 -save smoke-nn
+"$tmp/train" -db "$tmp/db" -fact synth_S -dims synth_R1 -model gmm -algo f \
+    -k 2 -iters 2 -save smoke-gmm
+
+echo "== booting serve"
+"$tmp/serve" -db "$tmp/db" -dims synth_R1 -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^factorml-serve listening on \([^ ]*\).*/\1/p' "$tmp/serve.log")"
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$tmp/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never reported its address" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+echo "   serving on $addr"
+
+curl_json() { curl -sSf "$@"; }
+
+echo "== /healthz"
+health="$(curl_json "http://$addr/healthz")"
+echo "   $health"
+echo "$health" | grep -q '"status": "ok"'
+echo "$health" | grep -q '"models": 2'
+
+echo "== predict (repeated fk so the dimension cache must hit)"
+pred="$(curl_json -X POST "http://$addr/v1/models/smoke-nn/predict" \
+    -H 'Content-Type: application/json' \
+    -d '{"rows":[{"fact":[0.1,0.2,0.3],"fks":[5]},{"fact":[1,1,1],"fks":[5]}]}')"
+echo "   $pred"
+echo "$pred" | grep -q '"output"'
+if echo "$pred" | grep -q '"error"'; then
+    echo "predict returned a row error" >&2; exit 1
+fi
+
+gpred="$(curl_json -X POST "http://$addr/v1/models/smoke-gmm/predict" \
+    -H 'Content-Type: application/json' \
+    -d '{"rows":[{"fact":[0.1,0.2,0.3],"fks":[5]}]}')"
+echo "   $gpred"
+echo "$gpred" | grep -q '"log_prob"'
+echo "$gpred" | grep -q '"cluster"'
+
+echo "== /statsz (hit rate must be non-zero)"
+stats="$(curl_json "http://$addr/statsz")"
+echo "   $stats"
+echo "$stats" | grep -q '"dim_cache_hits"'
+if echo "$stats" | grep -q '"dim_cache_hit_rate": 0,'; then
+    echo "dimension cache hit rate is zero" >&2; exit 1
+fi
+
+echo "serve smoke: OK"
