@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench serve-smoke fmt vet ci
+.PHONY: all build test race bench serve-smoke stream-smoke fmt vet ci
 
 all: build
 
@@ -17,9 +17,10 @@ race:
 	$(GO) test -race ./...
 
 # Benchmark smoke: one iteration of every benchmark, no unit tests. The
-# parallel sweep writes BENCH_parallel.json (ns/op per algorithm x workers)
-# and the serving sweep writes BENCH_serve.json (rows/sec per model x
-# workers).
+# parallel sweep writes BENCH_parallel.json (ns/op per algorithm x workers),
+# the serving sweep writes BENCH_serve.json (rows/sec per model x workers)
+# and the streaming sweep writes BENCH_stream.json (incremental vs full
+# refresh cost x workers).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
@@ -27,6 +28,12 @@ bench:
 # boot cmd/serve and curl /healthz + predictions + /statsz.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# Streaming smoke: datagen -> train -> boot cmd/serve -fact -> ingest
+# deltas over HTTP -> dimension update changes predictions live, the
+# refresh-rows policy republishes the model, /statsz shows the counters.
+stream-smoke:
+	./scripts/stream_smoke.sh
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -37,4 +44,4 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race bench serve-smoke
+ci: fmt vet build race bench serve-smoke stream-smoke

@@ -55,7 +55,8 @@ func recordBench(bench, algo string, workers int, nsPerOp float64) {
 func TestMain(m *testing.M) {
 	code := m.Run()
 	flushParallelBench()
-	flushServeBench() // see bench_serve_test.go
+	flushServeBench()  // see bench_serve_test.go
+	flushStreamBench() // see bench_stream_test.go
 	os.Exit(code)
 }
 

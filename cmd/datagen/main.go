@@ -51,10 +51,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datagen: -db is required (or -list)")
 		os.Exit(2)
 	}
+	if err := validateFlags(*ns, *nr, *ds, *dr, *nr2, *dr2, *scale, *shape); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(2)
+	}
 	if err := run(*dbDir, *ns, *nr, *ds, *dr, *nr2, *dr2, *seed, *target, *shape, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects numeric flag values that would otherwise panic or
+// loop in the generator (negative cardinalities, zero-or-negative widths,
+// a second dimension table without a width, an out-of-range scale).
+func validateFlags(ns, nr, ds, dr, nr2, dr2 int, scale float64, shape string) error {
+	if shape != "" {
+		if scale <= 0 || scale > 1 {
+			return fmt.Errorf("-scale must be in (0,1], got %g", scale)
+		}
+		return nil
+	}
+	if ns < 1 {
+		return fmt.Errorf("-ns must be >= 1, got %d", ns)
+	}
+	if nr < 1 {
+		return fmt.Errorf("-nr must be >= 1, got %d", nr)
+	}
+	if ds < 1 {
+		return fmt.Errorf("-ds must be >= 1, got %d", ds)
+	}
+	if dr < 1 {
+		return fmt.Errorf("-dr must be >= 1, got %d", dr)
+	}
+	if nr2 < 0 || dr2 < 0 {
+		return fmt.Errorf("-nr2 and -dr2 must be >= 0, got %d and %d", nr2, dr2)
+	}
+	if nr2 > 0 && dr2 < 1 {
+		return fmt.Errorf("-dr2 must be >= 1 when -nr2 is set, got %d", dr2)
+	}
+	return nil
 }
 
 func run(dbDir string, ns, nr, ds, dr, nr2, dr2 int, seed int64, target bool, shape string, scale float64) error {

@@ -3,16 +3,26 @@
 // loaded from the model registry on startup and served over an HTTP JSON
 // API, scoring normalized fact tuples without materializing the join.
 //
+// With -fact the server also opens the streaming change feed over the
+// star schema: POST /v1/ingest appends fact rows and inserts/updates
+// dimension tuples, dimension updates reach served predictions
+// immediately (exactly the touched cache entries are invalidated), and
+// every registered model is kept under incremental maintenance —
+// refreshed from the ingested deltas either on the -refresh-rows
+// threshold or on demand, without restarting the server.
+//
 // Usage:
 //
 //	serve -db orders.db -dims synth_R1,synth_R2 -addr :8080
+//	serve -db orders.db -dims synth_R1 -fact synth_S -refresh-rows 1000
 //
 // Endpoints:
 //
 //	GET  /healthz                       liveness + model count
-//	GET  /statsz                        cache hit rate and latency counters
+//	GET  /statsz                        cache hit rate, latency, stream counters
 //	GET  /v1/models                     registered models
 //	POST /v1/models/{name}/predict      {"rows":[{"fact":[…],"fks":[…]}]}
+//	POST /v1/ingest                     {"facts":[…],"dims":[…]} (with -fact)
 //
 // Predictions are bit-identical for every -workers value; -dims must list
 // the dimension tables in the join order used at training time.
@@ -40,6 +50,11 @@ func main() {
 	workers := flag.Int("workers", 0, "prediction worker pool size (0 = all CPUs, 1 = sequential); responses are bit-identical for every value")
 	cacheEntries := flag.Int("cache", 0, "per-(model, dimension) LRU capacity in entries (0 = default 4096)")
 	batchRows := flag.Int("batch", 0, "rows per worker micro-batch chunk (0 = default 64)")
+	fact := flag.String("fact", "", "fact table name; enables streaming ingestion at POST /v1/ingest")
+	refreshRows := flag.Int("refresh-rows", 0, "auto-refresh attached models once this many ingested fact rows are pending (0 = manual; needs -fact)")
+	rebaseline := flag.Int("rebaseline-every", 0, "rebuild GMM statistics from scratch every Nth refresh (0 = only after dimension updates; needs -fact)")
+	refreshEpochs := flag.Int("refresh-epochs", 1, "warm-start SGD epochs per NN refresh (needs -fact)")
+	refreshLR := flag.Float64("refresh-lr", 0.05, "learning rate of NN refresh epochs (needs -fact)")
 	flag.Parse()
 
 	if *dbDir == "" || *dims == "" {
@@ -54,13 +69,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve: -cache and -batch must be >= 0")
 		os.Exit(2)
 	}
-	if err := run(*dbDir, *dims, *addr, *workers, *cacheEntries, *batchRows); err != nil {
+	if *refreshRows < 0 || *rebaseline < 0 || *refreshEpochs < 1 || *refreshLR <= 0 {
+		fmt.Fprintln(os.Stderr, "serve: -refresh-rows and -rebaseline-every must be >= 0, -refresh-epochs >= 1, -refresh-lr > 0")
+		os.Exit(2)
+	}
+	if *fact == "" && (*refreshRows > 0 || *rebaseline > 0 || *refreshEpochs != 1 || *refreshLR != 0.05) {
+		fmt.Fprintln(os.Stderr, "serve: -refresh-rows/-rebaseline-every/-refresh-epochs/-refresh-lr need -fact (streaming ingestion)")
+		os.Exit(2)
+	}
+	if err := run(*dbDir, *dims, *addr, *fact, *workers, *cacheEntries, *batchRows,
+		*refreshRows, *rebaseline, *refreshEpochs, *refreshLR); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbDir, dims, addr string, workers, cacheEntries, batchRows int) error {
+func run(dbDir, dims, addr, fact string, workers, cacheEntries, batchRows,
+	refreshRows, rebaseline, refreshEpochs int, refreshLR float64) error {
 	db, err := factorml.Open(dbDir, factorml.Options{})
 	if err != nil {
 		return err
@@ -71,11 +96,27 @@ func run(dbDir, dims, addr string, workers, cacheEntries, batchRows int) error {
 	for _, name := range strings.Split(dims, ",") {
 		dimTables = append(dimTables, strings.TrimSpace(name))
 	}
-	handler, err := factorml.NewPredictionServer(db, dimTables, factorml.ServeConfig{
-		NumWorkers: workers, CacheEntries: cacheEntries, BatchRows: batchRows,
-	})
-	if err != nil {
-		return err
+	scfg := factorml.ServeConfig{NumWorkers: workers, CacheEntries: cacheEntries, BatchRows: batchRows}
+	var handler http.Handler
+	if fact != "" {
+		pol := factorml.StreamPolicy{
+			RefreshRows:     refreshRows,
+			RebaselineEvery: rebaseline,
+			NumWorkers:      workers,
+			NNEpochs:        refreshEpochs,
+			NNLearningRate:  refreshLR,
+		}
+		h, st, err := factorml.NewStreamingPredictionServer(db, fact, dimTables, scfg, pol)
+		if err != nil {
+			return err
+		}
+		handler = h
+		fmt.Printf("models under incremental maintenance: %s\n", strings.Join(st.Attached(), ", "))
+	} else {
+		handler, err = factorml.NewPredictionServer(db, dimTables, scfg)
+		if err != nil {
+			return err
+		}
 	}
 	models, err := db.Models()
 	if err != nil {
@@ -83,6 +124,9 @@ func run(dbDir, dims, addr string, workers, cacheEntries, batchRows int) error {
 	}
 	for _, m := range models {
 		fmt.Printf("loaded model %q (%s, version %d, dim %d)\n", m.Name, m.Kind, m.Version, m.Dim)
+	}
+	if fact != "" {
+		fmt.Printf("streaming ingestion enabled over fact table %q (refresh-rows=%d)\n", fact, refreshRows)
 	}
 
 	ln, err := net.Listen("tcp", addr)

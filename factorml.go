@@ -48,6 +48,7 @@ import (
 	"factorml/internal/nn"
 	"factorml/internal/serve"
 	"factorml/internal/storage"
+	"factorml/internal/stream"
 )
 
 // Algorithm selects the execution strategy for training.
@@ -110,6 +111,23 @@ type (
 	// ServeConfig tunes the prediction engine behind NewPredictionServer
 	// (worker pool size, dimension-cache capacity, micro-batch rows).
 	ServeConfig = serve.EngineConfig
+	// StreamPolicy tunes when and how a Stream refreshes its attached
+	// models (refresh-row threshold, rebaseline cadence, worker pool,
+	// NN warm-start epochs and learning rate, GMM regularizer).
+	StreamPolicy = stream.Policy
+	// StreamBatch is one atomic change batch: fact appends plus dimension
+	// inserts/updates.
+	StreamBatch = stream.Batch
+	// FactRow is one new fact tuple in a StreamBatch.
+	FactRow = stream.FactRow
+	// DimUpdate is one dimension insert/update in a StreamBatch.
+	DimUpdate = stream.DimUpdate
+	// IngestResult reports what one Ingest applied.
+	IngestResult = stream.IngestResult
+	// RefreshResult reports one refresh across the attached models.
+	RefreshResult = stream.RefreshResult
+	// StreamCounters is a snapshot of a stream's cumulative counters.
+	StreamCounters = stream.Counters
 )
 
 // Registered model kinds.
@@ -436,6 +454,149 @@ func (d *DB) DeleteModel(name string) error {
 		return err
 	}
 	return reg.Delete(name)
+}
+
+// Stream is a live change feed over one star schema (see internal/stream):
+// Ingest appends fact and dimension deltas, and Refresh folds them into
+// every attached model incrementally — one warm-start EM step per GMM in
+// time proportional to the delta, NN warm-start epochs — publishing
+// refreshed models to the database's registry.
+type Stream struct {
+	st *stream.Stream
+}
+
+// NewStream opens a change feed over the star join rooted at fact. The
+// database's model registry receives every refreshed model (version
+// bump), so a prediction server over the same database serves refreshed
+// parameters without a restart.
+func (d *DB) NewStream(fact *FactTable, pol StreamPolicy) (*Stream, error) {
+	reg, err := d.registry()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := d.Dataset(fact) // validates and flushes the tables
+	if err != nil {
+		return nil, err
+	}
+	st, err := stream.New(d.db, ds.spec, stream.Options{Registry: reg, Policy: pol})
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{st: st}, nil
+}
+
+// AttachGMM puts a trained mixture under incremental maintenance (the
+// base statistics are built with one pass over the current fact table).
+func (s *Stream) AttachGMM(name string, m *GMMModel) error { return s.st.AttachGMM(name, m) }
+
+// AttachNN puts a trained network under incremental maintenance
+// (refreshes warm-start the factorized trainer from its parameters).
+func (s *Stream) AttachNN(name string, n *NNNetwork) error { return s.st.AttachNN(name, n) }
+
+// Ingest validates and applies one change batch; see DB.Ingest.
+func (s *Stream) Ingest(b StreamBatch) (IngestResult, error) { return s.st.Ingest(b) }
+
+// Refresh folds everything ingested so far into the attached models; see
+// DB.Refresh.
+func (s *Stream) Refresh() (RefreshResult, error) { return s.st.Refresh() }
+
+// GMM returns the current refreshed parameters of an attached mixture.
+func (s *Stream) GMM(name string) (*GMMModel, error) { return s.st.GMM(name) }
+
+// NN returns the current refreshed parameters of an attached network.
+func (s *Stream) NN(name string) (*NNNetwork, error) { return s.st.NN(name) }
+
+// Pending returns the number of fact rows ingested since the last refresh.
+func (s *Stream) Pending() int64 { return s.st.Pending() }
+
+// Counters returns a snapshot of the stream's cumulative counters.
+func (s *Stream) Counters() StreamCounters { return s.st.Counters() }
+
+// Attached returns the names of the models under incremental maintenance.
+func (s *Stream) Attached() []string { return s.st.Attached() }
+
+// Ingest validates and applies one change batch on the stream: dimension
+// inserts/updates first, then fact appends; nothing is applied when any
+// row fails validation. When the batch pushes the pending-row count over
+// StreamPolicy.RefreshRows, a refresh runs before Ingest returns.
+func (d *DB) Ingest(s *Stream, b StreamBatch) (IngestResult, error) { return s.Ingest(b) }
+
+// Refresh folds everything the stream has ingested into every attached
+// model — one incremental EM step per GMM (cost proportional to the
+// delta, bit-identical to recomputing the statistics over base+delta for
+// every worker count), NN warm-start epochs — and publishes the refreshed
+// models in the registry.
+func (d *DB) Refresh(s *Stream) (RefreshResult, error) { return s.Refresh() }
+
+// NewStreamingPredictionServer builds the prediction server like
+// NewPredictionServer and wires a live change feed into it: every
+// compatible registered model is attached for incremental maintenance,
+// POST /v1/ingest accepts StreamBatch JSON, dimension updates invalidate
+// exactly the serving-cache entries they touch, refreshed models are
+// republished (and served) without a restart, and /statsz gains a
+// "stream" section. fact names the fact table; dimTables list the
+// dimension tables in the join order used at training time.
+//
+// A registered model that does not fit this star schema — wrong joined
+// width, or an NN over a target-less fact table — is left un-attached and
+// keeps serving its saved parameters; the Stream's Attached list reports
+// which models are under maintenance. Any other attach failure (storage
+// I/O, a dangling foreign key surfaced by the base statistics pass) is
+// returned as an error.
+func NewStreamingPredictionServer(d *DB, fact string, dimTables []string, cfg ServeConfig, pol StreamPolicy) (http.Handler, *Stream, error) {
+	reg, err := d.registry()
+	if err != nil {
+		return nil, nil, err
+	}
+	factTbl, err := d.db.Table(fact)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := &join.Spec{S: factTbl}
+	var dims []*storage.Table
+	for _, name := range dimTables {
+		tbl, err := d.db.Table(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		dims = append(dims, tbl)
+		spec.Rs = append(spec.Rs, tbl)
+	}
+	eng, err := serve.NewEngine(reg, dims, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := serve.NewServer(eng)
+	st, err := stream.New(d.db, spec, stream.Options{Engine: eng, Registry: reg, Policy: pol})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, mi := range reg.List() {
+		var attachErr error
+		switch mi.Kind {
+		case KindGMM:
+			m, err := reg.GMM(mi.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			attachErr = st.AttachGMM(mi.Name, m)
+		case KindNN:
+			n, err := reg.NN(mi.Name)
+			if err != nil {
+				return nil, nil, err
+			}
+			attachErr = st.AttachNN(mi.Name, n)
+		}
+		// Schema-incompatible models stay served-but-static; anything
+		// else (storage I/O, dangling foreign keys found by the base
+		// statistics pass) is a real failure the operator must see.
+		if attachErr != nil && !stream.IsIncompatibleModel(attachErr) {
+			return nil, nil, fmt.Errorf("factorml: attaching model %q to the stream: %w", mi.Name, attachErr)
+		}
+	}
+	srv.SetIngestHandler(st.Handler())
+	srv.SetStreamStats(st.StatsProvider())
+	return srv, &Stream{st: st}, nil
 }
 
 // NewPredictionServer builds the factorized inference HTTP handler over

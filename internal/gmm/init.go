@@ -7,6 +7,35 @@ import (
 	"factorml/internal/linalg"
 )
 
+// warmStart validates cfg.Init against the dataset, counts the training
+// points with one (cheap, feature-free) pass — the count is needed for the
+// M-step weight denominators — and clones the model so the caller's copy
+// is never mutated by training. Every algorithm streams the same join, so
+// the warm-started trainers remain exactly comparable.
+func warmStart(pass passFn, d int, cfg Config) (*Model, int, error) {
+	if cfg.Init.D != d {
+		return nil, 0, fmt.Errorf("gmm: warm-start model has dimension %d, dataset joins to %d", cfg.Init.D, d)
+	}
+	if cfg.Init.K != cfg.K {
+		return nil, 0, fmt.Errorf("gmm: warm-start model has K=%d, config asks K=%d", cfg.Init.K, cfg.K)
+	}
+	n := 0
+	err := pass(func(x []float64) error {
+		if len(x) != d {
+			return fmt.Errorf("gmm: stream vector dim %d, want %d", len(x), d)
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if n == 0 {
+		return nil, 0, fmt.Errorf("gmm: warm start over an empty dataset")
+	}
+	return cfg.Init.Clone(), n, nil
+}
+
 // passFn streams every joined training vector in a deterministic order.
 // All three algorithms expose their data through this shape; only the
 // factorized trainer bypasses it for the EM passes themselves.
@@ -18,6 +47,9 @@ type passFn func(fn func(x []float64) error) error
 // deterministic stream order, so every algorithm arrives at the identical
 // initial model — a precondition for the exactness comparisons.
 func initModel(pass passFn, d int, cfg Config) (*Model, int, error) {
+	if cfg.Init != nil {
+		return warmStart(pass, d, cfg)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	reservoir := make([][]float64, 0, cfg.K)
 	sum := make([]float64, d)

@@ -37,6 +37,15 @@ type Config struct {
 	// BlockPages is forwarded to the join spec (0 = join.DefaultBlockPages).
 	BlockPages int
 
+	// Init, when non-nil, warm-starts training from this model instead of
+	// the seeded reservoir initialization: the trainer clones it and runs
+	// EM from there. Init.K must equal K and Init.D must match the joined
+	// feature width. Seed is then unused. A single warm-started iteration
+	// is the EM step the streaming subsystem's incremental GMM refresh is
+	// equivalent to (internal/stream pins the two against each other);
+	// it is also how a served model is retrained in place on base+delta.
+	Init *Model
+
 	// NumWorkers sets the size of the worker pool that parallelizes the
 	// training passes: 0 uses every CPU (runtime.NumCPU()), 1 runs
 	// sequentially on the calling goroutine, n > 1 uses n workers. (The

@@ -2,6 +2,7 @@ package gmm
 
 import (
 	"fmt"
+	"math"
 
 	"factorml/internal/core"
 	"factorml/internal/linalg"
@@ -74,14 +75,12 @@ func (s *Scorer) NewScratch() *ScoreScratch {
 	}
 }
 
-// Score computes ln p(x) and the most responsible component for one
-// normalized fact tuple: xs is the fact feature sub-vector (part 0),
-// caches[j] holds the K per-component caches of dimension part j+1 (from
-// FillDimCaches). The floating-point evaluation order is fixed, so the
-// result is bit-identical regardless of worker count or cache state, and
-// exact versus Model.LogProb/Model.Predict over the assembled joined
-// vector up to summation order.
-func (s *Scorer) Score(xs []float64, caches [][]core.QuadCache, sc *ScoreScratch) (logProb float64, cluster int) {
+// scoreComponents fills sc.logp with every component's factorized
+// log-density term for one normalized fact tuple. Score and
+// Responsibilities both evaluate through this single loop, so the serving
+// path and the incremental-maintenance E-step stay arithmetically
+// identical by construction — the bit-identity their tests pin.
+func (s *Scorer) scoreComponents(xs []float64, caches [][]core.QuadCache, sc *ScoreScratch) {
 	if len(caches) != s.p.Parts()-1 {
 		panic(fmt.Sprintf("gmm: %d dimension caches, partition has %d dimension parts", len(caches), s.p.Parts()-1))
 	}
@@ -94,6 +93,17 @@ func (s *Scorer) Score(xs []float64, caches [][]core.QuadCache, sc *ScoreScratch
 		qv := core.FactQuad(s.states[c].blocked, sc.pds, sc.cptrs, &sc.Ops)
 		sc.logp[c] = s.states[c].logW + s.states[c].logNorm - 0.5*qv
 	}
+}
+
+// Score computes ln p(x) and the most responsible component for one
+// normalized fact tuple: xs is the fact feature sub-vector (part 0),
+// caches[j] holds the K per-component caches of dimension part j+1 (from
+// FillDimCaches). The floating-point evaluation order is fixed, so the
+// result is bit-identical regardless of worker count or cache state, and
+// exact versus Model.LogProb/Model.Predict over the assembled joined
+// vector up to summation order.
+func (s *Scorer) Score(xs []float64, caches [][]core.QuadCache, sc *ScoreScratch) (logProb float64, cluster int) {
+	s.scoreComponents(xs, caches, sc)
 	best := 0
 	for c, v := range sc.logp {
 		if v > sc.logp[best] {
@@ -101,4 +111,22 @@ func (s *Scorer) Score(xs []float64, caches [][]core.QuadCache, sc *ScoreScratch
 		}
 	}
 	return linalg.LogSumExp(sc.logp), best
+}
+
+// Responsibilities computes γ_k(x) for one normalized fact tuple through
+// the same factorized evaluation as Score, filling gamma (length K) and
+// returning ln p(x) — the tuple's log-likelihood contribution. This is the
+// E-step kernel of the incremental-maintenance path (internal/stream): the
+// floating-point order is fixed, so absorbing the same rows yields the
+// same bits no matter how the work is batched or parallelized.
+func (s *Scorer) Responsibilities(xs []float64, caches [][]core.QuadCache, sc *ScoreScratch, gamma []float64) float64 {
+	if len(gamma) != s.m.K {
+		panic(fmt.Sprintf("gmm: gamma length %d, want K=%d", len(gamma), s.m.K))
+	}
+	s.scoreComponents(xs, caches, sc)
+	lse := linalg.LogSumExp(sc.logp)
+	for c := range gamma {
+		gamma[c] = math.Exp(sc.logp[c] - lse)
+	}
+	return lse
 }

@@ -108,3 +108,47 @@ func TestScorerShapeValidation(t *testing.T) {
 		t.Fatal("NewScorer accepted a partition narrower than the model")
 	}
 }
+
+// TestScorerSingleComponent pins the K=1 edge the incremental-maintenance
+// path leans on: responsibilities must be exactly 1 (the log-sum-exp of a
+// singleton), and the factorized log-density must match the dense one.
+func TestScorerSingleComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const D = 5
+	m := &Model{K: 1, D: D, Weights: []float64{1}}
+	mean := make([]float64, D)
+	for i := range mean {
+		mean[i] = rng.NormFloat64()
+	}
+	m.Means = append(m.Means, mean)
+	cov := linalg.Eye(D)
+	cov.AddDiag(0.5)
+	m.Covs = append(m.Covs, cov)
+
+	p := core.NewPartition([]int{2, 3})
+	s, err := m.NewScorer(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := s.NewScratch()
+	x := []float64{0.3, -0.7, 1.2, 0.1, -0.4}
+	caches := [][]core.QuadCache{make([]core.QuadCache, 1)}
+	var ops core.Ops
+	s.FillDimCaches(caches[0], 1, x[2:], &ops)
+
+	lp, cluster := s.Score(x[:2], caches, sc)
+	if cluster != 0 {
+		t.Fatalf("cluster = %d, want 0", cluster)
+	}
+	if want := m.LogProb(x); math.Abs(lp-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Fatalf("K=1 Score = %g, LogProb = %g", lp, want)
+	}
+	gamma := make([]float64, 1)
+	ll := s.Responsibilities(x[:2], caches, sc, gamma)
+	if gamma[0] != 1 {
+		t.Fatalf("K=1 responsibility = %g, want exactly 1", gamma[0])
+	}
+	if ll != lp {
+		t.Fatalf("Responsibilities LL = %g, Score = %g", ll, lp)
+	}
+}

@@ -1,0 +1,46 @@
+package gmm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWarmStartValidation covers the Config.Init error paths shared by
+// every trainer through initModel.
+func TestWarmStartValidation(t *testing.T) {
+	model := scoreTestModel(t) // K=3, D=6
+	pass := func(fn func(x []float64) error) error {
+		x := make([]float64, 6)
+		for i := 0; i < 10; i++ {
+			if err := fn(x); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if _, n, err := initModel(pass, 6, Config{K: 3, Init: model}); err != nil || n != 10 {
+		t.Fatalf("warm start = n=%d err=%v", n, err)
+	}
+	got, _, err := initModel(pass, 6, Config{K: 3, Init: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == model {
+		t.Fatal("warm start returned the caller's model instead of a clone")
+	}
+	if d := got.MaxParamDiff(model); d != 0 {
+		t.Fatalf("warm-start clone differs by %g", d)
+	}
+
+	if _, _, err := initModel(pass, 7, Config{K: 3, Init: model}); err == nil || !strings.Contains(err.Error(), "dimension") {
+		t.Fatalf("dimension mismatch accepted: %v", err)
+	}
+	if _, _, err := initModel(pass, 6, Config{K: 2, Init: model}); err == nil || !strings.Contains(err.Error(), "K=") {
+		t.Fatalf("K mismatch accepted: %v", err)
+	}
+	empty := func(fn func(x []float64) error) error { return nil }
+	if _, _, err := initModel(empty, 6, Config{K: 3, Init: model}); err == nil {
+		t.Fatal("warm start over an empty dataset accepted")
+	}
+}

@@ -66,19 +66,89 @@ func TestResidentIndexDuplicateKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	tbl, err := db.CreateTable(&storage.Schema{Name: "r", Keys: []string{"rid"}, Features: []string{"a"}})
+	tbl, err := db.CreateTable(&storage.Schema{Name: "items", Keys: []string{"rid"}, Features: []string{"a"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []int64{1, 2, 1} {
-		if err := tbl.Append(&storage.Tuple{Keys: []int64{k}, Features: []float64{0}}); err != nil {
+	for i, k := range []int64{1, 2, 1} {
+		if err := tbl.Append(&storage.Tuple{Keys: []int64{k}, Features: []float64{float64(10 * i)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if err := tbl.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := BuildResidentIndex(tbl); err == nil {
+	_, err = BuildResidentIndex(tbl)
+	if err == nil {
 		t.Fatal("BuildResidentIndex accepted a duplicate primary key")
+	}
+	// The error must name the table and give both conflicting tuples'
+	// context so operators can find the offending rows.
+	want := `join: duplicate primary key 1 in table "items": tuple at row 0 has features [0], tuple at row 2 has features [20]`
+	if err.Error() != want {
+		t.Fatalf("duplicate-key error = %q, want %q", err, want)
+	}
+}
+
+func TestResidentIndexUpsert(t *testing.T) {
+	db, err := storage.Open(t.TempDir(), storage.Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl, err := db.CreateTable(&storage.Schema{Name: "r", Keys: []string{"rid"}, Features: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 3; i++ {
+		if err := tbl.Append(&storage.Tuple{Keys: []int64{i}, Features: []float64{float64(i), 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildResidentIndex(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old, _ := ix.Lookup(1)
+	isNew, err := ix.Upsert(1, []float64{7, 8})
+	if err != nil || isNew {
+		t.Fatalf("Upsert(existing) = new=%v err=%v", isNew, err)
+	}
+	cur, _ := ix.Lookup(1)
+	if cur[0] != 7 || cur[1] != 8 {
+		t.Fatalf("Lookup after update = %v", cur)
+	}
+	// Copy-on-write contract: the previously returned slice is untouched
+	// and the replacement is a distinct slice — slice identity is the
+	// freshness token the serving caches rely on.
+	if old[0] != 1 || old[1] != 0 {
+		t.Fatalf("old slice mutated: %v", old)
+	}
+	if &old[0] == &cur[0] {
+		t.Fatal("Upsert reused the old backing slice")
+	}
+	// Dense positions are stable across updates; new keys append.
+	if p, ok := ix.Pos(1); !ok || p != 1 {
+		t.Fatalf("Pos(1) = %d, %v; want 1", p, ok)
+	}
+	isNew, err = ix.Upsert(99, []float64{1, 2})
+	if err != nil || !isNew {
+		t.Fatalf("Upsert(new) = new=%v err=%v", isNew, err)
+	}
+	if p, ok := ix.Pos(99); !ok || p != 3 {
+		t.Fatalf("Pos(99) = %d, %v; want 3", p, ok)
+	}
+	if pk, f := ix.At(3); pk != 99 || f[1] != 2 {
+		t.Fatalf("At(3) = %d, %v", pk, f)
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ix.Len())
+	}
+	if _, err := ix.Upsert(5, []float64{1}); err == nil {
+		t.Fatal("Upsert accepted a wrong-width vector")
 	}
 }

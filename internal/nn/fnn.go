@@ -47,7 +47,7 @@ func TrainF(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 	}
 	p := core.NewPartition(dims)
 
-	net, err := NewNetwork(cfg.sizes(p.D), cfg.Act, cfg.Seed)
+	net, err := initNetwork(cfg, p.D)
 	if err != nil {
 		return nil, err
 	}

@@ -62,7 +62,7 @@ func TrainM(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 		return sc.Err()
 	}
 
-	net, err := NewNetwork(cfg.sizes(spec.JoinedWidth()), cfg.Act, cfg.Seed)
+	net, err := initNetwork(cfg, spec.JoinedWidth())
 	if err != nil {
 		return nil, err
 	}

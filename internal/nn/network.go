@@ -132,6 +132,14 @@ type Config struct {
 	// BlockPages is forwarded to the join spec (0 = join.DefaultBlockPages).
 	BlockPages int
 
+	// Init, when non-nil, warm-starts training from this network instead
+	// of a fresh Xavier initialization: the trainer clones it and continues
+	// SGD from there (Hidden, Act and Seed are then unused — the cloned
+	// network fixes the architecture). Init.InputDim must match the joined
+	// feature width. This is what the streaming subsystem's refresh path
+	// uses to continue a served model on base+delta data.
+	Init *Network
+
 	// NumWorkers sets the size of the worker pool that parallelizes the
 	// per-example forward/backward computation: 0 uses every CPU
 	// (runtime.NumCPU()), 1 runs sequentially, n > 1 uses n workers. (The
@@ -203,6 +211,19 @@ func (c Config) validate() error {
 func (c Config) sizes(d int) []int {
 	sizes := append([]int{d}, c.Hidden...)
 	return append(sizes, 1)
+}
+
+// initNetwork returns the network training starts from: a clone of the
+// warm-start network when cfg.Init is set (so the caller's copy is never
+// mutated by training), or a fresh seeded initialization otherwise.
+func initNetwork(cfg Config, d int) (*Network, error) {
+	if cfg.Init != nil {
+		if got := cfg.Init.InputDim(); got != d {
+			return nil, fmt.Errorf("nn: warm-start network has input dim %d, dataset joins to %d", got, d)
+		}
+		return cfg.Init.Clone(), nil
+	}
+	return NewNetwork(cfg.sizes(d), cfg.Act, cfg.Seed)
 }
 
 // Stats reports how training went.

@@ -60,7 +60,7 @@ func TrainS(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 		})
 	}
 
-	net, err := NewNetwork(cfg.sizes(sp.JoinedWidth()), cfg.Act, cfg.Seed)
+	net, err := initNetwork(cfg, sp.JoinedWidth())
 	if err != nil {
 		return nil, err
 	}

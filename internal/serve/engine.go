@@ -116,9 +116,10 @@ type Engine struct {
 	mu     sync.Mutex
 	states map[string]*modelState
 
-	requests  atomic.Uint64
-	rows      atomic.Uint64
-	predictNs atomic.Uint64
+	requests         atomic.Uint64
+	rows             atomic.Uint64
+	predictNs        atomic.Uint64
+	dimInvalidations atomic.Uint64
 }
 
 // NewEngine builds an engine over the given dimension tables (join order:
@@ -156,6 +157,51 @@ func (e *Engine) DimensionTables() []string {
 		names[i] = ix.Name()
 	}
 	return names
+}
+
+// Index returns the engine's resident index over the named dimension
+// table, so the streaming subsystem can share one in-memory copy of the
+// dimension data instead of building its own.
+func (e *Engine) Index(table string) (*join.ResidentIndex, bool) {
+	for _, ix := range e.idxs {
+		if ix.Name() == table {
+			return ix, true
+		}
+	}
+	return nil, false
+}
+
+// ApplyDimUpdate installs a new feature vector for one dimension tuple in
+// the engine's resident index and invalidates exactly the cached partials
+// derived from it: the (model, relation, key) LRU entries of every
+// prepared model state. Later predictions probing that key recompute
+// against the new features, so a dimension update is observable without a
+// restart — and without touching any other cache entry.
+func (e *Engine) ApplyDimUpdate(table string, rid int64, feats []float64) (isNew bool, err error) {
+	j := -1
+	for i, ix := range e.idxs {
+		if ix.Name() == table {
+			j = i
+			break
+		}
+	}
+	if j < 0 {
+		return false, fmt.Errorf("serve: engine has no dimension table %q", table)
+	}
+	isNew, err = e.idxs[j].Upsert(rid, feats)
+	if err != nil {
+		return false, err
+	}
+	if !isNew {
+		e.mu.Lock()
+		for _, st := range e.states {
+			if st.caches[j].remove(rid) {
+				e.dimInvalidations.Add(1)
+			}
+		}
+		e.mu.Unlock()
+	}
+	return isNew, nil
 }
 
 // state returns the prepared scoring state for the named model, rebuilding
@@ -220,15 +266,19 @@ func (e *Engine) state(name string) (*modelState, error) {
 // dimPartial returns dimension relation j's cached partial for the tuple
 // with primary key fk, computing and caching it on a miss: the NN layer-1
 // partial pre-activation t_m (§VI-A1) or the K GMM quadratic-form caches
-// (Eq. 7-12). The value is a pure function of (model version, j, fk), so
-// hits, misses and racing double-computations all yield identical bits.
+// (Eq. 7-12). The value is a pure function of (model version, dimension
+// features), so hits, misses and racing double-computations all yield
+// identical bits. The current features are looked up first and passed to
+// the cache as its freshness token (see dimCache): an entry computed from
+// a since-replaced feature slice — including one racing a streaming
+// dimension update — is never served.
 func (e *Engine) dimPartial(st *modelState, sc *predScratch, j int, fk int64) (any, error) {
-	if v, ok := st.caches[j].get(fk); ok {
-		return v, nil
-	}
 	feats, ok := e.idxs[j].Lookup(fk)
 	if !ok {
 		return nil, fmt.Errorf("unknown foreign key %d for dimension table %q", fk, e.idxs[j].Name())
+	}
+	if v, ok := st.caches[j].get(fk, feats); ok {
+		return v, nil
 	}
 	var v any
 	if st.net != nil {
@@ -240,7 +290,7 @@ func (e *Engine) dimPartial(st *modelState, sc *predScratch, j int, fk int64) (a
 		st.scorer.FillDimCaches(qc, 1+j, feats, &sc.ops)
 		v = qc
 	}
-	st.caches[j].put(fk, v)
+	st.caches[j].put(fk, v, feats)
 	return v, nil
 }
 
@@ -333,8 +383,11 @@ type Stats struct {
 	DimCacheMisses  uint64  `json:"dim_cache_misses"`
 	DimCacheHitRate float64 `json:"dim_cache_hit_rate"`
 	DimCacheEntries int     `json:"dim_cache_entries"`
-	PredictNsTotal  uint64  `json:"predict_ns_total"`
-	AvgRowMicros    float64 `json:"avg_row_micros"`
+	// DimInvalidations counts cache entries surgically dropped by
+	// streaming dimension updates (ApplyDimUpdate).
+	DimInvalidations uint64  `json:"dim_invalidations"`
+	PredictNsTotal   uint64  `json:"predict_ns_total"`
+	AvgRowMicros     float64 `json:"avg_row_micros"`
 }
 
 // Stats returns cumulative serving counters across all models. States of
@@ -342,7 +395,10 @@ type Stats struct {
 // reclaimed and their counters dropped) rather than reported as phantom
 // cache traffic.
 func (e *Engine) Stats() Stats {
-	s := Stats{Models: e.reg.Len(), Requests: e.requests.Load(), Rows: e.rows.Load(), PredictNsTotal: e.predictNs.Load()}
+	s := Stats{
+		Models: e.reg.Len(), Requests: e.requests.Load(), Rows: e.rows.Load(),
+		DimInvalidations: e.dimInvalidations.Load(), PredictNsTotal: e.predictNs.Load(),
+	}
 	e.mu.Lock()
 	for name, st := range e.states {
 		if _, ok := e.reg.lookup(name); !ok {

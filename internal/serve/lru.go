@@ -13,6 +13,14 @@ import (
 // mutex. Two goroutines that miss on the same key may both compute the
 // value — the results are bit-identical, so whichever insert lands last
 // wins without affecting any prediction.
+//
+// Every entry records the feature slice it was computed from. The
+// resident index replaces (never mutates) a tuple's slice on update, so
+// slice identity is a per-key freshness token: a get whose caller holds a
+// different slice than the entry was derived from is a miss. This closes
+// the race where a predictor computes a partial from pre-update features
+// and inserts it after the update's invalidation — the stale entry can
+// land, but it can never be served again.
 type dimCache struct {
 	mu       sync.Mutex
 	capacity int
@@ -26,6 +34,14 @@ type dimCache struct {
 type dimCacheItem struct {
 	key int64
 	val any
+	src []float64 // the feature slice val was computed from
+}
+
+// sameFeats reports whether two feature slices are the identical
+// copy-on-write snapshot (zero-width features have no content to go
+// stale).
+func sameFeats(a, b []float64) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 func newDimCache(capacity int) *dimCache {
@@ -40,15 +56,22 @@ func newDimCache(capacity int) *dimCache {
 }
 
 // get returns the cached value for key, marking it most recently used.
-func (c *dimCache) get(key int64) (any, bool) {
+// src must be the caller's current feature slice for the key: an entry
+// derived from a different (stale) slice is a miss.
+func (c *dimCache) get(key int64, src []float64) (any, bool) {
 	c.mu.Lock()
 	el, ok := c.items[key]
 	var val any
 	if ok {
-		c.ll.MoveToFront(el)
-		// Read val inside the critical section: put's existing-key branch
-		// overwrites it under the same lock.
-		val = el.Value.(*dimCacheItem).val
+		item := el.Value.(*dimCacheItem)
+		if sameFeats(item.src, src) {
+			c.ll.MoveToFront(el)
+			// Read val inside the critical section: put's existing-key
+			// branch overwrites it under the same lock.
+			val = item.val
+		} else {
+			ok = false
+		}
 	}
 	c.mu.Unlock()
 	if ok {
@@ -59,12 +82,15 @@ func (c *dimCache) get(key int64) (any, bool) {
 	return nil, false
 }
 
-// put inserts a value, evicting the least recently used entry when full.
-func (c *dimCache) put(key int64, val any) {
+// put inserts a value computed from src, evicting the least recently used
+// entry when full.
+func (c *dimCache) put(key int64, val any, src []float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*dimCacheItem).val = val
+		item := el.Value.(*dimCacheItem)
+		item.val = val
+		item.src = src
 		c.ll.MoveToFront(el)
 		return
 	}
@@ -73,7 +99,22 @@ func (c *dimCache) put(key int64, val any) {
 		c.ll.Remove(last)
 		delete(c.items, last.Value.(*dimCacheItem).key)
 	}
-	c.items[key] = c.ll.PushFront(&dimCacheItem{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&dimCacheItem{key: key, val: val, src: src})
+}
+
+// remove drops the entry for key if present, reporting whether it existed.
+// The streaming path calls this when a dimension tuple is updated, so
+// exactly the cached partials derived from the stale tuple are discarded.
+func (c *dimCache) remove(key int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, key)
+	return true
 }
 
 // len returns the number of cached entries.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -18,11 +19,16 @@ const maxPredictBody = 32 << 20
 //	GET    /v1/models/{name}         — one model's metadata
 //	DELETE /v1/models/{name}         — unregister and delete a model
 //	POST   /v1/models/{name}/predict — score a batch of normalized rows
+//	POST   /v1/ingest                — streaming deltas (when enabled)
 type Server struct {
 	reg   *Registry
 	eng   *Engine
 	start time.Time
 	mux   *http.ServeMux
+
+	ingestMu    sync.RWMutex
+	ingest      http.Handler // nil until SetIngestHandler
+	streamStats func() any   // nil until SetStreamStats
 }
 
 // NewServer wires the handlers. The engine's registry is used for the
@@ -35,7 +41,36 @@ func NewServer(eng *Engine) *Server {
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleGetModel)
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDeleteModel)
 	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
+	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	return s
+}
+
+// SetIngestHandler mounts h at POST /v1/ingest. The handler is owned by
+// the streaming subsystem (internal/stream), which defines the wire
+// format; until one is installed the endpoint answers 503.
+func (s *Server) SetIngestHandler(h http.Handler) {
+	s.ingestMu.Lock()
+	s.ingest = h
+	s.ingestMu.Unlock()
+}
+
+// SetStreamStats installs a provider whose value is embedded as the
+// "stream" section of /statsz (deltas applied, refreshes triggered, …).
+func (s *Server) SetStreamStats(fn func() any) {
+	s.ingestMu.Lock()
+	s.streamStats = fn
+	s.ingestMu.Unlock()
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.ingestMu.RLock()
+	h := s.ingest
+	s.ingestMu.RUnlock()
+	if h == nil {
+		writeError(w, http.StatusServiceUnavailable, "streaming ingestion is not enabled on this server")
+		return
+	}
+	h.ServeHTTP(w, r)
 }
 
 // ServeHTTP implements http.Handler.
@@ -63,7 +98,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	s.ingestMu.RLock()
+	streamStats := s.streamStats
+	s.ingestMu.RUnlock()
+	payload := struct {
+		Stats
+		Stream any `json:"stream,omitempty"`
+	}{Stats: s.eng.Stats()}
+	if streamStats != nil {
+		payload.Stream = streamStats()
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {

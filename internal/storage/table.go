@@ -98,6 +98,49 @@ func (t *Table) readPage(pageNo int64) (*page, error) {
 	})
 }
 
+// UpdateAt overwrites the tuple at rowID (0-based append order) in place.
+// The replacement must keep the stored primary key — heap rows are
+// identified by it elsewhere (resident indexes, foreign keys) — so only
+// the payload (remaining keys, features, target) may change. The rewritten
+// page is flushed to disk and any cached copy is invalidated.
+func (t *Table) UpdateAt(rowID int64, tp *Tuple) error {
+	if rowID < 0 || rowID >= t.numTuples {
+		return fmt.Errorf("storage: row %d out of range [0,%d) in %q", rowID, t.numTuples, t.schema.Name)
+	}
+	var old Tuple
+	if err := t.Get(rowID, &old); err != nil {
+		return err
+	}
+	if len(tp.Keys) == 0 || tp.Keys[0] != old.PrimaryKey() {
+		return fmt.Errorf("storage: UpdateAt row %d of %q must keep primary key %d",
+			rowID, t.schema.Name, old.PrimaryKey())
+	}
+	rs := t.schema.RecordSize()
+	perPage := int64(t.schema.RecordsPerPage())
+	pageNo := rowID / perPage
+	slot := int(rowID % perPage)
+	if pageNo == t.numPages && t.tailUsed > 0 {
+		// The row lives in the buffered tail page: rewrite it there and
+		// persist, so readers of the flushed copy see the new bytes.
+		if err := encodeTuple(t.tail.record(slot, rs), t.schema, tp); err != nil {
+			return err
+		}
+		t.flushed = false
+		return t.Flush()
+	}
+	// Full page on disk: read it directly (bypassing the pool so we never
+	// mutate a shared cached page), rewrite the record, and write it back.
+	// writePage's noteWrite invalidates any cached copy.
+	p := newPage()
+	if _, err := t.file.ReadAt(p.buf, pageNo*PageSize); err != nil {
+		return fmt.Errorf("storage: reading page %d of %q for update: %w", pageNo, t.schema.Name, err)
+	}
+	if err := encodeTuple(p.record(slot, rs), t.schema, tp); err != nil {
+		return err
+	}
+	return t.writePage(pageNo, p)
+}
+
 // Get reads the tuple with the given row id (0-based append order) into dst.
 func (t *Table) Get(rowID int64, dst *Tuple) error {
 	if rowID < 0 || rowID >= t.numTuples {
@@ -126,6 +169,24 @@ type Scanner struct {
 // NewScanner returns a scanner positioned before the first tuple.
 func (t *Table) NewScanner() *Scanner {
 	return &Scanner{t: t}
+}
+
+// NewScannerAt returns a scanner positioned before the tuple with the
+// given row id (0-based append order), so a scan over a tail range costs
+// I/O proportional to that range — the access path of the incremental
+// maintenance absorbs (internal/stream). rowID may equal NumTuples, which
+// yields an immediately exhausted scanner.
+func (t *Table) NewScannerAt(rowID int64) (*Scanner, error) {
+	if rowID < 0 || rowID > t.numTuples {
+		return nil, fmt.Errorf("storage: scan start %d out of range [0,%d] in %q", rowID, t.numTuples, t.schema.Name)
+	}
+	perPage := int64(t.schema.RecordsPerPage())
+	return &Scanner{
+		t:      t,
+		pageNo: rowID / perPage,
+		slot:   int(rowID % perPage),
+		served: rowID,
+	}, nil
 }
 
 // Next advances to the next tuple; it returns false at the end of the table

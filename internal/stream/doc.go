@@ -1,0 +1,70 @@
+// Package stream is the streaming-ingestion and incremental-maintenance
+// subsystem: an append/update change feed over the fact and dimension
+// tables of a star schema, plus incremental maintenance of the factorized
+// sufficient statistics that let a served model be refreshed from a batch
+// of deltas in time proportional to the delta, not the dataset.
+//
+// The same observation that powers the paper's factorized trainers —
+// work that depends only on a dimension tuple is done once per dimension
+// tuple, not once per joined row — is what makes incremental maintenance
+// cheap: a batch of new fact tuples only perturbs the per-group statistics
+// it touches, and a dimension-tuple update invalidates exactly the cached
+// partials derived from that tuple.
+//
+// # Maintained statistics
+//
+//   - Per-dimension group statistics: for every (dimension relation,
+//     dimension tuple, mixture component), the γ-sum w_g = Σ_{n∈g} γ_n
+//     (the γ-weighted group count) and the γ-weighted fact-feature sum
+//     Σ_{n∈g} γ_n·x_S. The M-step's dimension-block contributions are
+//     assembled from these in time proportional to the number of groups.
+//   - GMM QuadCache contributions: the E-step over delta rows scores
+//     through gmm.Scorer with per-dimension-tuple core.QuadCache fills —
+//     once per distinct dimension tuple referenced by the batch.
+//   - NN layer-1 partial pre-activations: maintained by the serving engine
+//     as per-dimension-tuple LRU entries; a dimension update surgically
+//     invalidates exactly the entries keyed by the updated tuple
+//     (serve.Engine.ApplyDimUpdate), and the factorized warm-start refresh
+//     recomputes them once per dimension tuple per parameter state.
+//
+// # Refresh semantics
+//
+// For a GMM, Refresh performs one incremental EM step: the E-step runs
+// over the rows absorbed since the last refresh only (cost ∝ delta), its
+// statistics fold into the maintained sums, and the M-step produces the
+// new model from the folded totals. When the maintained statistics are
+// fresh (first refresh after attach or after a rebaseline), this is
+// EXACTLY one EM iteration over base ∪ delta warm-started at the current
+// model — and the accumulator geometry below makes it bit-identical to
+// recomputing the statistics from scratch over the union, for every
+// worker count. Across consecutive refreshes the responsibilities of
+// previously absorbed rows are not revised (they were computed under the
+// model current at absorb time) — the classic incremental-EM scheme of
+// Neal & Hinton; Policy.RebaselineEvery bounds the staleness by
+// periodically rebuilding the statistics from scratch under the current
+// model. A dimension-tuple update marks the statistics dirty and forces
+// that rebuild on the next refresh, because the stored γ-sums were
+// computed against the old features.
+//
+// For an NN, Refresh warm-starts the factorized trainer (nn.Config.Init)
+// from the served network and runs Policy.NNEpochs SGD epochs over
+// base ∪ delta — equal to dense warm-start retraining on the union up to
+// floating-point summation order, and bit-identical for every worker
+// count.
+//
+// # Bit-identical incremental absorption
+//
+// The statistics accumulator cuts the fact table into chunks of
+// StatChunkRows at absolute row indexes — chunk i always covers rows
+// [i·C, (i+1)·C) no matter when, or under how many workers, those rows
+// are absorbed. Complete chunks fold into a merged accumulator strictly
+// in chunk order; the trailing partial chunk is kept as a separate "tail"
+// accumulator that later absorbs extend sequentially, and is folded only
+// into snapshots. Within a chunk rows accumulate sequentially in scan
+// order. Every floating-point reduction order is therefore a function of
+// the data alone: absorbing base then delta (in any number of batches)
+// performs literally the same additions in the same order as one
+// from-scratch pass over the union, so the refreshed model is
+// bit-identical to "full retraining on base+delta" (one warm-start EM
+// step computed the expensive way) — the property the tests pin.
+package stream

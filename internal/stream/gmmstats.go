@@ -1,0 +1,539 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+
+	"factorml/internal/core"
+	"factorml/internal/gmm"
+	"factorml/internal/join"
+	"factorml/internal/linalg"
+	"factorml/internal/parallel"
+	"factorml/internal/storage"
+)
+
+// StatChunkRows is the absolute-indexed chunk size of the incremental
+// statistics accumulator: chunk i always covers fact rows
+// [i·StatChunkRows, (i+1)·StatChunkRows), no matter when or under how
+// many workers those rows are absorbed. Like every chunk-geometry
+// constant in this codebase it is independent of the worker count,
+// because it fixes the floating-point reduction order (see the package
+// comment).
+const StatChunkRows = 256
+
+// collapseFloor mirrors the trainers' responsibility-mass floor below
+// which a component's parameters are frozen for the step.
+const collapseFloor = 1e-12
+
+// pairKey identifies one (group in relation i, group in relation j) pair
+// of a cross-dimension second-moment block.
+type pairKey struct{ a, b int }
+
+// groupAcc is the per-group (per dimension tuple) slice of the factorized
+// sufficient statistics: for each mixture component, the γ-sum (the
+// γ-weighted group count) and the γ-weighted fact-feature sum. Everything
+// the M-step needs from a group that is linear or quadratic in the
+// group's own features is reconstructed from these at assembly time, so
+// the per-row absorb cost never touches dimension feature vectors.
+type groupAcc struct {
+	w    []float64 // K γ-sums
+	gvec []float64 // K×dS flattened Σ_{n∈g} γ_n·x_S
+}
+
+// statAcc is one accumulation unit of the raw-moment sufficient
+// statistics — either a chunk's private partial or the global merged/tail
+// state. All sums are raw (uncentered) moments, which makes them
+// independent of the model parameters: statistics absorbed under
+// different refresh generations compose additively.
+type statAcc struct {
+	k, dS int
+	rows  int64
+	ll    float64
+	nk    []float64               // K component masses Σγ
+	s1S   []float64               // K×dS flattened Σγ·x_S
+	b00   []*linalg.Dense         // K fact-block raw moments Σγ·x_S x_Sᵀ
+	grp   []map[int]*groupAcc     // per dimension relation: dense group index -> sums
+	pairs []map[pairKey][]float64 // per (i<j) relation pair: group pair -> K γ-sums
+}
+
+func newStatAcc(k, dS, q, npairs int) *statAcc {
+	a := &statAcc{
+		k: k, dS: dS,
+		nk:  make([]float64, k),
+		s1S: make([]float64, k*dS),
+	}
+	for c := 0; c < k; c++ {
+		a.b00 = append(a.b00, linalg.NewDense(dS, dS))
+	}
+	a.grp = make([]map[int]*groupAcc, q)
+	for j := range a.grp {
+		a.grp[j] = make(map[int]*groupAcc)
+	}
+	a.pairs = make([]map[pairKey][]float64, npairs)
+	for i := range a.pairs {
+		a.pairs[i] = make(map[pairKey][]float64)
+	}
+	return a
+}
+
+func (a *statAcc) group(j, g int) *groupAcc {
+	ga, ok := a.grp[j][g]
+	if !ok {
+		ga = &groupAcc{w: make([]float64, a.k), gvec: make([]float64, a.k*a.dS)}
+		a.grp[j][g] = ga
+	}
+	return ga
+}
+
+func (a *statAcc) pairW(pi int, key pairKey) []float64 {
+	pw, ok := a.pairs[pi][key]
+	if !ok {
+		pw = make([]float64, a.k)
+		a.pairs[pi][key] = pw
+	}
+	return pw
+}
+
+// fold adds o into a. Field order is fixed; additions into distinct
+// groups/pairs are independent, so only the (fixed) chunk fold order
+// determines the floating-point result.
+func (a *statAcc) fold(o *statAcc) {
+	a.rows += o.rows
+	a.ll += o.ll
+	for c := 0; c < a.k; c++ {
+		a.nk[c] += o.nk[c]
+	}
+	linalg.Axpy(1, o.s1S, a.s1S)
+	for c := 0; c < a.k; c++ {
+		a.b00[c].Add(o.b00[c])
+	}
+	for j := range a.grp {
+		for g, oga := range o.grp[j] {
+			ga := a.group(j, g)
+			linalg.Axpy(1, oga.w, ga.w)
+			linalg.Axpy(1, oga.gvec, ga.gvec)
+		}
+	}
+	for pi := range a.pairs {
+		for key, opw := range o.pairs[pi] {
+			linalg.Axpy(1, opw, a.pairW(pi, key))
+		}
+	}
+}
+
+// clone deep-copies the accumulator (snapshot assembly works on a copy so
+// folding the tail never disturbs the maintained state).
+func (a *statAcc) clone() *statAcc {
+	c := newStatAcc(a.k, a.dS, len(a.grp), len(a.pairs))
+	c.fold(a)
+	return c
+}
+
+// GMMStats is the maintained factorized sufficient statistics of one
+// attached mixture model: a merged accumulator of complete absolute
+// chunks plus the trailing partial-chunk tail (see the package comment
+// for why this split makes incremental absorption bit-identical to a
+// from-scratch pass).
+type GMMStats struct {
+	p        core.Partition
+	k        int
+	pairList [][2]int // dimension-relation index pairs (i<j)
+	merged   *statAcc
+	tail     *statAcc
+	ops      core.Ops
+}
+
+// NewGMMStats builds empty statistics for a K-component mixture over the
+// relation partition p (part 0 = fact relation).
+func NewGMMStats(p core.Partition, k int) *GMMStats {
+	q := p.Parts() - 1
+	st := &GMMStats{p: p, k: k}
+	for i := 0; i < q; i++ {
+		for j := i + 1; j < q; j++ {
+			st.pairList = append(st.pairList, [2]int{i, j})
+		}
+	}
+	st.Reset()
+	return st
+}
+
+// Rows returns how many fact rows have been absorbed.
+func (st *GMMStats) Rows() int64 { return st.merged.rows + st.tail.rows }
+
+// LogLikelihood returns the accumulated data log-likelihood (each row's
+// contribution is as of its absorb-time model).
+func (st *GMMStats) LogLikelihood() float64 { return st.merged.ll + st.tail.ll }
+
+// Reset drops every absorbed row, so the next absorb rebuilds from
+// scratch (the rebaseline path).
+func (st *GMMStats) Reset() {
+	q := st.p.Parts() - 1
+	st.merged = newStatAcc(st.k, st.p.Dims[0], q, len(st.pairList))
+	st.tail = newStatAcc(st.k, st.p.Dims[0], q, len(st.pairList))
+}
+
+// scoreCtx bundles one absorb pass's frozen-model scoring state: the
+// factorized scorer plus the per-dimension-tuple QuadCaches of every
+// group referenced by the pass, computed once per distinct group.
+type scoreCtx struct {
+	scorer *gmm.Scorer
+	caches []map[int][]core.QuadCache // per dim relation: group index -> K caches
+}
+
+// absorbScratch is per-goroutine absorb scratch.
+type absorbScratch struct {
+	sc    *gmm.ScoreScratch
+	gamma []float64
+	gidx  []int
+	cbuf  [][]core.QuadCache
+}
+
+func (st *GMMStats) newScratch(ctx *scoreCtx) *absorbScratch {
+	q := st.p.Parts() - 1
+	return &absorbScratch{
+		sc:    ctx.scorer.NewScratch(),
+		gamma: make([]float64, st.k),
+		gidx:  make([]int, q),
+		cbuf:  make([][]core.QuadCache, q),
+	}
+}
+
+// accumulateRow scores one fact tuple under the frozen model and folds it
+// into acc. This single function is the row path of the sequential tail
+// extension AND of every parallel chunk worker, so the arithmetic per row
+// is identical no matter how the absorb is batched.
+func (st *GMMStats) accumulateRow(acc *statAcc, ctx *scoreCtx, ws *absorbScratch, idxs []*join.ResidentIndex, s *storage.Tuple) error {
+	q := st.p.Parts() - 1
+	for j := 0; j < q; j++ {
+		g, ok := idxs[j].Pos(s.Keys[1+j])
+		if !ok {
+			return fmt.Errorf("stream: fact tuple %d references unknown key %d in dimension table %q",
+				s.PrimaryKey(), s.Keys[1+j], idxs[j].Name())
+		}
+		ws.gidx[j] = g
+		ws.cbuf[j] = ctx.caches[j][g]
+	}
+	xs := s.Features
+	acc.ll += ctx.scorer.Responsibilities(xs, ws.cbuf, ws.sc, ws.gamma)
+	acc.rows++
+	dS := st.p.Dims[0]
+	for c := 0; c < st.k; c++ {
+		g := ws.gamma[c]
+		acc.nk[c] += g
+		linalg.Axpy(g, xs, acc.s1S[c*dS:(c+1)*dS])
+		linalg.OuterAccum(acc.b00[c], g, xs, xs)
+		for j := 0; j < q; j++ {
+			ga := acc.group(j, ws.gidx[j])
+			ga.w[c] += g
+			linalg.Axpy(g, xs, ga.gvec[c*dS:(c+1)*dS])
+		}
+	}
+	for pi, pr := range st.pairList {
+		pw := acc.pairW(pi, pairKey{ws.gidx[pr[0]], ws.gidx[pr[1]]})
+		for c := 0; c < st.k; c++ {
+			pw[c] += ws.gamma[c]
+		}
+	}
+	return nil
+}
+
+// Absorb scores fact rows [Rows(), fact.NumTuples()) under model and folds
+// them into the statistics, in time proportional to that range. The chunk
+// geometry is anchored at absolute row indexes, so absorbing in any batch
+// split — and under any worker count — produces bit-identical sums.
+func (st *GMMStats) Absorb(model *gmm.Model, fact *storage.Table, idxs []*join.ResidentIndex, workers int) error {
+	if model.K != st.k || model.D != st.p.D {
+		return fmt.Errorf("stream: model (K=%d, D=%d) does not match statistics (K=%d, D=%d)",
+			model.K, model.D, st.k, st.p.D)
+	}
+	r0 := st.Rows()
+	r1 := fact.NumTuples()
+	if r0 > r1 {
+		return fmt.Errorf("stream: statistics cover %d rows but fact table %q has %d — rows are append-only", r0, fact.Schema().Name, r1)
+	}
+	if r0 == r1 {
+		return nil
+	}
+	scorer, err := model.NewScorer(st.p)
+	if err != nil {
+		return err
+	}
+	nw := parallel.Workers(workers)
+	q := st.p.Parts() - 1
+
+	// Pre-scan the new rows once: validate every foreign key and collect
+	// the set of referenced groups per dimension relation, so the
+	// QuadCache fills below touch exactly the dimension tuples the batch
+	// needs (cost ∝ delta, not ∝ dimension-table size).
+	refs := make([]map[int]struct{}, q)
+	for j := range refs {
+		refs[j] = make(map[int]struct{})
+	}
+	sc, err := fact.NewScannerAt(r0)
+	if err != nil {
+		return err
+	}
+	row := r0
+	for sc.Next() {
+		t := sc.Tuple()
+		for j := 0; j < q; j++ {
+			g, ok := idxs[j].Pos(t.Keys[1+j])
+			if !ok {
+				return fmt.Errorf("stream: fact row %d (sid %d) references unknown key %d in dimension table %q",
+					row, t.PrimaryKey(), t.Keys[1+j], idxs[j].Name())
+			}
+			refs[j][g] = struct{}{}
+		}
+		row++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	// Fill the per-dimension-tuple QuadCaches of every referenced group —
+	// once per distinct group, over disjoint grains on the worker pool.
+	ctx := &scoreCtx{scorer: scorer, caches: make([]map[int][]core.QuadCache, q)}
+	for j := 0; j < q; j++ {
+		list := make([]int, 0, len(refs[j]))
+		for g := range refs[j] {
+			list = append(list, g)
+		}
+		sort.Ints(list)
+		cm := make(map[int][]core.QuadCache, len(list))
+		for _, g := range list {
+			cm[g] = make([]core.QuadCache, st.k)
+		}
+		ctx.caches[j] = cm
+		part := 1 + j
+		ix := idxs[j]
+		err := parallel.RunRange(nw, len(list), func(a, b int, ops *core.Ops) error {
+			for i := a; i < b; i++ {
+				g := list[i]
+				_, xg := ix.At(g)
+				scorer.FillDimCaches(cm[g], part, xg, ops)
+			}
+			return nil
+		}, &st.ops)
+		if err != nil {
+			return err
+		}
+	}
+	return st.absorbRows(ctx, fact, idxs, r0, r1, nw)
+}
+
+// absorbChunk carries one aligned chunk of copied fact tuples to a worker.
+type absorbChunk struct {
+	tuples []storage.Tuple
+	n      int
+	acc    *statAcc
+}
+
+// absorbRows runs the chunked accumulation of rows [r0, r1): a sequential
+// extension of the trailing partial chunk up to its absolute boundary,
+// then aligned chunks fanned over the worker pool and folded in chunk
+// order.
+func (st *GMMStats) absorbRows(ctx *scoreCtx, fact *storage.Table, idxs []*join.ResidentIndex, r0, r1 int64, nw int) error {
+	const C = int64(StatChunkRows)
+	if st.tail.rows != r0%C {
+		return fmt.Errorf("stream: internal: tail holds %d rows at absolute row %d", st.tail.rows, r0)
+	}
+	q := st.p.Parts() - 1
+	r := r0
+	if rem := r0 % C; rem != 0 {
+		seqEnd := r0 - rem + C
+		if seqEnd > r1 {
+			seqEnd = r1
+		}
+		ws := st.newScratch(ctx)
+		sc, err := fact.NewScannerAt(r)
+		if err != nil {
+			return err
+		}
+		for r < seqEnd && sc.Next() {
+			if err := st.accumulateRow(st.tail, ctx, ws, idxs, sc.Tuple()); err != nil {
+				return err
+			}
+			r++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		if r < seqEnd {
+			return fmt.Errorf("stream: fact table %q ended early at row %d", fact.Schema().Name, r)
+		}
+		if st.tail.rows == C {
+			st.merged.fold(st.tail)
+			st.tail = newStatAcc(st.k, st.p.Dims[0], q, len(st.pairList))
+		}
+	}
+	if r == r1 {
+		return nil
+	}
+
+	produce := func(f *parallel.Feed[*absorbChunk]) error {
+		sc, err := fact.NewScannerAt(r)
+		if err != nil {
+			return err
+		}
+		cur := &absorbChunk{tuples: make([]storage.Tuple, StatChunkRows)}
+		emit := func() error {
+			if cur.n == 0 {
+				return nil
+			}
+			if err := f.Emit(cur); err != nil {
+				return err
+			}
+			cur = &absorbChunk{tuples: make([]storage.Tuple, StatChunkRows)}
+			return nil
+		}
+		for row := r; row < r1; row++ {
+			if !sc.Next() {
+				if err := sc.Err(); err != nil {
+					return err
+				}
+				return fmt.Errorf("stream: fact table %q ended early at row %d", fact.Schema().Name, row)
+			}
+			t := sc.Tuple()
+			dst := &cur.tuples[cur.n]
+			dst.Keys = append(dst.Keys[:0], t.Keys...)
+			dst.Features = append(dst.Features[:0], t.Features...)
+			dst.Target = t.Target
+			cur.n++
+			if cur.n == StatChunkRows {
+				if err := emit(); err != nil {
+					return err
+				}
+			}
+		}
+		return emit()
+	}
+	work := func(c *absorbChunk) (*absorbChunk, error) {
+		c.acc = newStatAcc(st.k, st.p.Dims[0], q, len(st.pairList))
+		ws := st.newScratch(ctx)
+		for i := 0; i < c.n; i++ {
+			if err := st.accumulateRow(c.acc, ctx, ws, idxs, &c.tuples[i]); err != nil {
+				return nil, err
+			}
+		}
+		return c, nil
+	}
+	merge := func(c *absorbChunk) error {
+		if c.acc.rows == C {
+			st.merged.fold(c.acc)
+		} else {
+			// The final partial chunk becomes the new tail; a later absorb
+			// extends it sequentially up to its absolute boundary.
+			st.tail = c.acc
+		}
+		return nil
+	}
+	return parallel.Run(nw, produce, work, merge)
+}
+
+// Step runs the M-step over a snapshot of the statistics and returns the
+// refreshed model (prev supplies the parameters of collapsed components,
+// mirroring the trainers' collapse handling). The assembly iterates
+// groups in dense index order and cross-group pairs in sorted order, so
+// the result is a pure function of the absorbed rows and the dimension
+// features — independent of map iteration and worker count.
+func (st *GMMStats) Step(prev *gmm.Model, idxs []*join.ResidentIndex, regEps float64) (*gmm.Model, error) {
+	snap := st.merged.clone()
+	snap.fold(st.tail)
+	n := snap.rows
+	if n == 0 {
+		return nil, fmt.Errorf("stream: no absorbed rows to refresh from")
+	}
+	if regEps <= 0 {
+		regEps = 1e-6
+	}
+	q := st.p.Parts() - 1
+	dS := st.p.Dims[0]
+	D := st.p.D
+	out := prev.Clone()
+	mu := make([]float64, D)
+	for c := 0; c < st.k; c++ {
+		nk := snap.nk[c]
+		out.Weights[c] = nk / float64(n)
+		if nk < collapseFloor {
+			continue // frozen: keep prev mean and covariance
+		}
+		// Mean: fact part from the direct sum; each dimension part from
+		// the per-group γ-sums times the group's (current) features.
+		for i := 0; i < dS; i++ {
+			mu[i] = snap.s1S[c*dS+i] / nk
+		}
+		for j := 0; j < q; j++ {
+			off := st.p.Offs[1+j]
+			dR := st.p.Dims[1+j]
+			sum := make([]float64, dR)
+			for g := 0; g < idxs[j].Len(); g++ {
+				ga, ok := snap.grp[j][g]
+				if !ok {
+					continue
+				}
+				_, xg := idxs[j].At(g)
+				linalg.Axpy(ga.w[c], xg, sum)
+			}
+			for i := 0; i < dR; i++ {
+				mu[off+i] = sum[i] / nk
+			}
+		}
+		// Raw second moment, assembled block-wise: the fact block was
+		// accumulated per row; every block touching a dimension relation
+		// is reconstructed from the per-group (or per group-pair) γ-sums.
+		raw := linalg.NewDense(D, D)
+		raw.SetBlock(0, 0, snap.b00[c])
+		for j := 0; j < q; j++ {
+			off := st.p.Offs[1+j]
+			dR := st.p.Dims[1+j]
+			b0j := linalg.NewDense(dS, dR)
+			bjj := linalg.NewDense(dR, dR)
+			for g := 0; g < idxs[j].Len(); g++ {
+				ga, ok := snap.grp[j][g]
+				if !ok {
+					continue
+				}
+				_, xg := idxs[j].At(g)
+				linalg.OuterAccum(b0j, 1, ga.gvec[c*dS:(c+1)*dS], xg)
+				linalg.OuterAccum(bjj, ga.w[c], xg, xg)
+			}
+			raw.SetBlock(0, off, b0j)
+			raw.SetBlock(off, 0, b0j.Transpose())
+			raw.SetBlock(off, off, bjj)
+		}
+		for pi, pr := range st.pairList {
+			i, j := pr[0], pr[1]
+			offI, offJ := st.p.Offs[1+i], st.p.Offs[1+j]
+			bij := linalg.NewDense(st.p.Dims[1+i], st.p.Dims[1+j])
+			keys := make([]pairKey, 0, len(snap.pairs[pi]))
+			for key := range snap.pairs[pi] {
+				keys = append(keys, key)
+			}
+			sort.Slice(keys, func(a, b int) bool {
+				if keys[a].a != keys[b].a {
+					return keys[a].a < keys[b].a
+				}
+				return keys[a].b < keys[b].b
+			})
+			for _, key := range keys {
+				_, xi := idxs[i].At(key.a)
+				_, xj := idxs[j].At(key.b)
+				linalg.OuterAccum(bij, snap.pairs[pi][key][c], xi, xj)
+			}
+			raw.SetBlock(offI, offJ, bij)
+			raw.SetBlock(offJ, offI, bij.Transpose())
+		}
+		// Σ = E_γ[x xᵀ]/nk − µµᵀ (+ regularizer). Products commute, so
+		// the matrix stays exactly symmetric.
+		data := raw.Data()
+		for i := 0; i < D; i++ {
+			for jj := 0; jj < D; jj++ {
+				data[i*D+jj] = data[i*D+jj]/nk - mu[i]*mu[jj]
+			}
+		}
+		raw.AddDiag(regEps)
+		copy(out.Means[c], mu)
+		out.Covs[c] = raw
+	}
+	return out, nil
+}

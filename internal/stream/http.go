@@ -1,0 +1,72 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// maxIngestBody bounds an ingest request body (32 MiB).
+const maxIngestBody = 32 << 20
+
+// Handler returns the HTTP handler of the change feed, meant to be
+// mounted at POST /v1/ingest by serve.Server.SetIngestHandler. The wire
+// format is the JSON encoding of Batch:
+//
+//	{"facts": [{"sid": 9, "fks": [3], "features": [0.1, 0.2], "target": 1.5}],
+//	 "dims":  [{"table": "items", "rid": 3, "features": [0.7, 0.8, 0.9]}]}
+//
+// The response is the IngestResult, including whether the batch tripped
+// an automatic refresh. Validation failures answer 400 with no partial
+// effects; server-side failures (storage I/O, a failing triggered
+// refresh) answer 500 and may have applied the batch.
+func (s *Stream) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "ingest takes POST, got %s", r.Method)
+			return
+		}
+		var b Batch
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&b); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding batch: %v", err)
+			return
+		}
+		if len(b.Facts) == 0 && len(b.Dims) == 0 {
+			httpError(w, http.StatusBadRequest, "batch has no facts and no dims")
+			return
+		}
+		res, err := s.Ingest(b)
+		if err != nil {
+			// Validation rejections are the client's fault and applied
+			// nothing; anything else is a server-side failure that may
+			// have landed after rows were applied — tell the client not
+			// to blindly retry.
+			if IsValidationError(err) {
+				httpError(w, http.StatusBadRequest, "%v", err)
+			} else {
+				httpError(w, http.StatusInternalServerError, "%v", err)
+			}
+			return
+		}
+		httpJSON(w, http.StatusOK, res)
+	})
+}
+
+// StatsProvider adapts Counters for serve.Server.SetStreamStats.
+func (s *Stream) StatsProvider() func() any {
+	return func() any { return s.Counters() }
+}
+
+func httpJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	httpJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

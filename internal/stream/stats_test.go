@@ -1,0 +1,317 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"factorml/internal/core"
+	"factorml/internal/data"
+	"factorml/internal/gmm"
+	"factorml/internal/join"
+	"factorml/internal/linalg"
+	"factorml/internal/storage"
+)
+
+// genStar creates a small synthetic star schema and returns the database,
+// the join spec and the relation partition.
+func genStar(t *testing.T, nS int, nR []int, dS int, dR []int, seed int64) (*storage.Database, *join.Spec, core.Partition) {
+	t.Helper()
+	db, err := storage.Open(t.TempDir(), storage.Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	spec, err := data.Generate(db, "st", data.SynthConfig{
+		NS: nS, NR: nR, DS: dS, DR: dR, Seed: seed, WithTarget: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := []int{dS}
+	dims = append(dims, dR...)
+	return db, spec, core.NewPartition(dims)
+}
+
+func buildIndexes(t *testing.T, spec *join.Spec) []*join.ResidentIndex {
+	t.Helper()
+	var idxs []*join.ResidentIndex
+	for _, r := range spec.Rs {
+		ix, err := join.BuildResidentIndex(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxs = append(idxs, ix)
+	}
+	return idxs
+}
+
+func trainBase(t *testing.T, db *storage.Database, spec *join.Spec, k int) *gmm.Model {
+	t.Helper()
+	res, err := gmm.TrainF(db, spec, gmm.Config{K: k, MaxIter: 3, Tol: 1e-300, NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Model
+}
+
+// appendDeltaFacts appends n new fact rows with keys drawn from the
+// existing dimension tuples (and targets/features from a seeded RNG).
+func appendDeltaFacts(t *testing.T, spec *join.Spec, idxs []*join.ResidentIndex, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dS := spec.S.Schema().NumFeatures()
+	base := spec.S.NumTuples()
+	for i := 0; i < n; i++ {
+		keys := []int64{base + int64(i)}
+		for _, ix := range idxs {
+			g := rng.Intn(ix.Len())
+			pk, _ := ix.At(g)
+			keys = append(keys, pk)
+		}
+		feats := make([]float64, dS)
+		for d := range feats {
+			feats[d] = rng.NormFloat64()
+		}
+		if err := spec.S.Append(&storage.Tuple{Keys: keys, Features: feats, Target: rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := spec.S.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGMMIncrementalMatchesFullRecompute pins the tentpole property: after
+// any split of the data into absorb batches, and under every worker
+// count, the maintained statistics produce a refreshed model bit-identical
+// to recomputing the statistics from scratch over base ∪ delta (the
+// "full retraining" baseline: one warm-start EM step computed the
+// expensive way). Covers the binary and the multi-way join (which
+// exercises the cross-dimension group-pair stats), plus dimension-tuple
+// inserts arriving mid-stream.
+func TestGMMIncrementalMatchesFullRecompute(t *testing.T) {
+	cases := []struct {
+		name string
+		nR   []int
+		dR   []int
+	}{
+		{"binary", []int{24}, []int{2}},
+		{"3way", []int{24, 10}, []int{2, 3}},
+	}
+	workerSweep := []int{1, 2, 3, 8}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			db, spec, p := genStar(t, 580, tc.nR, 3, tc.dR, 7)
+			model := trainBase(t, db, spec, 3)
+			idxs := buildIndexes(t, spec)
+
+			// One stats object per worker count, all absorbing the base
+			// now — before any delta exists.
+			incs := make([]*GMMStats, len(workerSweep))
+			for i, w := range workerSweep {
+				incs[i] = NewGMMStats(p, model.K)
+				if err := incs[i].Absorb(model, spec.S, idxs, w); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Delta batch 1: 137 fact rows (odd size, so chunk boundaries
+			// straddle the base/delta seam).
+			appendDeltaFacts(t, spec, idxs, 137, 11)
+			for i, w := range workerSweep {
+				if err := incs[i].Absorb(model, spec.S, idxs, w); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Delta batch 2: a brand-new dimension tuple in every relation
+			// plus 61 more fact rows, some referencing the new tuples.
+			for j, ix := range idxs {
+				feats := make([]float64, ix.Width())
+				for d := range feats {
+					feats[d] = 0.25 * float64(j+d+1)
+				}
+				newPK := int64(100000 + j)
+				if err := spec.Rs[j].Append(&storage.Tuple{Keys: []int64{newPK}, Features: feats}); err != nil {
+					t.Fatal(err)
+				}
+				if err := spec.Rs[j].Flush(); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ix.Upsert(newPK, feats); err != nil {
+					t.Fatal(err)
+				}
+			}
+			base := spec.S.NumTuples()
+			for i := 0; i < 61; i++ {
+				keys := []int64{base + int64(i)}
+				for j, ix := range idxs {
+					if i%5 == 0 {
+						keys = append(keys, int64(100000+j)) // new dimension tuple
+					} else {
+						pk, _ := ix.At(i % (ix.Len() - 1))
+						keys = append(keys, pk)
+					}
+				}
+				feats := []float64{float64(i) * 0.01, -float64(i) * 0.02, 1}
+				if err := spec.S.Append(&storage.Tuple{Keys: keys, Features: feats, Target: 0}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := spec.S.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			for i, w := range workerSweep {
+				if err := incs[i].Absorb(model, spec.S, idxs, w); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Baseline: fresh statistics recomputed from scratch over the
+			// union, per worker count.
+			refModel, err := incs[0].Step(model, idxs, 1e-6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, w := range workerSweep {
+				mInc, err := incs[i].Step(model, idxs, 1e-6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := mInc.MaxParamDiff(refModel); d != 0 {
+					t.Fatalf("incremental model (workers=%d) differs from workers=%d by %g", w, workerSweep[0], d)
+				}
+				full := NewGMMStats(p, model.K)
+				if err := full.Absorb(model, spec.S, idxs, w); err != nil {
+					t.Fatal(err)
+				}
+				if full.Rows() != incs[i].Rows() {
+					t.Fatalf("row counts: full=%d inc=%d", full.Rows(), incs[i].Rows())
+				}
+				mFull, err := full.Step(model, idxs, 1e-6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := mInc.MaxParamDiff(mFull); d != 0 {
+					t.Fatalf("incremental vs full-recompute model (workers=%d) differ by %g (want bit-identical)", w, d)
+				}
+				if ll1, ll2 := incs[i].LogLikelihood(), full.LogLikelihood(); ll1 != ll2 {
+					t.Fatalf("log-likelihoods differ: inc=%v full=%v", ll1, ll2)
+				}
+			}
+		})
+	}
+}
+
+// TestGMMRefreshMatchesWarmStartTrainer ties the incremental refresh to
+// the real trainers: a stream refresh (fresh statistics + one M-step)
+// must agree with one warm-started F-GMM EM iteration over the same data
+// (gmm.Config.Init) up to floating-point rearrangement — the trainer
+// accumulates centered moments in join-block order, the stream raw
+// moments in scan order, so the comparison is 1e-8, not bitwise.
+func TestGMMRefreshMatchesWarmStartTrainer(t *testing.T) {
+	db, spec, p := genStar(t, 450, []int{18}, 3, []int{2}, 19)
+	model := trainBase(t, db, spec, 3)
+	idxs := buildIndexes(t, spec)
+	appendDeltaFacts(t, spec, idxs, 90, 23)
+
+	st := NewGMMStats(p, model.K)
+	if err := st.Absorb(model, spec.S, idxs, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Step(model, idxs, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wres, err := gmm.TrainF(db, spec, gmm.Config{
+		K: model.K, MaxIter: 1, Tol: 1e-300, Init: model, NumWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.MaxParamDiff(wres.Model); !(d <= 1e-8) {
+		t.Fatalf("stream refresh vs warm-started F-GMM iteration differ by %g, want <= 1e-8", d)
+	}
+	// Warm starting must not mutate the caller's model.
+	if model.D != p.D || wres.Model == model {
+		t.Fatal("warm start returned the caller's model")
+	}
+}
+
+// TestGMMStreamStepMatchesDenseEM checks the refresh M-step against a
+// plain dense single EM step (raw-moment form) computed by scanning the
+// fact table and assembling every joined row — same semantics, none of
+// the factorized machinery.
+func TestGMMStreamStepMatchesDenseEM(t *testing.T) {
+	db, spec, p := genStar(t, 400, []int{16, 8}, 3, []int{2, 2}, 5)
+	model := trainBase(t, db, spec, 3)
+	idxs := buildIndexes(t, spec)
+
+	st := NewGMMStats(p, model.K)
+	if err := st.Absorb(model, spec.S, idxs, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Step(model, idxs, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Dense reference.
+	k := model.K
+	D := p.D
+	nk := make([]float64, k)
+	s1 := make([][]float64, k)
+	s2 := make([]*linalg.Dense, k)
+	for c := 0; c < k; c++ {
+		s1[c] = make([]float64, D)
+		s2[c] = linalg.NewDense(D, D)
+	}
+	n := 0
+	sc := spec.S.NewScanner()
+	x := make([]float64, D)
+	for sc.Next() {
+		tp := sc.Tuple()
+		nc := copy(x, tp.Features)
+		for j, ix := range idxs {
+			feats, ok := ix.Lookup(tp.Keys[1+j])
+			if !ok {
+				t.Fatalf("unknown fk %d", tp.Keys[1+j])
+			}
+			nc += copy(x[nc:], feats)
+		}
+		gamma := model.Responsibilities(x)
+		for c := 0; c < k; c++ {
+			nk[c] += gamma[c]
+			linalg.Axpy(gamma[c], x, s1[c])
+			linalg.OuterAccum(s2[c], gamma[c], x, x)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := model.Clone()
+	for c := 0; c < k; c++ {
+		want.Weights[c] = nk[c] / float64(n)
+		mu := make([]float64, D)
+		linalg.VecScale(mu, 1/nk[c], s1[c])
+		copy(want.Means[c], mu)
+		cov := s2[c].Clone()
+		dd := cov.Data()
+		for i := 0; i < D; i++ {
+			for j := 0; j < D; j++ {
+				dd[i*D+j] = dd[i*D+j]/nk[c] - mu[i]*mu[j]
+			}
+		}
+		cov.AddDiag(1e-6)
+		want.Covs[c] = cov
+	}
+	if d := got.MaxParamDiff(want); !(d <= 1e-9) {
+		t.Fatalf("stream step vs dense EM step differ by %g, want <= 1e-9", d)
+	}
+	if math.IsNaN(st.LogLikelihood()) {
+		t.Fatal("NaN log-likelihood")
+	}
+}

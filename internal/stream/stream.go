@@ -1,0 +1,512 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"factorml/internal/core"
+	"factorml/internal/gmm"
+	"factorml/internal/join"
+	"factorml/internal/nn"
+	"factorml/internal/serve"
+	"factorml/internal/storage"
+)
+
+// Policy tunes when and how refreshes run.
+type Policy struct {
+	// RefreshRows triggers an automatic refresh of every attached model
+	// once that many fact rows are pending (ingested since the last
+	// refresh). 0 means manual refreshes only.
+	RefreshRows int
+
+	// RebaselineEvery rebuilds a GMM's statistics from scratch under its
+	// current model on every Nth refresh, bounding the staleness of
+	// frozen responsibilities (see the package comment). 0 never
+	// rebaselines on a cadence (dimension updates still force one).
+	RebaselineEvery int
+
+	// NumWorkers sizes the worker pool of absorbs and refresh training:
+	// 0 = all CPUs, 1 = sequential. Refreshed models are bit-identical
+	// for every value.
+	NumWorkers int
+
+	// NNEpochs is how many warm-start SGD epochs an NN refresh runs over
+	// base ∪ delta (default 1).
+	NNEpochs int
+
+	// NNLearningRate is the refresh gradient step size (default 0.05).
+	NNLearningRate float64
+
+	// GMMRegEps is the covariance diagonal regularizer of the refresh
+	// M-step (default 1e-6, matching the trainers).
+	GMMRegEps float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.NNEpochs == 0 {
+		p.NNEpochs = 1
+	}
+	if p.NNLearningRate == 0 {
+		p.NNLearningRate = 0.05
+	}
+	if p.GMMRegEps == 0 {
+		p.GMMRegEps = 1e-6
+	}
+	return p
+}
+
+// Options wires a Stream into its surroundings.
+type Options struct {
+	// Engine, when set, shares its resident dimension indexes with the
+	// stream: dimension updates flow through serve.Engine.ApplyDimUpdate,
+	// which surgically invalidates the cached partials of the updated
+	// tuple, so a live server observes the change immediately.
+	Engine *serve.Engine
+
+	// Registry, when set, receives every refreshed model under its
+	// attached name (version bump), which is how a serving engine picks
+	// up refreshed parameters without a restart.
+	Registry *serve.Registry
+
+	Policy Policy
+}
+
+// attached is one model under incremental maintenance.
+type attached struct {
+	name  string
+	kind  serve.Kind
+	gmdl  *gmm.Model
+	stats *GMMStats
+	dirty bool // dimension update since the last refresh touched the data
+	net   *nn.Network
+	// lastRows is the fact-table size the model was last refreshed over
+	// (NN), so a refresh with no new data and no dimension change can
+	// skip the full-dataset warm-start epochs.
+	lastRows int64
+}
+
+// Stream is the change feed over one star schema: it appends fact and
+// dimension deltas to the underlying tables, keeps the resident indexes
+// and serving caches coherent, and maintains the attached models'
+// factorized sufficient statistics incrementally. All methods are safe
+// for concurrent use; ingest and refresh serialize on one mutex while
+// serving reads proceed through the (independently locked) resident
+// indexes and LRUs.
+type Stream struct {
+	mu   sync.Mutex
+	db   *storage.Database
+	spec *join.Spec
+	p    core.Partition
+	idxs []*join.ResidentIndex
+	dimJ map[string]int // dimension table name -> join position
+	eng  *serve.Engine
+	reg  *serve.Registry
+	pol  Policy
+
+	models map[string]*attached
+	// refreshSeq counts refreshes for the rebaseline cadence.
+	refreshSeq uint64
+
+	// cmu guards the plain-integer observability state (counters,
+	// pending-row count) separately from mu, so Counters() and Pending()
+	// — the /statsz path — never block behind a refresh that holds mu
+	// for an O(dataset) training pass. Writers always hold mu first;
+	// lock order is mu → cmu.
+	cmu      sync.Mutex
+	pending  int64
+	counters Counters
+}
+
+// New builds a stream over the star join spec. When opts.Engine is set it
+// must serve every dimension table of the spec (the indexes are shared);
+// otherwise the stream pins its own copy of the dimension relations.
+func New(db *storage.Database, spec *join.Spec, opts Options) (*Stream, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	dims := []int{spec.S.Schema().NumFeatures()}
+	for _, r := range spec.Rs {
+		dims = append(dims, r.Schema().NumFeatures())
+	}
+	s := &Stream{
+		db:     db,
+		spec:   spec,
+		p:      core.NewPartition(dims),
+		dimJ:   make(map[string]int, len(spec.Rs)),
+		eng:    opts.Engine,
+		reg:    opts.Registry,
+		pol:    opts.Policy.withDefaults(),
+		models: make(map[string]*attached),
+	}
+	for j, r := range spec.Rs {
+		name := r.Schema().Name
+		var ix *join.ResidentIndex
+		if s.eng != nil {
+			var ok bool
+			ix, ok = s.eng.Index(name)
+			if !ok {
+				return nil, fmt.Errorf("stream: serving engine has no dimension table %q", name)
+			}
+			if ix.Width() != dims[1+j] {
+				return nil, fmt.Errorf("stream: engine index %q has width %d, table has %d", name, ix.Width(), dims[1+j])
+			}
+		} else {
+			var err error
+			ix, err = join.BuildResidentIndex(r)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.idxs = append(s.idxs, ix)
+		s.dimJ[name] = j
+	}
+	return s, nil
+}
+
+// Partition returns the stream's relation partition.
+func (s *Stream) Partition() core.Partition { return s.p }
+
+// AttachGMM puts a mixture model under incremental maintenance: the base
+// statistics are built with one full absorb under the model (cost ∝ the
+// current fact table), after which refreshes cost time proportional to
+// the ingested delta.
+func (s *Stream) AttachGMM(name string, m *gmm.Model) error {
+	if m == nil {
+		return fmt.Errorf("stream: nil GMM model")
+	}
+	if m.D != s.p.D {
+		return incompatErrf("stream: model %q has dimension %d, star schema joins to %d", name, m.D, s.p.D)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.models[name]; ok {
+		return fmt.Errorf("stream: model %q already attached", name)
+	}
+	st := NewGMMStats(s.p, m.K)
+	if err := st.Absorb(m, s.spec.S, s.idxs, s.pol.NumWorkers); err != nil {
+		return err
+	}
+	s.models[name] = &attached{name: name, kind: serve.KindGMM, gmdl: m.Clone(), stats: st}
+	s.cmu.Lock()
+	s.counters.AttachedModels = len(s.models)
+	s.cmu.Unlock()
+	return nil
+}
+
+// AttachNN puts a network under incremental maintenance: refreshes
+// warm-start the factorized trainer from the current parameters over
+// base ∪ delta (Policy.NNEpochs epochs).
+func (s *Stream) AttachNN(name string, net *nn.Network) error {
+	if net == nil {
+		return fmt.Errorf("stream: nil NN model")
+	}
+	if got := net.InputDim(); got != s.p.D {
+		return incompatErrf("stream: network %q has input dim %d, star schema joins to %d", name, got, s.p.D)
+	}
+	if !s.spec.S.Schema().HasTarget {
+		return incompatErrf("stream: fact table %q has no target column; NN refresh needs one", s.spec.S.Schema().Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.models[name]; ok {
+		return fmt.Errorf("stream: model %q already attached", name)
+	}
+	s.models[name] = &attached{name: name, kind: serve.KindNN, net: net.Clone()}
+	s.cmu.Lock()
+	s.counters.AttachedModels = len(s.models)
+	s.cmu.Unlock()
+	return nil
+}
+
+// GMM returns the current refreshed parameters of an attached mixture.
+// The model is a copy: mutating it cannot disturb the maintenance state
+// (mirroring the defensive clone Attach takes on the way in).
+func (s *Stream) GMM(name string) (*gmm.Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.models[name]
+	if !ok || m.kind != serve.KindGMM {
+		return nil, fmt.Errorf("stream: no attached GMM %q", name)
+	}
+	return m.gmdl.Clone(), nil
+}
+
+// NN returns the current refreshed parameters of an attached network.
+// The network is a copy: mutating it cannot disturb the maintenance
+// state.
+func (s *Stream) NN(name string) (*nn.Network, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.models[name]
+	if !ok || m.kind != serve.KindNN {
+		return nil, fmt.Errorf("stream: no attached NN %q", name)
+	}
+	return m.net.Clone(), nil
+}
+
+// Attached returns the names of the models under incremental
+// maintenance, sorted.
+func (s *Stream) Attached() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.models))
+	for name := range s.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Pending returns the number of fact rows ingested since the last
+// refresh. Like Counters, it never blocks behind an in-flight refresh.
+func (s *Stream) Pending() int64 {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return s.pending
+}
+
+// Counters returns a snapshot of the cumulative ingestion counters. It
+// takes only the small counters lock, so /statsz stays responsive while
+// a refresh or attach holds the stream for an O(dataset) pass.
+func (s *Stream) Counters() Counters {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	c := s.counters
+	c.PendingRows = s.pending
+	return c
+}
+
+// Ingest validates and applies one change batch: dimension changes first
+// (inserts append; updates rewrite the stored tuple, patch the resident
+// index and surgically invalidate the serving caches), then fact appends.
+// Nothing is applied when any row fails validation. When the pending-row
+// count reaches Policy.RefreshRows, a refresh runs before Ingest returns.
+func (s *Stream) Ingest(b Batch) (IngestResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var res IngestResult
+
+	// Validate the whole batch up front — atomicity of rejection. Every
+	// failure here is a ValidationError: nothing has been applied.
+	newRids := make([]map[int64]bool, len(s.idxs))
+	for j := range newRids {
+		newRids[j] = make(map[int64]bool)
+	}
+	for i, du := range b.Dims {
+		j, ok := s.dimJ[du.Table]
+		if !ok {
+			return res, valErrf("stream: batch dim %d: no dimension table %q in this stream", i, du.Table)
+		}
+		if len(du.Features) != s.p.Dims[1+j] {
+			return res, valErrf("stream: batch dim %d: table %q takes %d features, got %d",
+				i, du.Table, s.p.Dims[1+j], len(du.Features))
+		}
+		if _, exists := s.idxs[j].Pos(du.RID); !exists {
+			newRids[j][du.RID] = true
+		}
+	}
+	hasTarget := s.spec.S.Schema().HasTarget
+	for i, fr := range b.Facts {
+		if len(fr.Features) != s.p.Dims[0] {
+			return res, valErrf("stream: batch fact %d (sid %d): fact table takes %d features, got %d",
+				i, fr.SID, s.p.Dims[0], len(fr.Features))
+		}
+		if !hasTarget && fr.Target != 0 {
+			return res, valErrf("stream: batch fact %d (sid %d): fact table %q has no target column, got target %g",
+				i, fr.SID, s.spec.S.Schema().Name, fr.Target)
+		}
+		if len(fr.FKs) != len(s.idxs) {
+			return res, valErrf("stream: batch fact %d (sid %d): %d foreign keys for %d dimension tables",
+				i, fr.SID, len(fr.FKs), len(s.idxs))
+		}
+		for j, fk := range fr.FKs {
+			if _, ok := s.idxs[j].Pos(fk); !ok && !newRids[j][fk] {
+				return res, valErrf("stream: batch fact %d (sid %d): unknown key %d in dimension table %q",
+					i, fr.SID, fk, s.idxs[j].Name())
+			}
+		}
+	}
+
+	// Apply dimension changes.
+	touchedDims := make(map[int]bool)
+	anyDimUpdate := false
+	for _, du := range b.Dims {
+		j := s.dimJ[du.Table]
+		tbl := s.spec.Rs[j]
+		tp := &storage.Tuple{Keys: []int64{du.RID}, Features: du.Features}
+		if pos, exists := s.idxs[j].Pos(du.RID); exists {
+			// The resident index is loaded in append order, so the dense
+			// index is the heap row id.
+			if err := tbl.UpdateAt(int64(pos), tp); err != nil {
+				return res, err
+			}
+			anyDimUpdate = true
+			res.DimUpdates++
+		} else {
+			if err := tbl.Append(tp); err != nil {
+				return res, err
+			}
+			touchedDims[j] = true
+			res.DimInserts++
+		}
+		if s.eng != nil {
+			if _, err := s.eng.ApplyDimUpdate(du.Table, du.RID, du.Features); err != nil {
+				return res, err
+			}
+		} else {
+			if _, err := s.idxs[j].Upsert(du.RID, du.Features); err != nil {
+				return res, err
+			}
+		}
+	}
+	for j := range touchedDims {
+		if err := s.spec.Rs[j].Flush(); err != nil {
+			return res, err
+		}
+	}
+	if anyDimUpdate {
+		// The stored per-group γ-sums were computed against the old
+		// features: force a full GMM statistics rebuild at the next
+		// refresh. NNs are marked too, so the next refresh retrains them
+		// even without new fact rows.
+		for _, m := range s.models {
+			m.dirty = true
+		}
+	}
+	s.cmu.Lock()
+	s.counters.DimUpdates += uint64(res.DimUpdates)
+	s.counters.DimInserts += uint64(res.DimInserts)
+	s.cmu.Unlock()
+
+	// Append fact rows.
+	for i := range b.Facts {
+		fr := &b.Facts[i]
+		keys := make([]int64, 1+len(fr.FKs))
+		keys[0] = fr.SID
+		copy(keys[1:], fr.FKs)
+		if err := s.spec.S.Append(&storage.Tuple{Keys: keys, Features: fr.Features, Target: fr.Target}); err != nil {
+			return res, err
+		}
+	}
+	if len(b.Facts) > 0 {
+		if err := s.spec.S.Flush(); err != nil {
+			return res, err
+		}
+	}
+	res.Facts = len(b.Facts)
+	s.cmu.Lock()
+	s.pending += int64(len(b.Facts))
+	s.counters.FactsIngested += uint64(len(b.Facts))
+	s.counters.Batches++
+	pending := s.pending
+	s.cmu.Unlock()
+	res.PendingRows = pending
+
+	if s.pol.RefreshRows > 0 && pending >= int64(s.pol.RefreshRows) {
+		if _, err := s.refreshLocked(true); err != nil {
+			return res, err
+		}
+		res.RefreshTriggered = true
+		res.PendingRows = s.Pending()
+	}
+	return res, nil
+}
+
+// Refresh folds everything ingested so far into every attached model —
+// one incremental EM step per GMM (cost ∝ rows absorbed this refresh),
+// Policy.NNEpochs warm-start epochs per NN — and publishes the refreshed
+// models to the registry (version bump) when one is attached.
+func (s *Stream) Refresh() (RefreshResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refreshLocked(false)
+}
+
+func (s *Stream) refreshLocked(auto bool) (RefreshResult, error) {
+	var res RefreshResult
+	s.refreshSeq++
+	names := make([]string, 0, len(s.models))
+	for name := range s.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := s.models[name]
+		mr := ModelRefresh{Name: name, Kind: string(m.kind)}
+		switch m.kind {
+		case serve.KindGMM:
+			rebase := m.dirty || (s.pol.RebaselineEvery > 0 && s.refreshSeq%uint64(s.pol.RebaselineEvery) == 0)
+			if rebase {
+				m.stats.Reset()
+				s.cmu.Lock()
+				s.counters.Rebaselines++
+				s.cmu.Unlock()
+				mr.Rebaselined = true
+			}
+			before := m.stats.Rows()
+			if err := m.stats.Absorb(m.gmdl, s.spec.S, s.idxs, s.pol.NumWorkers); err != nil {
+				return res, err
+			}
+			mr.RowsAbsorbed = m.stats.Rows() - before
+			if m.stats.Rows() == 0 {
+				continue // nothing to refresh from yet
+			}
+			if mr.RowsAbsorbed == 0 && !rebase {
+				// Nothing changed since the last refresh: skip the
+				// M-step and the registry version bump, which would
+				// republish identical parameters and needlessly flush
+				// the serving engine's warm per-dimension caches.
+				continue
+			}
+			model, err := m.stats.Step(m.gmdl, s.idxs, s.pol.GMMRegEps)
+			if err != nil {
+				return res, err
+			}
+			m.gmdl = model
+			m.dirty = false
+			mr.LogLikelihood = m.stats.LogLikelihood()
+			if s.reg != nil {
+				if err := s.reg.SaveGMM(name, model); err != nil {
+					return res, err
+				}
+			}
+		case serve.KindNN:
+			n := s.spec.S.NumTuples()
+			if n == m.lastRows && !m.dirty && m.lastRows > 0 {
+				// No new rows and no dimension change: more warm-start
+				// epochs would silently drift the network with no new
+				// information.
+				continue
+			}
+			cfg := nn.Config{
+				Init:         m.net,
+				Epochs:       s.pol.NNEpochs,
+				LearningRate: s.pol.NNLearningRate,
+				NumWorkers:   s.pol.NumWorkers,
+			}
+			tres, err := nn.TrainF(s.db, s.spec, cfg)
+			if err != nil {
+				return res, err
+			}
+			m.net = tres.Net
+			m.dirty = false
+			m.lastRows = n
+			mr.RowsAbsorbed = n
+			if s.reg != nil {
+				if err := s.reg.SaveNN(name, tres.Net); err != nil {
+					return res, err
+				}
+			}
+		}
+		res.Models = append(res.Models, mr)
+	}
+	s.cmu.Lock()
+	s.pending = 0
+	s.counters.Refreshes++
+	if auto {
+		s.counters.AutoRefreshes++
+	}
+	s.cmu.Unlock()
+	return res, nil
+}

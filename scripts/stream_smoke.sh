@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Streaming smoke test: datagen → train -save → boot cmd/serve with the
+# change feed enabled → ingest deltas over HTTP → verify that a dimension
+# update changes served predictions immediately, that the refresh-rows
+# policy triggers an automatic incremental refresh which republishes the
+# model (version bump, served without a restart), and that /statsz carries
+# the stream counters. Exercises the full path through the real binaries.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$tmp/datagen" ./cmd/datagen
+go build -o "$tmp/train" ./cmd/train
+go build -o "$tmp/serve" ./cmd/serve
+
+echo "== rejecting invalid datagen flags"
+if "$tmp/datagen" -db "$tmp/bad" -ns -5 2>"$tmp/err"; then
+    echo "datagen accepted -ns -5" >&2; exit 1
+fi
+grep -q 'ns must be >= 1' "$tmp/err"
+if "$tmp/datagen" -db "$tmp/bad" -dr -3 2>"$tmp/err"; then
+    echo "datagen accepted -dr -3" >&2; exit 1
+fi
+grep -q 'dr must be >= 1' "$tmp/err"
+
+echo "== generating tiny synthetic star schema"
+"$tmp/datagen" -db "$tmp/db" -ns 600 -nr 20 -ds 3 -dr 3 -seed 1
+
+echo "== training and saving models"
+"$tmp/train" -db "$tmp/db" -fact synth_S -dims synth_R1 -model gmm -algo f \
+    -k 2 -iters 2 -save smoke-gmm
+"$tmp/train" -db "$tmp/db" -fact synth_S -dims synth_R1 -model nn -algo f \
+    -hidden 6 -epochs 2 -save smoke-nn
+
+echo "== booting serve with streaming ingestion (-fact, auto-refresh at 30 rows)"
+"$tmp/serve" -db "$tmp/db" -dims synth_R1 -fact synth_S -refresh-rows 30 \
+    -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^factorml-serve listening on \([^ ]*\).*/\1/p' "$tmp/serve.log")"
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$tmp/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never reported its address" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+grep -q 'streaming ingestion enabled' "$tmp/serve.log"
+echo "   serving on $addr"
+
+curl_json() { curl -sSf "$@"; }
+
+echo "== /healthz"
+curl_json "http://$addr/healthz" | grep -q '"status": "ok"'
+
+predict_gmm() {
+    curl_json -X POST "http://$addr/v1/models/smoke-gmm/predict" \
+        -H 'Content-Type: application/json' \
+        -d '{"rows":[{"fact":[0.1,0.2,0.3],"fks":[5]}]}'
+}
+
+echo "== baseline prediction (fk 5)"
+p1="$(predict_gmm)"
+echo "   $p1"
+echo "$p1" | grep -q '"version": 1'
+
+echo "== dimension update reaches served predictions immediately"
+curl_json -X POST "http://$addr/v1/ingest" -H 'Content-Type: application/json' \
+    -d '{"dims":[{"table":"synth_R1","rid":5,"features":[9.5,-9.5,4.0]}]}' \
+    | grep -q '"dim_updates": 1'
+p2="$(predict_gmm)"
+echo "   $p2"
+if [ "$p1" = "$p2" ]; then
+    echo "prediction unchanged after dimension update" >&2; exit 1
+fi
+
+echo "== ingesting 35 fact rows trips the 30-row auto-refresh"
+rows=""
+for i in $(seq 0 34); do
+    [ -n "$rows" ] && rows="$rows,"
+    rows="$rows{\"sid\":$((600+i)),\"fks\":[$((i%20))],\"features\":[0.5,-0.5,1.0],\"target\":1}"
+done
+ingest="$(curl_json -X POST "http://$addr/v1/ingest" -H 'Content-Type: application/json' \
+    -d "{\"facts\":[$rows]}")"
+echo "   $ingest"
+echo "$ingest" | grep -q '"refresh_triggered": true'
+
+echo "== refreshed model is served without a restart (version bump)"
+p3="$(predict_gmm)"
+echo "   $p3"
+echo "$p3" | grep -q '"version": 2'
+
+echo "== invalid batches are rejected"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/ingest" \
+    -H 'Content-Type: application/json' -d '{"facts":[{"sid":1,"fks":[999],"features":[1,2,3]}]}')"
+[ "$code" = "400" ] || { echo "unknown fk accepted ($code)" >&2; exit 1; }
+
+echo "== /statsz carries the stream counters"
+stats="$(curl_json "http://$addr/statsz")"
+echo "   $stats"
+echo "$stats" | grep -q '"stream"'
+echo "$stats" | grep -q '"facts_ingested": 35'
+echo "$stats" | grep -q '"dim_updates": 1'
+echo "$stats" | grep -q '"auto_refreshes": 1'
+
+echo "stream smoke OK"
