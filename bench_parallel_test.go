@@ -55,8 +55,9 @@ func recordBench(bench, algo string, workers int, nsPerOp float64) {
 func TestMain(m *testing.M) {
 	code := m.Run()
 	flushParallelBench()
-	flushServeBench()  // see bench_serve_test.go
-	flushStreamBench() // see bench_stream_test.go
+	flushServeBench()     // see bench_serve_test.go
+	flushStreamBench()    // see bench_stream_test.go
+	flushSnowflakeBench() // see bench_snowflake_test.go
 	os.Exit(code)
 }
 

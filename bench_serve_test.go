@@ -132,7 +132,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 	for _, model := range []string{"bench-nn", "bench-gmm"} {
 		for _, workers := range benchWorkerCounts() {
 			b.Run(fmt.Sprintf("%s/workers=%d", model, workers), func(b *testing.B) {
-				eng, err := serve.NewEngine(reg, spec.Rs, serve.EngineConfig{NumWorkers: workers})
+				eng, err := serve.NewEngine(reg, spec.Plan(), serve.EngineConfig{NumWorkers: workers})
 				if err != nil {
 					b.Fatal(err)
 				}

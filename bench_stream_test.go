@@ -90,7 +90,7 @@ const (
 	benchStreamK     = 4
 )
 
-func benchStreamSetup(b *testing.B) (*storage.Database, *join.Spec, core.Partition, []*join.ResidentIndex, *gmm.Model) {
+func benchStreamSetup(b *testing.B) (*storage.Database, *join.Spec, core.Partition, *join.Resolver, []*join.ResidentIndex, *gmm.Model) {
 	b.Helper()
 	db := benchDB(b)
 	spec, err := data.Generate(db, "strm", data.SynthConfig{
@@ -113,7 +113,12 @@ func benchStreamSetup(b *testing.B) (*storage.Database, *join.Spec, core.Partiti
 		}
 		idxs = append(idxs, ix)
 	}
-	return db, spec, p, idxs, res.Model
+	plan := spec.Plan()
+	rv, err := join.NewResolver(plan.Parent, plan.Ref, idxs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, spec, p, rv, idxs, res.Model
 }
 
 // BenchmarkStreamIngest sweeps the two refresh phases at 1 and N workers:
@@ -126,9 +131,9 @@ func benchStreamSetup(b *testing.B) (*storage.Database, *join.Spec, core.Partiti
 func BenchmarkStreamIngest(b *testing.B) {
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("incremental/workers=%d", workers), func(b *testing.B) {
-			_, spec, p, idxs, model := benchStreamSetup(b)
+			_, spec, p, rv, idxs, model := benchStreamSetup(b)
 			st := stream.NewGMMStats(p, model.K)
-			if err := st.Absorb(model, spec.S, idxs, workers); err != nil {
+			if err := st.Absorb(model, spec.S, rv, workers); err != nil {
 				b.Fatal(err)
 			}
 			rng := rand.New(rand.NewSource(99))
@@ -137,7 +142,7 @@ func BenchmarkStreamIngest(b *testing.B) {
 				b.StopTimer()
 				appendBenchDelta(b, spec, rng, benchStreamDelta)
 				b.StartTimer()
-				if err := st.Absorb(model, spec.S, idxs, workers); err != nil {
+				if err := st.Absorb(model, spec.S, rv, workers); err != nil {
 					b.Fatal(err)
 				}
 				if _, err := st.Step(model, idxs, 1e-6); err != nil {
@@ -152,12 +157,12 @@ func BenchmarkStreamIngest(b *testing.B) {
 			})
 		})
 		b.Run(fmt.Sprintf("full/workers=%d", workers), func(b *testing.B) {
-			_, spec, p, idxs, model := benchStreamSetup(b)
+			_, spec, p, rv, idxs, model := benchStreamSetup(b)
 			n := int(spec.S.NumTuples())
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				st := stream.NewGMMStats(p, model.K)
-				if err := st.Absorb(model, spec.S, idxs, workers); err != nil {
+				if err := st.Absorb(model, spec.S, rv, workers); err != nil {
 					b.Fatal(err)
 				}
 				if _, err := st.Step(model, idxs, 1e-6); err != nil {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	datagen -db orders.db -ns 100000 -nr 1000 -ds 5 -dr 15 [-nr2 … -dr2 …]
+//	datagen -db orders.db -ns 100000 -nr 1000 -ds 5 -dr 15 -depth 3 -dims-per-level 2
 //	datagen -db walmart.db -shape Walmart -scale 0.01
 //	datagen -list
 //
@@ -28,6 +29,8 @@ func main() {
 	dr := flag.Int("dr", 15, "dimension feature width")
 	nr2 := flag.Int("nr2", 0, "second dimension table cardinality (0 = binary join)")
 	dr2 := flag.Int("dr2", 0, "second dimension table feature width")
+	depth := flag.Int("depth", 1, "dimension-hierarchy depth (1 = star, >1 = snowflake)")
+	dimsPerLevel := flag.Int("dims-per-level", 1, "sub-dimension tables per dimension at each deeper level (needs -depth > 1)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	target := flag.Bool("target", true, "generate a regression target (needed for NN)")
 	shape := flag.String("shape", "", "generate a simulated real dataset by name instead")
@@ -51,11 +54,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datagen: -db is required (or -list)")
 		os.Exit(2)
 	}
-	if err := validateFlags(*ns, *nr, *ds, *dr, *nr2, *dr2, *scale, *shape); err != nil {
+	if err := validateFlags(*ns, *nr, *ds, *dr, *nr2, *dr2, *depth, *dimsPerLevel, *scale, *shape); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(2)
 	}
-	if err := run(*dbDir, *ns, *nr, *ds, *dr, *nr2, *dr2, *seed, *target, *shape, *scale); err != nil {
+	if err := run(*dbDir, *ns, *nr, *ds, *dr, *nr2, *dr2, *depth, *dimsPerLevel, *seed, *target, *shape, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
@@ -64,12 +67,21 @@ func main() {
 // validateFlags rejects numeric flag values that would otherwise panic or
 // loop in the generator (negative cardinalities, zero-or-negative widths,
 // a second dimension table without a width, an out-of-range scale).
-func validateFlags(ns, nr, ds, dr, nr2, dr2 int, scale float64, shape string) error {
+func validateFlags(ns, nr, ds, dr, nr2, dr2, depth, dimsPerLevel int, scale float64, shape string) error {
 	if shape != "" {
 		if scale <= 0 || scale > 1 {
 			return fmt.Errorf("-scale must be in (0,1], got %g", scale)
 		}
 		return nil
+	}
+	if depth < 1 {
+		return fmt.Errorf("-depth must be >= 1, got %d", depth)
+	}
+	if dimsPerLevel < 1 {
+		return fmt.Errorf("-dims-per-level must be >= 1, got %d", dimsPerLevel)
+	}
+	if dimsPerLevel > 1 && depth == 1 {
+		return fmt.Errorf("-dims-per-level needs -depth > 1, got depth %d", depth)
 	}
 	if ns < 1 {
 		return fmt.Errorf("-ns must be >= 1, got %d", ns)
@@ -92,7 +104,7 @@ func validateFlags(ns, nr, ds, dr, nr2, dr2 int, scale float64, shape string) er
 	return nil
 }
 
-func run(dbDir string, ns, nr, ds, dr, nr2, dr2 int, seed int64, target bool, shape string, scale float64) error {
+func run(dbDir string, ns, nr, ds, dr, nr2, dr2, depth, dimsPerLevel int, seed int64, target bool, shape string, scale float64) error {
 	db, err := storage.Open(dbDir, storage.Options{PoolPages: -1})
 	if err != nil {
 		return err
@@ -114,6 +126,7 @@ func run(dbDir string, ns, nr, ds, dr, nr2, dr2 int, seed int64, target bool, sh
 
 	cfg := data.SynthConfig{
 		NS: ns, NR: []int{nr}, DS: ds, DR: []int{dr},
+		Depth: depth, DimsPerLevel: dimsPerLevel,
 		Seed: seed, WithTarget: target,
 	}
 	if nr2 > 0 {

@@ -25,7 +25,10 @@
 //	POST /v1/ingest                     {"facts":[…],"dims":[…]} (with -fact)
 //
 // Predictions are bit-identical for every -workers value; -dims must list
-// the dimension tables in the join order used at training time.
+// the DIRECT dimension tables in the join order used at training time —
+// sub-dimension tables of a snowflake hierarchy are expanded from the
+// references recorded in the database catalog, and prediction rows carry
+// one foreign key per direct dimension only.
 package main
 
 import (

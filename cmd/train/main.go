@@ -122,15 +122,18 @@ func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
 	if err != nil {
 		return err
 	}
-	spec := &join.Spec{S: sTbl}
+	// -dims names the direct dimension tables; sub-dimension references
+	// recorded in the catalog (snowflake schemas) are expanded from there.
+	var direct []*storage.Table
 	for _, name := range strings.Split(dims, ",") {
 		rTbl, err := db.Table(strings.TrimSpace(name))
 		if err != nil {
 			return err
 		}
-		spec.Rs = append(spec.Rs, rTbl)
+		direct = append(direct, rTbl)
 	}
-	if err := spec.Validate(); err != nil {
+	spec, err := join.NewSnowflakeSpec(sTbl, direct, db.Table)
+	if err != nil {
 		return err
 	}
 

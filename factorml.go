@@ -25,13 +25,22 @@
 // trained model is bit-for-bit identical for every setting — parallelism
 // preserves the exactness guarantee above.
 //
+// Schemas are not limited to one-hop stars: a dimension table may itself
+// reference sub-dimension tables (CreateDimensionTable's variadic parent
+// references), forming an arbitrary-depth snowflake DAG. Datasets,
+// trainers, the prediction server and the streaming change feed all
+// operate on the flattened hierarchy, and the factorized paths reuse
+// per-distinct-tuple work at every level — sub-dimension computation is
+// shared across all parent tuples that reach it.
+//
 // Quick start:
 //
 //	db, _ := factorml.Open(dir, factorml.Options{})
 //	defer db.Close()
-//	items, _ := db.CreateDimensionTable("items", []string{"price", "size"})
+//	brands, _ := db.CreateDimensionTable("brands", []string{"prestige"})
+//	items, _ := db.CreateDimensionTable("items", []string{"price", "size"}, brands)
 //	orders, _ := db.CreateFactTable("orders", []string{"amount"}, true, items)
-//	… append tuples …
+//	… append tuples (AppendRefs on tables with sub-dimensions) …
 //	ds, _ := db.Dataset(orders)
 //	res, _ := factorml.TrainGMM(ds, factorml.Factorized, factorml.GMMConfig{K: 5})
 package factorml
@@ -198,9 +207,13 @@ func (d *DB) IOStats() IOStats { return d.db.Pool().Stats() }
 // ResetIOStats zeroes the buffer-pool counters.
 func (d *DB) ResetIOStats() { d.db.Pool().ResetStats() }
 
-// DimensionTable is a relation R(rid, features…) referenced by fact tables.
+// DimensionTable is a relation R(rid, fk…, features…) referenced by fact
+// tables — and, in a snowflake schema, by other dimension tables. A
+// dimension table created with sub-dimension references carries one
+// foreign-key column per reference.
 type DimensionTable struct {
-	tbl *storage.Table
+	tbl  *storage.Table
+	subs []*DimensionTable
 }
 
 // Name returns the table name.
@@ -209,9 +222,33 @@ func (t *DimensionTable) Name() string { return t.tbl.Schema().Name }
 // NumTuples returns the number of appended tuples.
 func (t *DimensionTable) NumTuples() int64 { return t.tbl.NumTuples() }
 
-// Append adds a dimension tuple. rid must be unique within the table.
+// SubDimensions returns the sub-dimension tables this table references, in
+// foreign-key order (empty for a leaf table).
+func (t *DimensionTable) SubDimensions() []*DimensionTable {
+	return append([]*DimensionTable{}, t.subs...)
+}
+
+// Append adds a tuple to a leaf dimension table. rid must be unique within
+// the table. Tables with sub-dimension references take AppendRefs instead.
 func (t *DimensionTable) Append(rid int64, features []float64) error {
+	if len(t.subs) > 0 {
+		return fmt.Errorf("factorml: dimension table %q references %d sub-dimensions; use AppendRefs", t.Name(), len(t.subs))
+	}
 	return t.tbl.Append(&storage.Tuple{Keys: []int64{rid}, Features: features})
+}
+
+// AppendRefs adds a tuple to a dimension table with sub-dimension
+// references: fks must name an existing rid in each referenced
+// sub-dimension table, in the order passed to CreateDimensionTable
+// (checked at join time).
+func (t *DimensionTable) AppendRefs(rid int64, fks []int64, features []float64) error {
+	if len(fks) != len(t.subs) {
+		return fmt.Errorf("factorml: %d foreign keys for %d sub-dimension tables of %q", len(fks), len(t.subs), t.Name())
+	}
+	keys := make([]int64, 1+len(fks))
+	keys[0] = rid
+	copy(keys[1:], fks)
+	return t.tbl.Append(&storage.Tuple{Keys: keys, Features: features})
 }
 
 // Flush persists any buffered tuples.
@@ -247,17 +284,30 @@ func (t *FactTable) Append(sid int64, fks []int64, features []float64, target fl
 func (t *FactTable) Flush() error { return t.tbl.Flush() }
 
 // CreateDimensionTable creates a dimension relation with the given feature
-// columns.
-func (d *DB) CreateDimensionTable(name string, features []string) (*DimensionTable, error) {
-	tbl, err := d.db.CreateTable(&storage.Schema{
+// columns. Passing sub-dimension tables builds a snowflake level: the new
+// table gets one foreign-key column per referenced table (fill them with
+// AppendRefs), and every join rooted at a fact table referencing this one
+// transparently extends through the whole hierarchy. The references are
+// recorded in the database catalog, so reopened databases — and cmd/train
+// and cmd/serve — reconstruct the hierarchy without redeclaring it.
+func (d *DB) CreateDimensionTable(name string, features []string, subs ...*DimensionTable) (*DimensionTable, error) {
+	schema := &storage.Schema{
 		Name:     name,
 		Keys:     []string{"rid"},
 		Features: features,
-	})
+	}
+	for i, sub := range subs {
+		if sub == nil {
+			return nil, fmt.Errorf("factorml: sub-dimension table %d of %q is nil", i, name)
+		}
+		schema.Keys = append(schema.Keys, fmt.Sprintf("fk%d", i+1))
+		schema.Refs = append(schema.Refs, sub.Name())
+	}
+	tbl, err := d.db.CreateTable(schema)
 	if err != nil {
 		return nil, err
 	}
-	return &DimensionTable{tbl: tbl}, nil
+	return &DimensionTable{tbl: tbl, subs: append([]*DimensionTable{}, subs...)}, nil
 }
 
 // CreateFactTable creates a fact relation with one foreign key per listed
@@ -273,8 +323,12 @@ func (d *DB) CreateFactTable(name string, features []string, withTarget bool, di
 		Features:  features,
 		HasTarget: withTarget,
 	}
-	for i := range dims {
+	for i, dim := range dims {
+		if dim == nil {
+			return nil, fmt.Errorf("factorml: dimension table %d of %q is nil", i, name)
+		}
 		schema.Keys = append(schema.Keys, fmt.Sprintf("fk%d", i+1))
+		schema.Refs = append(schema.Refs, dim.Name())
 	}
 	tbl, err := d.db.CreateTable(schema)
 	if err != nil {
@@ -289,20 +343,24 @@ type Dataset struct {
 	spec *join.Spec
 }
 
-// Dataset builds a training dataset over the star join rooted at fact.
+// Dataset builds a training dataset over the join rooted at fact — the
+// one-hop star, or, when any dimension table references sub-dimensions,
+// the whole snowflake hierarchy flattened in depth-first preorder (the
+// feature layout every trainer and server over this schema shares).
 func (d *DB) Dataset(fact *FactTable) (*Dataset, error) {
-	spec := &join.Spec{S: fact.tbl}
+	var direct []*storage.Table
 	for _, dim := range fact.dims {
-		spec.Rs = append(spec.Rs, dim.tbl)
+		direct = append(direct, dim.tbl)
 	}
-	if err := spec.Validate(); err != nil {
+	spec, err := join.NewSnowflakeSpec(fact.tbl, direct, d.db.Table)
+	if err != nil {
 		return nil, err
 	}
 	if err := fact.Flush(); err != nil {
 		return nil, err
 	}
-	for _, dim := range fact.dims {
-		if err := dim.Flush(); err != nil {
+	for _, r := range spec.Rs {
+		if err := r.Flush(); err != nil {
 			return nil, err
 		}
 	}
@@ -552,17 +610,12 @@ func NewStreamingPredictionServer(d *DB, fact string, dimTables []string, cfg Se
 	if err != nil {
 		return nil, nil, err
 	}
-	spec := &join.Spec{S: factTbl}
-	var dims []*storage.Table
-	for _, name := range dimTables {
-		tbl, err := d.db.Table(name)
-		if err != nil {
-			return nil, nil, err
-		}
-		dims = append(dims, tbl)
-		spec.Rs = append(spec.Rs, tbl)
+	plan, err := d.dimPlan(dimTables)
+	if err != nil {
+		return nil, nil, err
 	}
-	eng, err := serve.NewEngine(reg, dims, cfg)
+	spec := plan.Spec(factTbl)
+	eng, err := serve.NewEngine(reg, plan, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -616,17 +669,28 @@ func NewPredictionServer(d *DB, dimTables []string, cfg ServeConfig) (http.Handl
 	if err != nil {
 		return nil, err
 	}
-	var dims []*storage.Table
+	plan, err := d.dimPlan(dimTables)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serve.NewEngine(reg, plan, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewServer(eng), nil
+}
+
+// dimPlan expands the named direct dimension tables — and every
+// sub-dimension their catalog entries reference — into the flattened
+// snowflake plan shared by serving and streaming.
+func (d *DB) dimPlan(dimTables []string) (*join.DimPlan, error) {
+	var direct []*storage.Table
 	for _, name := range dimTables {
 		tbl, err := d.db.Table(name)
 		if err != nil {
 			return nil, err
 		}
-		dims = append(dims, tbl)
+		direct = append(direct, tbl)
 	}
-	eng, err := serve.NewEngine(reg, dims, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return serve.NewServer(eng), nil
+	return join.ExpandDims(direct, d.db.Table)
 }

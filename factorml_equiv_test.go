@@ -1,0 +1,328 @@
+package factorml
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// This file is the randomized cross-strategy equivalence harness: it
+// generates random snowflake schemas — depth 1–3, up to 4 dimension tables
+// per level, random column widths including the zero-width edge, random
+// cardinalities and row counts — and asserts that for both model families
+//
+//   - every strategy is bit-identical across NumWorkers ∈ {1, 4} (the
+//     parallel engine's headline guarantee), and
+//   - Materialized, Streaming and Factorized agree to within 1e-9 relative
+//     (the strategies evaluate the same sums in different floating-point
+//     orders — the factorized quadratic form is block-decomposed — so
+//     cross-strategy equality is exact-up-to-summation-order, the same
+//     contract the hand-written fixtures in factorml_test.go pin).
+//
+// Every schema's generator seed is printed on failure; rerun a single
+// failing schema with FACTORML_EQUIV_SEED=<seed> FACTORML_EQUIV_COUNT=1.
+
+// equivSchemas is how many random schemas the harness sweeps.
+const equivSchemas = 50
+
+// maxEquivDims caps the total number of dimension tables per schema so a
+// depth-3 fanout stays affordable.
+const maxEquivDims = 8
+
+// rdim is one node of a random dimension hierarchy.
+type rdim struct {
+	tbl  *DimensionTable
+	n    int // cardinality
+	subs []*rdim
+}
+
+// buildRandomSnowflake creates a random schema in db and returns the fact
+// table plus a shape description for failure messages.
+func buildRandomSnowflake(t *testing.T, db *DB, rng *rand.Rand) (*FactTable, string) {
+	t.Helper()
+	depth := 1 + rng.Intn(3)
+	total := 0
+	shape := fmt.Sprintf("depth=%d dims=[", depth)
+
+	// Decide the tree, then create tables bottom-up (a parent needs its
+	// sub-dimension handles at creation time).
+	var build func(level int) *rdim
+	nodeID := 0
+	build = func(level int) *rdim {
+		total++
+		d := &rdim{n: 2 + rng.Intn(9)}
+		if level < depth {
+			nsubs := 1 + rng.Intn(4)
+			for c := 0; c < nsubs && total < maxEquivDims; c++ {
+				d.subs = append(d.subs, build(level+1))
+			}
+		}
+		return d
+	}
+	var create func(d *rdim) *DimensionTable
+	create = func(d *rdim) *DimensionTable {
+		var subs []*DimensionTable
+		for _, s := range d.subs {
+			subs = append(subs, create(s))
+		}
+		width := rng.Intn(3) // 0, 1 or 2 features — zero-width included
+		var cols []string
+		for i := 0; i < width; i++ {
+			cols = append(cols, fmt.Sprintf("x%d", i))
+		}
+		name := fmt.Sprintf("d%d", nodeID)
+		nodeID++
+		tbl, err := db.CreateDimensionTable(name, cols, subs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shape += fmt.Sprintf(" %s(n=%d,w=%d,subs=%d)", name, d.n, width, len(subs))
+		feats := make([]float64, width)
+		fks := make([]int64, len(subs))
+		for i := 0; i < d.n; i++ {
+			for j := range feats {
+				feats[j] = rng.NormFloat64()
+			}
+			for j, s := range d.subs {
+				fks[j] = int64(rng.Intn(s.n))
+			}
+			var err error
+			if len(subs) == 0 {
+				err = tbl.Append(int64(i), feats)
+			} else {
+				err = tbl.AppendRefs(int64(i), fks, feats)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.tbl = tbl
+		return tbl
+	}
+
+	nDirect := 1 + rng.Intn(2)
+	var roots []*rdim
+	var direct []*DimensionTable
+	for i := 0; i < nDirect && total < maxEquivDims; i++ {
+		roots = append(roots, build(1))
+	}
+	for _, r := range roots {
+		direct = append(direct, create(r))
+	}
+	shape += " ]"
+
+	dS := 1 + rng.Intn(3)
+	var factCols []string
+	for i := 0; i < dS; i++ {
+		factCols = append(factCols, fmt.Sprintf("f%d", i))
+	}
+	fact, err := db.CreateFactTable("fact", factCols, true, direct...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nRows := 40 + rng.Intn(121)
+	shape += fmt.Sprintf(" rows=%d dS=%d", nRows, dS)
+	feats := make([]float64, dS)
+	fks := make([]int64, len(roots))
+	for i := 0; i < nRows; i++ {
+		y := 0.0
+		for j := range feats {
+			feats[j] = rng.NormFloat64()
+			y += feats[j]
+		}
+		for j, r := range roots {
+			fks[j] = int64(rng.Intn(r.n))
+		}
+		if err := fact.Append(int64(i), fks, feats, 0.3*y+0.1*rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fact, shape
+}
+
+// equivEnvInt reads an integer override from the environment.
+func equivEnvInt(name string, def int64) int64 {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+func relDiffTooBig(d float64) bool { return d > 1e-9 }
+
+// TestRandomizedCrossStrategyEquivalence is the harness described in the
+// file comment.
+func TestRandomizedCrossStrategyEquivalence(t *testing.T) {
+	masterSeed := equivEnvInt("FACTORML_EQUIV_SEED", 20260730)
+	count := int(equivEnvInt("FACTORML_EQUIV_COUNT", equivSchemas))
+	if testing.Short() {
+		count = 8
+	}
+	algos := []Algorithm{Materialized, Streaming, Factorized}
+	workerSweep := []int{1, 4}
+
+	for i := 0; i < count; i++ {
+		seed := masterSeed + int64(i)
+		rng := rand.New(rand.NewSource(seed))
+		db := openDB(t)
+		fact, shape := buildRandomSnowflake(t, db, rng)
+		ds, err := db.Dataset(fact)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, shape, err)
+		}
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Errorf("schema seed %d (%s): %s", seed, shape, fmt.Sprintf(format, args...))
+		}
+
+		// --- GMM: Tol=0 disables early convergence so every strategy runs
+		// the same fixed number of EM iterations.
+		gmms := make(map[Algorithm][]*GMMModel)
+		for _, algo := range algos {
+			for _, w := range workerSweep {
+				res, err := TrainGMM(ds, algo, GMMConfig{K: 2, MaxIter: 3, Tol: 1e-300, Seed: seed, NumWorkers: w})
+				if err != nil {
+					t.Fatalf("seed %d (%s): %v-GMM workers=%d: %v", seed, shape, algo, w, err)
+				}
+				gmms[algo] = append(gmms[algo], res.Model)
+			}
+			if d := gmms[algo][0].MaxParamDiff(gmms[algo][1]); d != 0 {
+				fail("%v-GMM differs across worker counts by %g, want bit-identical", algo, d)
+			}
+		}
+		for _, algo := range algos[1:] {
+			if d := gmms[Materialized][0].MaxParamDiff(gmms[algo][0]); relDiffTooBig(d) {
+				fail("M-GMM vs %v-GMM differ by %g", algo, d)
+			}
+		}
+
+		// --- NN.
+		nns := make(map[Algorithm][]*NNNetwork)
+		for _, algo := range algos {
+			for _, w := range workerSweep {
+				res, err := TrainNN(ds, algo, NNConfig{Hidden: []int{3}, Epochs: 2, LearningRate: 0.05, Seed: seed, NumWorkers: w})
+				if err != nil {
+					t.Fatalf("seed %d (%s): %v-NN workers=%d: %v", seed, shape, algo, w, err)
+				}
+				nns[algo] = append(nns[algo], res.Net)
+			}
+			if d := nns[algo][0].MaxParamDiff(nns[algo][1]); d != 0 {
+				fail("%v-NN differs across worker counts by %g, want bit-identical", algo, d)
+			}
+		}
+		for _, algo := range algos[1:] {
+			if d := nns[Materialized][0].MaxParamDiff(nns[algo][0]); relDiffTooBig(d) {
+				fail("M-NN vs %v-NN differ by %g", algo, d)
+			}
+		}
+	}
+}
+
+// TestSnowflakeDepth3PinnedEquivalence is the deterministic anchor of the
+// harness: one fixed depth-3 schema (fact → items → categories →
+// suppliers, with a second brands branch under items), every strategy,
+// workers ∈ {1, 2, 4}. Factorized training over the snowflake matches
+// Materialized/Streaming over the flattened join, bit-identical across
+// every worker count within a strategy.
+func TestSnowflakeDepth3PinnedEquivalence(t *testing.T) {
+	db := openDB(t)
+	rng := rand.New(rand.NewSource(99))
+
+	suppliers, err := db.CreateDimensionTable("suppliers", []string{"rating"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := suppliers.Append(int64(i), []float64{rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	categories, err := db.CreateDimensionTable("categories", []string{"margin", "rate"}, suppliers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := categories.AppendRefs(int64(i), []int64{int64(rng.Intn(5))}, []float64{rng.NormFloat64(), rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	brands, err := db.CreateDimensionTable("brands", []string{"prestige"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := brands.Append(int64(i), []float64{rng.NormFloat64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, err := db.CreateDimensionTable("items", []string{"price", "weight"}, categories, brands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		err := items.AppendRefs(int64(i), []int64{int64(rng.Intn(9)), int64(rng.Intn(4))},
+			[]float64{rng.NormFloat64(), rng.NormFloat64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	fact, err := db.CreateFactTable("orders", []string{"amount", "hour"}, true, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		a := rng.NormFloat64()
+		if err := fact.Append(int64(i), []int64{int64(rng.Intn(40))}, []float64{a, rng.NormFloat64()}, 0.5*a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := db.Dataset(fact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 + 2 + 2 + 1 + 1; ds.JoinedWidth() != want {
+		t.Fatalf("JoinedWidth = %d, want %d", ds.JoinedWidth(), want)
+	}
+
+	algos := []Algorithm{Materialized, Streaming, Factorized}
+	var gref *GMMModel
+	var nref *NNNetwork
+	for _, algo := range algos {
+		var gw []*GMMModel
+		var nw []*NNNetwork
+		for _, w := range []int{1, 2, 4} {
+			gres, err := TrainGMM(ds, algo, GMMConfig{K: 3, MaxIter: 4, Tol: 1e-300, Seed: 5, NumWorkers: w})
+			if err != nil {
+				t.Fatalf("%v-GMM workers=%d: %v", algo, w, err)
+			}
+			gw = append(gw, gres.Model)
+			nres, err := TrainNN(ds, algo, NNConfig{Hidden: []int{6}, Epochs: 3, LearningRate: 0.05, Seed: 5, NumWorkers: w})
+			if err != nil {
+				t.Fatalf("%v-NN workers=%d: %v", algo, w, err)
+			}
+			nw = append(nw, nres.Net)
+		}
+		for i := 1; i < len(gw); i++ {
+			if d := gw[0].MaxParamDiff(gw[i]); d != 0 {
+				t.Errorf("%v-GMM: workers sweep position %d differs by %g, want bit-identical", algo, i, d)
+			}
+			if d := nw[0].MaxParamDiff(nw[i]); d != 0 {
+				t.Errorf("%v-NN: workers sweep position %d differs by %g, want bit-identical", algo, i, d)
+			}
+		}
+		if gref == nil {
+			gref, nref = gw[0], nw[0]
+			continue
+		}
+		if d := gref.MaxParamDiff(gw[0]); relDiffTooBig(d) {
+			t.Errorf("GMM: %v differs from Materialized by %g", algo, d)
+		}
+		if d := nref.MaxParamDiff(nw[0]); relDiffTooBig(d) {
+			t.Errorf("NN: %v differs from Materialized by %g", algo, d)
+		}
+	}
+}

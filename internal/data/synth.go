@@ -9,12 +9,26 @@ import (
 	"factorml/internal/storage"
 )
 
-// SynthConfig describes a synthetic star schema S ⋈ R1 ⋈ … ⋈ Rq.
+// SynthConfig describes a synthetic star schema S ⋈ R1 ⋈ … ⋈ Rq — or,
+// with Depth > 1, a snowflake in which every dimension table recursively
+// references DimsPerLevel sub-dimension tables down to the given depth.
 type SynthConfig struct {
 	NS int   // fact tuples
-	NR []int // dimension tuples per dimension table
+	NR []int // dimension tuples per top-level dimension table
 	DS int   // fact features
-	DR []int // dimension features per dimension table
+	DR []int // dimension features per top-level dimension table
+
+	// Depth is the dimension-hierarchy depth: 1 (the default) is the
+	// classic one-hop star; at Depth d every dimension table above the
+	// leaf level references DimsPerLevel sub-dimension tables. Each
+	// sub-dimension inherits its parent's feature width and has
+	// max(2, parent cardinality / 4) tuples, so deeper levels are shared
+	// by ever more parent tuples — the redundancy the factorized trainers
+	// exploit at every level.
+	Depth int
+	// DimsPerLevel is how many sub-dimension tables each non-leaf
+	// dimension table references when Depth > 1 (default 1).
+	DimsPerLevel int
 
 	Clusters int     // Gaussian clusters features are sampled from (default 5)
 	Noise    float64 // additive N(0, Noise²) noise (default 0.1)
@@ -33,6 +47,12 @@ func (c SynthConfig) withDefaults() SynthConfig {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Depth == 0 {
+		c.Depth = 1
+	}
+	if c.DimsPerLevel == 0 {
+		c.DimsPerLevel = 1
+	}
 	return c
 }
 
@@ -47,6 +67,12 @@ func (c SynthConfig) validate() error {
 		if c.NR[i] <= 0 || c.DR[i] < 0 {
 			return fmt.Errorf("data: invalid dimension shape nR%d=%d dR%d=%d", i+1, c.NR[i], i+1, c.DR[i])
 		}
+	}
+	if c.Depth < 1 {
+		return fmt.Errorf("data: invalid hierarchy depth %d, want >= 1", c.Depth)
+	}
+	if c.DimsPerLevel < 1 {
+		return fmt.Errorf("data: invalid dims-per-level %d, want >= 1", c.DimsPerLevel)
 	}
 	return nil
 }
@@ -85,7 +111,10 @@ func (cs *clusterSampler) sample(dst []float64) {
 // Generate creates the fact and dimension tables in db and returns a join
 // spec over them. Foreign keys are assigned uniformly at random, so the
 // expected group size of dimension tuple matches is rr = nS/nR — the
-// redundancy knob of the paper's experiments.
+// redundancy knob of the paper's experiments. With cfg.Depth > 1 each
+// dimension table recursively references cfg.DimsPerLevel sub-dimension
+// tables (named <parent>_<i>), the references recorded in the catalog, and
+// the returned spec covers the flattened snowflake.
 func Generate(db *storage.Database, name string, cfg SynthConfig) (*join.Spec, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -94,33 +123,70 @@ func Generate(db *storage.Database, name string, cfg SynthConfig) (*join.Spec, e
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	q := len(cfg.NR)
 
-	spec := &join.Spec{}
-	for j := 0; j < q; j++ {
-		schema := &storage.Schema{Name: fmt.Sprintf("%s_R%d", name, j+1), Keys: []string{"rid"}}
-		for i := 0; i < cfg.DR[j]; i++ {
-			schema.Features = append(schema.Features, fmt.Sprintf("xr%d_%d", j+1, i))
+	// makeDim creates the dimension table tblName with n tuples of d
+	// features — building its sub-dimension subtree first (level counts
+	// from 1), so foreign keys are drawn against known cardinalities.
+	var makeDim func(tblName, featPrefix string, n, d, level int) (*storage.Table, error)
+	makeDim = func(tblName, featPrefix string, n, d, level int) (*storage.Table, error) {
+		var subNames []string
+		var subNs []int
+		if level < cfg.Depth {
+			subN := n / 4
+			if subN < 2 {
+				subN = 2
+			}
+			for c := 0; c < cfg.DimsPerLevel; c++ {
+				subName := fmt.Sprintf("%s_%d", tblName, c+1)
+				if _, err := makeDim(subName, fmt.Sprintf("%s_%d", featPrefix, c+1), subN, d, level+1); err != nil {
+					return nil, err
+				}
+				subNames = append(subNames, subName)
+				subNs = append(subNs, subN)
+			}
+		}
+		schema := &storage.Schema{Name: tblName, Keys: []string{"rid"}, Refs: subNames}
+		for c := range subNames {
+			schema.Keys = append(schema.Keys, fmt.Sprintf("fk%d", c+1))
+		}
+		for i := 0; i < d; i++ {
+			schema.Features = append(schema.Features, fmt.Sprintf("%s_%d", featPrefix, i))
 		}
 		tbl, err := db.CreateTable(schema)
 		if err != nil {
 			return nil, err
 		}
-		sampler := newClusterSampler(rng, cfg.Clusters, cfg.DR[j], cfg.Noise)
-		feats := make([]float64, cfg.DR[j])
-		for i := 0; i < cfg.NR[j]; i++ {
+		sampler := newClusterSampler(rng, cfg.Clusters, d, cfg.Noise)
+		feats := make([]float64, d)
+		keys := make([]int64, 1+len(subNames))
+		for i := 0; i < n; i++ {
 			sampler.sample(feats)
-			if err := tbl.Append(&storage.Tuple{Keys: []int64{int64(i)}, Features: feats}); err != nil {
+			keys[0] = int64(i)
+			for c, sn := range subNs {
+				keys[1+c] = int64(rng.Intn(sn))
+			}
+			if err := tbl.Append(&storage.Tuple{Keys: keys, Features: feats}); err != nil {
 				return nil, err
 			}
 		}
 		if err := tbl.Flush(); err != nil {
 			return nil, err
 		}
-		spec.Rs = append(spec.Rs, tbl)
+		return tbl, nil
+	}
+
+	var direct []*storage.Table
+	for j := 0; j < q; j++ {
+		tbl, err := makeDim(fmt.Sprintf("%s_R%d", name, j+1), fmt.Sprintf("xr%d", j+1), cfg.NR[j], cfg.DR[j], 1)
+		if err != nil {
+			return nil, err
+		}
+		direct = append(direct, tbl)
 	}
 
 	sSchema := &storage.Schema{Name: fmt.Sprintf("%s_S", name), Keys: []string{"sid"}, HasTarget: cfg.WithTarget}
 	for j := 0; j < q; j++ {
 		sSchema.Keys = append(sSchema.Keys, fmt.Sprintf("fk%d", j+1))
+		sSchema.Refs = append(sSchema.Refs, direct[j].Schema().Name)
 	}
 	for i := 0; i < cfg.DS; i++ {
 		sSchema.Features = append(sSchema.Features, fmt.Sprintf("xs%d", i))
@@ -158,8 +224,7 @@ func Generate(db *storage.Database, name string, cfg SynthConfig) (*join.Spec, e
 	if err := sTbl.Flush(); err != nil {
 		return nil, err
 	}
-	spec.S = sTbl
-	return spec, nil
+	return join.NewSnowflakeSpec(sTbl, direct, db.Table)
 }
 
 func max(a, b int) int {

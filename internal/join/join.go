@@ -11,19 +11,57 @@ import (
 // first dimension table) when a Spec leaves BlockPages at zero.
 const DefaultBlockPages = 64
 
-// Spec describes a star join between a fact table S and dimension tables
-// R1…Rq.
+// Spec describes a join between a fact table S and a flattened hierarchy of
+// dimension tables R1…Rq — a one-hop star, or an arbitrary-depth snowflake.
 //
-// S's key columns must be [sid, fk1, …, fkq] where fk_i references
-// Rs[i].Keys[0]. Every fk must resolve (joins are primary/foreign-key, so
-// the join is lossless on S); a dangling fk is an error.
+// S's key columns must be [sid, fk1, …, fkp] with one foreign key per
+// *direct* dimension table. Rs lists every reachable dimension relation in
+// depth-first preorder (each direct dimension followed by its whole
+// subtree); Parent and Ref record, per relation, where its foreign key
+// lives — see DimPlan for the exact contract. Leaving Parent and Ref nil
+// selects the classic star layout: every Rs[i] is keyed directly off the
+// fact tuple's i-th foreign key.
+//
+// Every fk must resolve (joins are primary/foreign-key, so the join is
+// lossless on S); a dangling fk at any hop skips the fact tuple
+// (inner-join semantics), exactly as the flattened/materialized join would.
 type Spec struct {
 	S  *storage.Table
 	Rs []*storage.Table
 
+	// Parent and Ref are the snowflake resolution edges (nil = one-hop
+	// star): Parent[i] is -1 when Rs[i] is keyed off the fact tuple, else
+	// the index of the relation whose tuple carries the key (always < i);
+	// Ref[i] is the 0-based foreign-key position within that tuple's key
+	// columns (key column 1+Ref[i]).
+	Parent []int
+	Ref    []int
+
 	// BlockPages is the number of pages of Rs[0] loaded per block of the
 	// block-nested-loops join. Zero selects DefaultBlockPages.
 	BlockPages int
+}
+
+// edges returns the resolution edges, materializing the one-hop star
+// defaults when the spec leaves Parent/Ref nil.
+func (sp *Spec) edges() (parent, ref []int) {
+	if sp.Parent != nil || sp.Ref != nil {
+		return sp.Parent, sp.Ref
+	}
+	parent = make([]int, len(sp.Rs))
+	ref = make([]int, len(sp.Rs))
+	for i := range sp.Rs {
+		parent[i] = -1
+		ref[i] = i
+	}
+	return parent, ref
+}
+
+// Plan returns the spec's dimension plan with the resolution edges
+// materialized (the one-hop defaults when Parent/Ref are nil).
+func (sp *Spec) Plan() *DimPlan {
+	parent, ref := sp.edges()
+	return &DimPlan{Tables: sp.Rs, Parent: parent, Ref: ref}
 }
 
 // Validate checks the spec's structural invariants.
@@ -34,22 +72,61 @@ func (sp *Spec) Validate() error {
 	if len(sp.Rs) == 0 {
 		return fmt.Errorf("join: spec has no dimension tables")
 	}
-	if got, want := sp.S.Schema().NumKeys(), 1+len(sp.Rs); got != want {
-		return fmt.Errorf("join: fact table %q has %d key columns, want %d (sid + %d fks)",
-			sp.S.Schema().Name, got, want, len(sp.Rs))
+	if (sp.Parent == nil) != (sp.Ref == nil) || (sp.Parent != nil && (len(sp.Parent) != len(sp.Rs) || len(sp.Ref) != len(sp.Rs))) {
+		return fmt.Errorf("join: spec has %d relations but %d parent / %d ref edges",
+			len(sp.Rs), len(sp.Parent), len(sp.Ref))
 	}
+	parent, ref := sp.edges()
+	// Children must follow their parent (preorder) and claim its foreign
+	// keys in order, so the flattened layout is deterministic and the
+	// Runner can resolve left to right.
+	nextRef := make([]int, 1+len(sp.Rs)) // nextRef[0] = fact, nextRef[1+i] = Rs[i]
 	for i, r := range sp.Rs {
 		if r == nil {
 			return fmt.Errorf("join: dimension table %d is nil", i)
 		}
-		if r.Schema().NumKeys() != 1 {
-			return fmt.Errorf("join: dimension table %q must have exactly one key column", r.Schema().Name)
-		}
 		if r.Schema().HasTarget {
 			return fmt.Errorf("join: dimension table %q must not carry a target", r.Schema().Name)
 		}
+		p := parent[i]
+		if p < -1 || p >= i {
+			return fmt.Errorf("join: dimension table %q (relation %d) has parent %d, want -1 or an earlier relation",
+				r.Schema().Name, i, p)
+		}
+		if got, want := ref[i], nextRef[1+p]; got != want {
+			return fmt.Errorf("join: dimension table %q (relation %d) claims foreign key %d of its parent, want %d (preorder, key order)",
+				r.Schema().Name, i, got, want)
+		}
+		nextRef[1+p]++
+	}
+	if got, want := sp.S.Schema().NumKeys(), 1+nextRef[0]; got != want {
+		return fmt.Errorf("join: fact table %q has %d key columns, want %d (sid + %d fks)",
+			sp.S.Schema().Name, got, want, nextRef[0])
+	}
+	for i, r := range sp.Rs {
+		if got, want := r.Schema().NumKeys(), 1+nextRef[1+i]; got != want {
+			return fmt.Errorf("join: dimension table %q has %d key columns, want %d (rid + %d sub-dimension fks)",
+				r.Schema().Name, got, want, nextRef[1+i])
+		}
 	}
 	return nil
+}
+
+// NewSnowflakeSpec builds a validated spec over fact by expanding the
+// direct dimension tables' recorded sub-dimension references
+// (storage.Schema.Refs) through lookup. This is the catalog-driven path
+// used by cmd/train and the serving facade; callers holding an explicit
+// hierarchy can construct a DimPlan directly.
+func NewSnowflakeSpec(fact *storage.Table, direct []*storage.Table, lookup func(name string) (*storage.Table, error)) (*Spec, error) {
+	pl, err := ExpandDims(direct, lookup)
+	if err != nil {
+		return nil, err
+	}
+	sp := pl.Spec(fact)
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
 }
 
 func (sp *Spec) blockPages() int {
@@ -99,9 +176,11 @@ type Callbacks struct {
 	OnBlockEnd   func() error
 }
 
-// Runner executes a block-nested-loops star join.
+// Runner executes a block-nested-loops join over a star or snowflake spec.
 type Runner struct {
 	spec     *Spec
+	parent   []int              // resolution edges (see Spec.Parent)
+	ref      []int              // resolution edges (see Spec.Ref)
 	resident [][]*storage.Tuple // Rs[1:] fully loaded
 	resIndex []map[int64]int    // rid -> index into resident[i]
 	loaded   bool
@@ -113,7 +192,9 @@ func NewRunner(spec *Spec) (*Runner, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Runner{spec: spec}, nil
+	r := &Runner{spec: spec}
+	r.parent, r.ref = spec.edges()
+	return r, nil
 }
 
 // Spec returns the join specification the runner was built from.
@@ -232,6 +313,37 @@ func (r *Runner) forEachBlock(fn func(block []*storage.Tuple, blockIdx map[int64
 	return nil
 }
 
+// probe resolves one fact tuple through the dimension hierarchy: the first
+// relation's position within the current block (via blockIdx), then every
+// further relation's resident position — keyed off the fact tuple, the
+// block tuple or an earlier resident tuple per the spec's resolution edges.
+// It returns ok=false when the fact tuple's R1 key belongs to another block
+// or any hop dangles (inner-join semantics), with resIdx[j] holding the
+// position of relation 1+j on success.
+func (r *Runner) probe(s *storage.Tuple, block []*storage.Tuple, blockIdx map[int64]int, resIdx []int) (i1 int, ok bool) {
+	i1, ok = blockIdx[s.Keys[1+r.ref[0]]]
+	if !ok {
+		return 0, false
+	}
+	for i := 1; i < len(r.spec.Rs); i++ {
+		var key int64
+		switch p := r.parent[i]; p {
+		case -1:
+			key = s.Keys[1+r.ref[i]]
+		case 0:
+			key = block[i1].Keys[1+r.ref[i]]
+		default:
+			key = r.resident[p-1][resIdx[p-1]].Keys[1+r.ref[i]]
+		}
+		ri, found := r.resIndex[i-1][key]
+		if !found {
+			return 0, false // dangling fk at this hop: skip the fact tuple
+		}
+		resIdx[i-1] = ri
+	}
+	return i1, true
+}
+
 // Run executes the join, invoking the callbacks. It may be called multiple
 // times (e.g. once per EM pass); each call re-reads the base tables, which
 // is exactly the repeated I/O the paper's cost model charges.
@@ -251,20 +363,8 @@ func (r *Runner) Run(cb Callbacks) error {
 			sc := sp.S.NewScanner()
 			for sc.Next() {
 				s := sc.Tuple()
-				i1, ok := blockIdx[s.Keys[1]]
+				i1, ok := r.probe(s, block, blockIdx, resIdx)
 				if !ok {
-					continue // fk belongs to another block
-				}
-				matched := true
-				for j := range resIdx {
-					ri, ok := r.resIndex[j][s.Keys[2+j]]
-					if !ok {
-						matched = false // inner-join semantics: skip dangling fks
-						break
-					}
-					resIdx[j] = ri
-				}
-				if !matched {
 					continue
 				}
 				if err := cb.OnMatch(s, i1, resIdx); err != nil {

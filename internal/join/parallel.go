@@ -103,15 +103,18 @@ func (r *Runner) RunParallel(workers, chunkRows int, cb ParallelCallbacks) error
 	sp := r.spec
 	q := len(sp.Rs)
 
-	// blockIdx is the key index the workers probe. forEachBlock reuses it
-	// between blocks, which is safe because every block ends with a full
-	// barrier: no chunk is in flight when it is rebuilt, and the channel
-	// hand-offs order the rebuild before any later probe.
+	// blockIdx is the key index the workers probe (and curBlock the block
+	// tuples whose sub-keys resolve snowflake hops). forEachBlock reuses
+	// them between blocks, which is safe because every block ends with a
+	// full barrier: no chunk is in flight when they are rebuilt, and the
+	// channel hand-offs order the rebuild before any later probe.
 	var blockIdx map[int64]int
+	var curBlock []*storage.Tuple
 
 	produce := func(f *parallel.Feed[*sChunk]) error {
 		return r.forEachBlock(func(blk []*storage.Tuple, idx map[int64]int) error {
 			blockIdx = idx
+			curBlock = blk
 			if cb.OnBlockStart != nil {
 				if err := cb.OnBlockStart(blk); err != nil {
 					return err
@@ -152,25 +155,14 @@ func (r *Runner) RunParallel(workers, chunkRows int, cb ParallelCallbacks) error
 		c.resBuf = c.resBuf[:0]
 		for i := 0; i < c.n; i++ {
 			s := &c.tuples[i]
-			i1, ok := blockIdx[s.Keys[1]]
-			if !ok {
-				continue // fk belongs to another block
-			}
 			base := len(c.resBuf)
-			matched := true
-			for j := 0; j < q-1; j++ {
-				ri, ok := r.resIndex[j][s.Keys[2+j]]
-				if !ok {
-					matched = false // inner-join semantics: skip dangling fks
-					break
-				}
-				c.resBuf = append(c.resBuf, ri)
-			}
-			if !matched {
+			c.resBuf = c.resBuf[:base+q-1]
+			i1, ok := r.probe(s, curBlock, blockIdx, c.resBuf[base:])
+			if !ok {
 				c.resBuf = c.resBuf[:base]
 				continue
 			}
-			c.matches = append(c.matches, Match{S: s, R1: i1, Res: c.resBuf[base:len(c.resBuf):len(c.resBuf)]})
+			c.matches = append(c.matches, Match{S: s, R1: i1, Res: c.resBuf[base : base+q-1 : base+q-1]})
 		}
 		if cb.NewState != nil {
 			c.state = cb.NewState()
@@ -235,26 +227,14 @@ func (r *Runner) runParallelInline(chunkRows int, cb ParallelCallbacks) error {
 		for sc.Next() {
 			s := sc.Tuple()
 			scanned++
-			i1, ok := blockIdx[s.Keys[1]]
-			if ok {
-				matched := true
-				for j := 0; j < q-1; j++ {
-					ri, ok := r.resIndex[j][s.Keys[2+j]]
-					if !ok {
-						matched = false // inner-join semantics: skip dangling fks
-						break
-					}
-					resBuf[j] = ri
+			if i1, ok := r.probe(s, blk, blockIdx, resBuf); ok {
+				if state == nil && cb.NewState != nil {
+					state = cb.NewState()
 				}
-				if matched {
-					if state == nil && cb.NewState != nil {
-						state = cb.NewState()
-					}
-					if cb.OnMatchChunk != nil {
-						one[0] = Match{S: s, R1: i1, Res: resBuf}
-						if err := cb.OnMatchChunk(state, one); err != nil {
-							return err
-						}
+				if cb.OnMatchChunk != nil {
+					one[0] = Match{S: s, R1: i1, Res: resBuf}
+					if err := cb.OnMatchChunk(state, one); err != nil {
+						return err
 					}
 				}
 			}

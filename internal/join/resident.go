@@ -32,18 +32,22 @@ import (
 type ResidentIndex struct {
 	name  string
 	width int
+	nrefs int // foreign-key columns per tuple (snowflake sub-dimension refs)
 
 	mu    sync.RWMutex
 	pks   []int64       // dense index -> primary key, insertion order
 	pos   map[int64]int // primary key -> dense index
 	feats [][]float64   // dense index -> features (slices are immutable)
+	subs  [][]int64     // dense index -> foreign keys (slices are immutable)
 }
 
-// BuildResidentIndex scans the table once and pins every tuple's features.
+// BuildResidentIndex scans the table once and pins every tuple's features
+// and foreign keys (the latter resolve sub-dimension hops in a snowflake).
 func BuildResidentIndex(t *storage.Table) (*ResidentIndex, error) {
 	ix := &ResidentIndex{
 		name:  t.Schema().Name,
 		width: t.Schema().NumFeatures(),
+		nrefs: t.Schema().NumKeys() - 1,
 		pos:   make(map[int64]int, t.NumTuples()),
 	}
 	sc := t.NewScanner()
@@ -58,6 +62,7 @@ func BuildResidentIndex(t *storage.Table) (*ResidentIndex, error) {
 		ix.pos[pk] = len(ix.pks)
 		ix.pks = append(ix.pks, pk)
 		ix.feats = append(ix.feats, append([]float64{}, tp.Features...))
+		ix.subs = append(ix.subs, append([]int64{}, tp.Keys[1:]...))
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -108,25 +113,45 @@ func (ix *ResidentIndex) At(i int) (pk int64, feats []float64) {
 	return ix.pks[i], ix.feats[i]
 }
 
-// Upsert installs the features for a primary key — replacing the existing
-// tuple's vector, or appending a new tuple at the next dense index. The
-// features are copied into a fresh slice that is never mutated afterwards
-// (the freshness-token contract above).
-func (ix *ResidentIndex) Upsert(pk int64, feats []float64) (isNew bool, err error) {
+// NumRefs returns the number of foreign-key columns per indexed tuple.
+func (ix *ResidentIndex) NumRefs() int { return ix.nrefs }
+
+// SubsAt returns the foreign keys of the tuple with dense index i. The
+// slice is immutable and shared (like Lookup's feature slices, a
+// replacement installs a fresh slice).
+func (ix *ResidentIndex) SubsAt(i int) []int64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.subs[i]
+}
+
+// Upsert installs the foreign keys and features for a primary key —
+// replacing the existing tuple's vectors, or appending a new tuple at the
+// next dense index. Both slices are copied into fresh allocations that are
+// never mutated afterwards (the freshness-token contract above). subs may
+// be nil for a table without sub-dimension references.
+func (ix *ResidentIndex) Upsert(pk int64, subs []int64, feats []float64) (isNew bool, err error) {
 	if len(feats) != ix.width {
 		return false, fmt.Errorf("join: upsert of key %d into %q has %d features, table has %d",
 			pk, ix.name, len(feats), ix.width)
 	}
+	if len(subs) != ix.nrefs {
+		return false, fmt.Errorf("join: upsert of key %d into %q has %d foreign keys, table has %d",
+			pk, ix.name, len(subs), ix.nrefs)
+	}
 	cp := append([]float64{}, feats...)
+	scp := append([]int64{}, subs...)
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if i, ok := ix.pos[pk]; ok {
 		ix.feats[i] = cp
+		ix.subs[i] = scp
 	} else {
 		isNew = true
 		ix.pos[pk] = len(ix.pks)
 		ix.pks = append(ix.pks, pk)
 		ix.feats = append(ix.feats, cp)
+		ix.subs = append(ix.subs, scp)
 	}
 	return isNew, nil
 }

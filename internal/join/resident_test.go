@@ -114,7 +114,7 @@ func TestResidentIndexUpsert(t *testing.T) {
 	}
 
 	old, _ := ix.Lookup(1)
-	isNew, err := ix.Upsert(1, []float64{7, 8})
+	isNew, err := ix.Upsert(1, nil, []float64{7, 8})
 	if err != nil || isNew {
 		t.Fatalf("Upsert(existing) = new=%v err=%v", isNew, err)
 	}
@@ -135,7 +135,7 @@ func TestResidentIndexUpsert(t *testing.T) {
 	if p, ok := ix.Pos(1); !ok || p != 1 {
 		t.Fatalf("Pos(1) = %d, %v; want 1", p, ok)
 	}
-	isNew, err = ix.Upsert(99, []float64{1, 2})
+	isNew, err = ix.Upsert(99, nil, []float64{1, 2})
 	if err != nil || !isNew {
 		t.Fatalf("Upsert(new) = new=%v err=%v", isNew, err)
 	}
@@ -148,7 +148,7 @@ func TestResidentIndexUpsert(t *testing.T) {
 	if ix.Len() != 4 {
 		t.Fatalf("Len = %d, want 4", ix.Len())
 	}
-	if _, err := ix.Upsert(5, []float64{1}); err == nil {
+	if _, err := ix.Upsert(5, nil, []float64{1}); err == nil {
 		t.Fatal("Upsert accepted a wrong-width vector")
 	}
 }

@@ -11,7 +11,6 @@ import (
 	"factorml/internal/join"
 	"factorml/internal/nn"
 	"factorml/internal/parallel"
-	"factorml/internal/storage"
 )
 
 // DefaultCacheEntries is the per-(model, dimension relation) LRU capacity
@@ -54,8 +53,10 @@ func (c EngineConfig) withDefaults() EngineConfig {
 }
 
 // Row is one normalized prediction request: the fact tuple's own features
-// plus one foreign key per dimension table (in the engine's dimension
-// order). The joined feature vector is never materialized.
+// plus one foreign key per *direct* dimension table (in the engine's
+// dimension order). Sub-dimension hops of a snowflake hierarchy are
+// resolved by the engine from the pinned dimension tuples; the joined
+// feature vector is never materialized.
 type Row struct {
 	Fact []float64
 	FKs  []int64
@@ -98,18 +99,25 @@ type predScratch struct {
 	parts   [][]float64
 	qcaches [][]core.QuadCache
 	gsc     *gmm.ScoreScratch
+	pks     []int64
+	pos     []int
 	ops     core.Ops
 }
 
-// Engine scores request batches against registered models over a fixed set
-// of dimension tables, without materializing the join. It is safe for
-// concurrent use.
+// Engine scores request batches against registered models over a fixed
+// dimension hierarchy (a one-hop star or a flattened snowflake plan),
+// without materializing the join. It is safe for concurrent use.
 type Engine struct {
-	reg  *Registry
-	cfg  EngineConfig
-	idxs []*join.ResidentIndex
-	// dimWidths[j] is the feature width of dimension relation j; sumDR is
-	// their total, so a model of dimension D has a fact part of D - sumDR.
+	reg *Registry
+	cfg EngineConfig
+	// idxs holds one resident index per plan node; nodes referencing the
+	// same table share one index (and hence one in-memory copy), while
+	// cached partials stay per node — each node is its own partition part.
+	idxs    []*join.ResidentIndex
+	rv      *join.Resolver
+	nDirect int
+	// dimWidths[j] is the feature width of plan node j; sumDR is their
+	// total, so a model of dimension D has a fact part of D - sumDR.
 	dimWidths []int
 	sumDR     int
 
@@ -122,27 +130,37 @@ type Engine struct {
 	dimInvalidations atomic.Uint64
 }
 
-// NewEngine builds an engine over the given dimension tables (join order:
-// the model's feature layout must be [fact features, dims[0] features, …]).
-// The dimension tables are pinned in memory, mirroring the resident-
-// relation assumption of the training-side block-nested-loops join.
-func NewEngine(reg *Registry, dims []*storage.Table, cfg EngineConfig) (*Engine, error) {
+// NewEngine builds an engine over the flattened dimension hierarchy (join
+// order: the model's feature layout must be [fact features, node 0
+// features, …] — the same preorder the training-side join streams). The
+// dimension tables are pinned in memory, mirroring the resident-relation
+// assumption of the training-side block-nested-loops join; a table
+// referenced from several places in the hierarchy is pinned once and
+// shared. Use join.ExpandDims to build the plan from the direct dimension
+// tables.
+func NewEngine(reg *Registry, plan *join.DimPlan, cfg EngineConfig) (*Engine, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("serve: engine needs a registry")
 	}
-	if len(dims) == 0 {
+	if plan == nil || len(plan.Tables) == 0 {
 		return nil, fmt.Errorf("serve: engine needs at least one dimension table")
 	}
 	e := &Engine{reg: reg, cfg: cfg.withDefaults(), states: make(map[string]*modelState)}
-	for _, t := range dims {
-		ix, err := join.BuildResidentIndex(t)
-		if err != nil {
-			return nil, err
-		}
-		e.idxs = append(e.idxs, ix)
+	idxs, err := plan.BuildIndexes(nil)
+	if err != nil {
+		return nil, err
+	}
+	e.idxs = idxs
+	for _, ix := range idxs {
 		e.dimWidths = append(e.dimWidths, ix.Width())
 		e.sumDR += ix.Width()
 	}
+	rv, err := join.NewResolver(plan.Parent, plan.Ref, e.idxs)
+	if err != nil {
+		return nil, err
+	}
+	e.rv = rv
+	e.nDirect = rv.NumDirect()
 	return e, nil
 }
 
@@ -171,32 +189,37 @@ func (e *Engine) Index(table string) (*join.ResidentIndex, bool) {
 	return nil, false
 }
 
-// ApplyDimUpdate installs a new feature vector for one dimension tuple in
-// the engine's resident index and invalidates exactly the cached partials
-// derived from it: the (model, relation, key) LRU entries of every
-// prepared model state. Later predictions probing that key recompute
-// against the new features, so a dimension update is observable without a
-// restart — and without touching any other cache entry.
-func (e *Engine) ApplyDimUpdate(table string, rid int64, feats []float64) (isNew bool, err error) {
-	j := -1
+// ApplyDimUpdate installs new foreign keys and features for one dimension
+// tuple in the engine's resident index and invalidates exactly the cached
+// partials derived from it: the (model, node, key) LRU entries of every
+// prepared model state, at every plan node referencing the table (a
+// mid-level snowflake table may appear under several parents). Later
+// predictions probing that key recompute against the new features, so a
+// dimension update is observable without a restart — and without touching
+// any other cache entry. subs must carry the tuple's sub-dimension keys
+// when the table has any (nil for a leaf table).
+func (e *Engine) ApplyDimUpdate(table string, rid int64, subs []int64, feats []float64) (isNew bool, err error) {
+	first := -1
 	for i, ix := range e.idxs {
 		if ix.Name() == table {
-			j = i
+			first = i
 			break
 		}
 	}
-	if j < 0 {
+	if first < 0 {
 		return false, fmt.Errorf("serve: engine has no dimension table %q", table)
 	}
-	isNew, err = e.idxs[j].Upsert(rid, feats)
+	isNew, err = e.idxs[first].Upsert(rid, subs, feats)
 	if err != nil {
 		return false, err
 	}
 	if !isNew {
 		e.mu.Lock()
 		for _, st := range e.states {
-			if st.caches[j].remove(rid) {
-				e.dimInvalidations.Add(1)
+			for j, ix := range e.idxs {
+				if ix.Name() == table && st.caches[j].remove(rid) {
+					e.dimInvalidations.Add(1)
+				}
 			}
 		}
 		e.mu.Unlock()
@@ -250,6 +273,8 @@ func (e *Engine) state(name string) (*modelState, error) {
 		sc := &predScratch{
 			parts:   make([][]float64, q),
 			qcaches: make([][]core.QuadCache, q),
+			pks:     make([]int64, q),
+			pos:     make([]int, q),
 		}
 		if st.net != nil {
 			sc.fwd = st.net.NewForwardScratch()
@@ -300,11 +325,15 @@ func (e *Engine) scoreRow(st *modelState, sc *predScratch, row *Row, out *Predic
 		out.Err = fmt.Sprintf("row has %d fact features, model %q wants %d", len(row.Fact), st.info.Name, st.p.Dims[0])
 		return
 	}
-	if len(row.FKs) != len(e.idxs) {
-		out.Err = fmt.Sprintf("row has %d foreign keys, engine probes %d dimension tables", len(row.FKs), len(e.idxs))
+	if len(row.FKs) != e.nDirect {
+		out.Err = fmt.Sprintf("row has %d foreign keys, engine probes %d direct dimension tables", len(row.FKs), e.nDirect)
 		return
 	}
-	for j, fk := range row.FKs {
+	if err := e.rv.Resolve(row.FKs, sc.pks, sc.pos); err != nil {
+		out.Err = err.Error()
+		return
+	}
+	for j, fk := range sc.pks {
 		v, err := e.dimPartial(st, sc, j, fk)
 		if err != nil {
 			out.Err = err.Error()

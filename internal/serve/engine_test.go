@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"factorml/internal/join"
 	"factorml/internal/nn"
 	"factorml/internal/serve"
 	"factorml/internal/storage"
@@ -64,7 +65,7 @@ func TestEngineRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := serve.NewEngine(reg2, dims, serve.EngineConfig{NumWorkers: 1})
+	eng, err := serve.NewEngine(reg2, mustPlan(t, dims), serve.EngineConfig{NumWorkers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestEngineRoundTrip(t *testing.T) {
 		{NumWorkers: 8, CacheEntries: 2},
 		{NumWorkers: 3, CacheEntries: 1, BatchRows: 1},
 	} {
-		eng2, err := serve.NewEngine(reg2, dims, cfg)
+		eng2, err := serve.NewEngine(reg2, mustPlan(t, dims), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -348,4 +349,14 @@ func TestEngineConcurrentPredict(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// mustPlan wraps leaf dimension tables in a one-hop dimension plan.
+func mustPlan(t *testing.T, dims []*storage.Table) *join.DimPlan {
+	t.Helper()
+	pl, err := join.ExpandDims(dims, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
 }

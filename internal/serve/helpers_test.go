@@ -88,7 +88,7 @@ func newTestEngine(t testing.TB, db *storage.Database, spec *join.Spec, cfg serv
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := serve.NewEngine(reg, spec.Rs, cfg)
+	eng, err := serve.NewEngine(reg, spec.Plan(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,128 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"factorml/internal/serve"
+)
+
+// TestServerHTTPErrorPaths pins the typed status codes of every predict
+// failure mode: client mistakes are 4xx (400 for malformed or oversized
+// bodies and shape mismatches, 404 for unknown models), per-row data
+// problems are 200 with a row-level error, and the streaming endpoint
+// answers 503 until a stream is mounted. Nothing here should ever surface
+// as a 500 — that status is reserved for genuine server-side failures.
+func TestServerHTTPErrorPaths(t *testing.T) {
+	db, spec := testStar(t, t.TempDir())
+	defer db.Close()
+	net, _ := trainModels(t, db, spec)
+	reg, eng := newTestEngine(t, db, spec, serve.EngineConfig{NumWorkers: 1})
+	if err := reg.SaveNN("err-nn", net); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(serve.NewServer(eng))
+	defer ts.Close()
+
+	post := func(t *testing.T, path, body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var payload map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&payload)
+		return resp, payload
+	}
+	rows, _ := factRows(t, spec, 2)
+	goodRow := fmt.Sprintf(`{"fact":[%g,%g,%g],"fks":[%d,%d]}`,
+		rows[0].Fact[0], rows[0].Fact[1], rows[0].Fact[2], rows[0].FKs[0], rows[0].FKs[1])
+
+	t.Run("malformed JSON body", func(t *testing.T) {
+		resp, payload := post(t, "/v1/models/err-nn/predict", `{"rows": [ {`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+		if payload["error"] == "" {
+			t.Fatalf("payload %v carries no error", payload)
+		}
+	})
+	t.Run("unknown request field", func(t *testing.T) {
+		resp, _ := post(t, "/v1/models/err-nn/predict", `{"rows":[`+goodRow+`],"nonsense":1}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("unknown model name", func(t *testing.T) {
+		resp, _ := post(t, "/v1/models/no-such-model/predict", `{"rows":[`+goodRow+`]}`)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status %d, want 404", resp.StatusCode)
+		}
+	})
+	t.Run("wrong feature width", func(t *testing.T) {
+		// Shape problems are per-row data errors: the batch succeeds (200)
+		// and the offending row carries the error, so one bad row cannot
+		// fail a whole micro-batched request.
+		resp, payload := post(t, "/v1/models/err-nn/predict",
+			`{"rows":[`+goodRow+`,{"fact":[1],"fks":[0,0]}]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200 with a row-level error", resp.StatusCode)
+		}
+		preds := payload["predictions"].([]any)
+		if e := preds[0].(map[string]any)["error"]; e != nil {
+			t.Fatalf("good row has error %v", e)
+		}
+		if e, _ := preds[1].(map[string]any)["error"].(string); !strings.Contains(e, "fact features") {
+			t.Fatalf("bad row error = %q, want a feature-width message", e)
+		}
+	})
+	t.Run("wrong foreign key count", func(t *testing.T) {
+		resp, payload := post(t, "/v1/models/err-nn/predict",
+			`{"rows":[{"fact":[1,2,3],"fks":[0]}]}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d, want 200 with a row-level error", resp.StatusCode)
+		}
+		preds := payload["predictions"].([]any)
+		if e, _ := preds[0].(map[string]any)["error"].(string); !strings.Contains(e, "direct dimension tables") {
+			t.Fatalf("row error = %q, want a foreign-key-count message", e)
+		}
+	})
+	t.Run("oversized batch", func(t *testing.T) {
+		// 33 MiB of leading whitespace trips the 32 MiB request-body cap
+		// while staying valid JSON, so the rejection is attributable to
+		// MaxBytesReader alone: a 400, not a 500.
+		body := strings.Repeat(" ", 33<<20) + `{"rows":[` + goodRow + `]}`
+		resp, _ := post(t, "/v1/models/err-nn/predict", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("empty rows", func(t *testing.T) {
+		resp, _ := post(t, "/v1/models/err-nn/predict", `{"rows":[]}`)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("status %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("ingest without a stream", func(t *testing.T) {
+		resp, _ := post(t, "/v1/ingest", `{"facts":[]}`)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503", resp.StatusCode)
+		}
+	})
+	t.Run("delete unknown model", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/models/no-such-model", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("status %d, want 404", resp.StatusCode)
+		}
+	})
+}

@@ -14,6 +14,7 @@ type catalogEntry struct {
 	Name      string   `json:"name"`
 	Keys      []string `json:"keys"`
 	Features  []string `json:"features"`
+	Refs      []string `json:"refs,omitempty"`
 	HasTarget bool     `json:"has_target"`
 }
 
@@ -24,7 +25,7 @@ func (db *Database) saveCatalog() error {
 	for _, name := range db.TableNames() {
 		s := db.tables[name].schema
 		entries = append(entries, catalogEntry{
-			Name: s.Name, Keys: s.Keys, Features: s.Features, HasTarget: s.HasTarget,
+			Name: s.Name, Keys: s.Keys, Features: s.Features, Refs: s.Refs, HasTarget: s.HasTarget,
 		})
 	}
 	blob, err := json.MarshalIndent(entries, "", "  ")
@@ -53,7 +54,7 @@ func (db *Database) loadCatalog() error {
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
 	for _, e := range entries {
-		schema := &Schema{Name: e.Name, Keys: e.Keys, Features: e.Features, HasTarget: e.HasTarget}
+		schema := &Schema{Name: e.Name, Keys: e.Keys, Features: e.Features, Refs: e.Refs, HasTarget: e.HasTarget}
 		if err := db.openExisting(schema); err != nil {
 			return err
 		}

@@ -11,10 +11,19 @@ import (
 // feature columns (float64), then — if HasTarget — a single float64 target.
 // The first key column is the relation's primary identifier; any further key
 // columns are foreign keys.
+//
+// Refs, when set, names the table each foreign-key column references:
+// Refs[i] is the target of Keys[1+i]. This is how snowflake schemas are
+// recorded in the catalog — a dimension table whose Refs are non-empty
+// references sub-dimension tables, and consumers (the join planner, the
+// serving engine, cmd/train, cmd/serve) expand the hierarchy from the
+// catalog alone. Refs is optional: a nil Refs leaves the references
+// unrecorded, which every pre-snowflake caller relied on.
 type Schema struct {
 	Name      string
 	Keys      []string // int64 columns; Keys[0] is the primary key
 	Features  []string // float64 columns
+	Refs      []string // referenced table per foreign key (len 0 or len(Keys)-1)
 	HasTarget bool     // trailing float64 target column (Y in the paper)
 }
 
@@ -35,6 +44,15 @@ func (s *Schema) Validate() error {
 			return fmt.Errorf("storage: schema %q has duplicate column %q", s.Name, c)
 		}
 		seen[c] = true
+	}
+	if len(s.Refs) != 0 && len(s.Refs) != len(s.Keys)-1 {
+		return fmt.Errorf("storage: schema %q has %d foreign-key refs for %d foreign-key columns",
+			s.Name, len(s.Refs), len(s.Keys)-1)
+	}
+	for i, ref := range s.Refs {
+		if ref == "" {
+			return fmt.Errorf("storage: schema %q has an empty ref for key column %q", s.Name, s.Keys[1+i])
+		}
 	}
 	if s.RecordSize() > PageDataSize {
 		return fmt.Errorf("storage: schema %q record size %d exceeds page capacity %d",
@@ -76,10 +94,14 @@ func (s *Schema) String() string {
 
 // Clone returns a deep copy of the schema with a new name.
 func (s *Schema) Clone(name string) *Schema {
-	return &Schema{
+	c := &Schema{
 		Name:      name,
 		Keys:      append([]string{}, s.Keys...),
 		Features:  append([]string{}, s.Features...),
 		HasTarget: s.HasTarget,
 	}
+	if len(s.Refs) > 0 {
+		c.Refs = append([]string{}, s.Refs...)
+	}
+	return c
 }

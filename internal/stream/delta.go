@@ -16,13 +16,18 @@ type FactRow struct {
 }
 
 // DimUpdate is one dimension-table change in a batch: an insert when RID
-// is new in the table, an in-place update of the tuple's features when it
-// exists. Updates reach the serving caches immediately (exactly the
-// entries derived from the tuple are invalidated) and mark incremental
-// GMM statistics for a rebuild on the next refresh.
+// is new in the table, an in-place update of the tuple's payload when it
+// exists. FKs carries the tuple's sub-dimension foreign keys when the
+// table sits mid-level in a snowflake hierarchy (one key per recorded
+// reference, empty for a leaf table); an update may repoint them. Updates
+// reach the serving caches immediately (exactly the entries derived from
+// the tuple are invalidated, at every hierarchy position referencing the
+// table) and mark incremental GMM statistics for a rebuild on the next
+// refresh.
 type DimUpdate struct {
 	Table    string    `json:"table"`
 	RID      int64     `json:"rid"`
+	FKs      []int64   `json:"fks,omitempty"`
 	Features []float64 `json:"features"`
 }
 

@@ -201,17 +201,16 @@ func (st *GMMStats) newScratch(ctx *scoreCtx) *absorbScratch {
 // accumulateRow scores one fact tuple under the frozen model and folds it
 // into acc. This single function is the row path of the sequential tail
 // extension AND of every parallel chunk worker, so the arithmetic per row
-// is identical no matter how the absorb is batched.
-func (st *GMMStats) accumulateRow(acc *statAcc, ctx *scoreCtx, ws *absorbScratch, idxs []*join.ResidentIndex, s *storage.Tuple) error {
+// is identical no matter how the absorb is batched. Group indexes are
+// resolved through the snowflake hierarchy: direct keys from the fact
+// tuple, sub-dimension keys from the pinned parent tuples.
+func (st *GMMStats) accumulateRow(acc *statAcc, ctx *scoreCtx, ws *absorbScratch, rv *join.Resolver, s *storage.Tuple) error {
 	q := st.p.Parts() - 1
+	if err := rv.Resolve(s.Keys[1:], nil, ws.gidx); err != nil {
+		return fmt.Errorf("stream: fact tuple %d: %w", s.PrimaryKey(), err)
+	}
 	for j := 0; j < q; j++ {
-		g, ok := idxs[j].Pos(s.Keys[1+j])
-		if !ok {
-			return fmt.Errorf("stream: fact tuple %d references unknown key %d in dimension table %q",
-				s.PrimaryKey(), s.Keys[1+j], idxs[j].Name())
-		}
-		ws.gidx[j] = g
-		ws.cbuf[j] = ctx.caches[j][g]
+		ws.cbuf[j] = ctx.caches[j][ws.gidx[j]]
 	}
 	xs := s.Features
 	acc.ll += ctx.scorer.Responsibilities(xs, ws.cbuf, ws.sc, ws.gamma)
@@ -238,10 +237,12 @@ func (st *GMMStats) accumulateRow(acc *statAcc, ctx *scoreCtx, ws *absorbScratch
 }
 
 // Absorb scores fact rows [Rows(), fact.NumTuples()) under model and folds
-// them into the statistics, in time proportional to that range. The chunk
-// geometry is anchored at absolute row indexes, so absorbing in any batch
-// split — and under any worker count — produces bit-identical sums.
-func (st *GMMStats) Absorb(model *gmm.Model, fact *storage.Table, idxs []*join.ResidentIndex, workers int) error {
+// them into the statistics, in time proportional to that range. rv
+// resolves each fact tuple's dimension positions through the (star or
+// snowflake) hierarchy. The chunk geometry is anchored at absolute row
+// indexes, so absorbing in any batch split — and under any worker count —
+// produces bit-identical sums.
+func (st *GMMStats) Absorb(model *gmm.Model, fact *storage.Table, rv *join.Resolver, workers int) error {
 	if model.K != st.k || model.D != st.p.D {
 		return fmt.Errorf("stream: model (K=%d, D=%d) does not match statistics (K=%d, D=%d)",
 			model.K, model.D, st.k, st.p.D)
@@ -261,8 +262,8 @@ func (st *GMMStats) Absorb(model *gmm.Model, fact *storage.Table, idxs []*join.R
 	nw := parallel.Workers(workers)
 	q := st.p.Parts() - 1
 
-	// Pre-scan the new rows once: validate every foreign key and collect
-	// the set of referenced groups per dimension relation, so the
+	// Pre-scan the new rows once: validate every foreign-key chain and
+	// collect the set of referenced groups per dimension relation, so the
 	// QuadCache fills below touch exactly the dimension tuples the batch
 	// needs (cost ∝ delta, not ∝ dimension-table size).
 	refs := make([]map[int]struct{}, q)
@@ -274,15 +275,14 @@ func (st *GMMStats) Absorb(model *gmm.Model, fact *storage.Table, idxs []*join.R
 		return err
 	}
 	row := r0
+	gidx := make([]int, q)
 	for sc.Next() {
 		t := sc.Tuple()
+		if err := rv.Resolve(t.Keys[1:], nil, gidx); err != nil {
+			return fmt.Errorf("stream: fact row %d (sid %d): %w", row, t.PrimaryKey(), err)
+		}
 		for j := 0; j < q; j++ {
-			g, ok := idxs[j].Pos(t.Keys[1+j])
-			if !ok {
-				return fmt.Errorf("stream: fact row %d (sid %d) references unknown key %d in dimension table %q",
-					row, t.PrimaryKey(), t.Keys[1+j], idxs[j].Name())
-			}
-			refs[j][g] = struct{}{}
+			refs[j][gidx[j]] = struct{}{}
 		}
 		row++
 	}
@@ -305,7 +305,7 @@ func (st *GMMStats) Absorb(model *gmm.Model, fact *storage.Table, idxs []*join.R
 		}
 		ctx.caches[j] = cm
 		part := 1 + j
-		ix := idxs[j]
+		ix := rv.Idxs[j]
 		err := parallel.RunRange(nw, len(list), func(a, b int, ops *core.Ops) error {
 			for i := a; i < b; i++ {
 				g := list[i]
@@ -318,7 +318,7 @@ func (st *GMMStats) Absorb(model *gmm.Model, fact *storage.Table, idxs []*join.R
 			return err
 		}
 	}
-	return st.absorbRows(ctx, fact, idxs, r0, r1, nw)
+	return st.absorbRows(ctx, fact, rv, r0, r1, nw)
 }
 
 // absorbChunk carries one aligned chunk of copied fact tuples to a worker.
@@ -332,7 +332,7 @@ type absorbChunk struct {
 // extension of the trailing partial chunk up to its absolute boundary,
 // then aligned chunks fanned over the worker pool and folded in chunk
 // order.
-func (st *GMMStats) absorbRows(ctx *scoreCtx, fact *storage.Table, idxs []*join.ResidentIndex, r0, r1 int64, nw int) error {
+func (st *GMMStats) absorbRows(ctx *scoreCtx, fact *storage.Table, rv *join.Resolver, r0, r1 int64, nw int) error {
 	const C = int64(StatChunkRows)
 	if st.tail.rows != r0%C {
 		return fmt.Errorf("stream: internal: tail holds %d rows at absolute row %d", st.tail.rows, r0)
@@ -350,7 +350,7 @@ func (st *GMMStats) absorbRows(ctx *scoreCtx, fact *storage.Table, idxs []*join.
 			return err
 		}
 		for r < seqEnd && sc.Next() {
-			if err := st.accumulateRow(st.tail, ctx, ws, idxs, sc.Tuple()); err != nil {
+			if err := st.accumulateRow(st.tail, ctx, ws, rv, sc.Tuple()); err != nil {
 				return err
 			}
 			r++
@@ -411,7 +411,7 @@ func (st *GMMStats) absorbRows(ctx *scoreCtx, fact *storage.Table, idxs []*join.
 		c.acc = newStatAcc(st.k, st.p.Dims[0], q, len(st.pairList))
 		ws := st.newScratch(ctx)
 		for i := 0; i < c.n; i++ {
-			if err := st.accumulateRow(c.acc, ctx, ws, idxs, &c.tuples[i]); err != nil {
+			if err := st.accumulateRow(c.acc, ctx, ws, rv, &c.tuples[i]); err != nil {
 				return nil, err
 			}
 		}

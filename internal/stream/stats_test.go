@@ -46,6 +46,18 @@ func buildIndexes(t *testing.T, spec *join.Spec) []*join.ResidentIndex {
 	return idxs
 }
 
+// resolverFor wraps the per-relation indexes in a hierarchy resolver (the
+// one-hop star edges for these fixtures).
+func resolverFor(t *testing.T, spec *join.Spec, idxs []*join.ResidentIndex) *join.Resolver {
+	t.Helper()
+	plan := spec.Plan()
+	rv, err := join.NewResolver(plan.Parent, plan.Ref, idxs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rv
+}
+
 func trainBase(t *testing.T, db *storage.Database, spec *join.Spec, k int) *gmm.Model {
 	t.Helper()
 	res, err := gmm.TrainF(db, spec, gmm.Config{K: k, MaxIter: 3, Tol: 1e-300, NumWorkers: 1})
@@ -111,7 +123,7 @@ func TestGMMIncrementalMatchesFullRecompute(t *testing.T) {
 			incs := make([]*GMMStats, len(workerSweep))
 			for i, w := range workerSweep {
 				incs[i] = NewGMMStats(p, model.K)
-				if err := incs[i].Absorb(model, spec.S, idxs, w); err != nil {
+				if err := incs[i].Absorb(model, spec.S, resolverFor(t, spec, idxs), w); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -120,7 +132,7 @@ func TestGMMIncrementalMatchesFullRecompute(t *testing.T) {
 			// straddle the base/delta seam).
 			appendDeltaFacts(t, spec, idxs, 137, 11)
 			for i, w := range workerSweep {
-				if err := incs[i].Absorb(model, spec.S, idxs, w); err != nil {
+				if err := incs[i].Absorb(model, spec.S, resolverFor(t, spec, idxs), w); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -139,7 +151,7 @@ func TestGMMIncrementalMatchesFullRecompute(t *testing.T) {
 				if err := spec.Rs[j].Flush(); err != nil {
 					t.Fatal(err)
 				}
-				if _, err := ix.Upsert(newPK, feats); err != nil {
+				if _, err := ix.Upsert(newPK, nil, feats); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -163,7 +175,7 @@ func TestGMMIncrementalMatchesFullRecompute(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i, w := range workerSweep {
-				if err := incs[i].Absorb(model, spec.S, idxs, w); err != nil {
+				if err := incs[i].Absorb(model, spec.S, resolverFor(t, spec, idxs), w); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -183,7 +195,7 @@ func TestGMMIncrementalMatchesFullRecompute(t *testing.T) {
 					t.Fatalf("incremental model (workers=%d) differs from workers=%d by %g", w, workerSweep[0], d)
 				}
 				full := NewGMMStats(p, model.K)
-				if err := full.Absorb(model, spec.S, idxs, w); err != nil {
+				if err := full.Absorb(model, spec.S, resolverFor(t, spec, idxs), w); err != nil {
 					t.Fatal(err)
 				}
 				if full.Rows() != incs[i].Rows() {
@@ -217,7 +229,7 @@ func TestGMMRefreshMatchesWarmStartTrainer(t *testing.T) {
 	appendDeltaFacts(t, spec, idxs, 90, 23)
 
 	st := NewGMMStats(p, model.K)
-	if err := st.Absorb(model, spec.S, idxs, 2); err != nil {
+	if err := st.Absorb(model, spec.S, resolverFor(t, spec, idxs), 2); err != nil {
 		t.Fatal(err)
 	}
 	got, err := st.Step(model, idxs, 1e-6)
@@ -250,7 +262,7 @@ func TestGMMStreamStepMatchesDenseEM(t *testing.T) {
 	idxs := buildIndexes(t, spec)
 
 	st := NewGMMStats(p, model.K)
-	if err := st.Absorb(model, spec.S, idxs, 4); err != nil {
+	if err := st.Absorb(model, spec.S, resolverFor(t, spec, idxs), 4); err != nil {
 		t.Fatal(err)
 	}
 	got, err := st.Step(model, idxs, 1e-6)

@@ -98,11 +98,14 @@ type Stream struct {
 	db   *storage.Database
 	spec *join.Spec
 	p    core.Partition
-	idxs []*join.ResidentIndex
-	dimJ map[string]int // dimension table name -> join position
-	eng  *serve.Engine
-	reg  *serve.Registry
-	pol  Policy
+	idxs []*join.ResidentIndex // one per plan node (shared per table)
+	rv   *join.Resolver
+	dimJ map[string][]int // dimension table name -> plan node positions
+	// direct[d] is the plan node of the fact table's d-th foreign key.
+	direct []int
+	eng    *serve.Engine
+	reg    *serve.Registry
+	pol    Policy
 
 	models map[string]*attached
 	// refreshSeq counts refreshes for the rebaseline cadence.
@@ -118,9 +121,11 @@ type Stream struct {
 	counters Counters
 }
 
-// New builds a stream over the star join spec. When opts.Engine is set it
-// must serve every dimension table of the spec (the indexes are shared);
-// otherwise the stream pins its own copy of the dimension relations.
+// New builds a stream over the (star or snowflake) join spec. When
+// opts.Engine is set it must serve every dimension table of the spec (the
+// indexes are shared); otherwise the stream pins its own copy of the
+// dimension relations — one copy per table, shared by every hierarchy
+// position that references it, so a dimension update lands exactly once.
 func New(db *storage.Database, spec *join.Spec, opts Options) (*Stream, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -133,34 +138,34 @@ func New(db *storage.Database, spec *join.Spec, opts Options) (*Stream, error) {
 		db:     db,
 		spec:   spec,
 		p:      core.NewPartition(dims),
-		dimJ:   make(map[string]int, len(spec.Rs)),
+		dimJ:   make(map[string][]int, len(spec.Rs)),
 		eng:    opts.Engine,
 		reg:    opts.Registry,
 		pol:    opts.Policy.withDefaults(),
 		models: make(map[string]*attached),
 	}
+	plan := spec.Plan()
+	var lookup func(name string) (*join.ResidentIndex, bool)
+	if s.eng != nil {
+		lookup = s.eng.Index
+	}
+	idxs, err := plan.BuildIndexes(lookup)
+	if err != nil {
+		return nil, err
+	}
+	s.idxs = idxs
 	for j, r := range spec.Rs {
 		name := r.Schema().Name
-		var ix *join.ResidentIndex
-		if s.eng != nil {
-			var ok bool
-			ix, ok = s.eng.Index(name)
-			if !ok {
-				return nil, fmt.Errorf("stream: serving engine has no dimension table %q", name)
-			}
-			if ix.Width() != dims[1+j] {
-				return nil, fmt.Errorf("stream: engine index %q has width %d, table has %d", name, ix.Width(), dims[1+j])
-			}
-		} else {
-			var err error
-			ix, err = join.BuildResidentIndex(r)
-			if err != nil {
-				return nil, err
-			}
+		s.dimJ[name] = append(s.dimJ[name], j)
+		if plan.Parent[j] == -1 {
+			s.direct = append(s.direct, j)
 		}
-		s.idxs = append(s.idxs, ix)
-		s.dimJ[name] = j
 	}
+	rv, err := join.NewResolver(plan.Parent, plan.Ref, s.idxs)
+	if err != nil {
+		return nil, err
+	}
+	s.rv = rv
 	return s, nil
 }
 
@@ -184,7 +189,7 @@ func (s *Stream) AttachGMM(name string, m *gmm.Model) error {
 		return fmt.Errorf("stream: model %q already attached", name)
 	}
 	st := NewGMMStats(s.p, m.K)
-	if err := st.Absorb(m, s.spec.S, s.idxs, s.pol.NumWorkers); err != nil {
+	if err := st.Absorb(m, s.spec.S, s.rv, s.pol.NumWorkers); err != nil {
 		return err
 	}
 	s.models[name] = &attached{name: name, kind: serve.KindGMM, gmdl: m.Clone(), stats: st}
@@ -288,22 +293,50 @@ func (s *Stream) Ingest(b Batch) (IngestResult, error) {
 	var res IngestResult
 
 	// Validate the whole batch up front — atomicity of rejection. Every
-	// failure here is a ValidationError: nothing has been applied.
-	newRids := make([]map[int64]bool, len(s.idxs))
-	for j := range newRids {
-		newRids[j] = make(map[int64]bool)
+	// failure here is a ValidationError: nothing has been applied. New rids
+	// are collected per table first, so a mid-level tuple may reference a
+	// sub-dimension tuple inserted anywhere in the same batch.
+	newRids := make(map[string]map[int64]bool)
+	for _, du := range b.Dims {
+		js, ok := s.dimJ[du.Table]
+		if !ok {
+			continue // reported with its index in the validation pass below
+		}
+		if _, exists := s.idxs[js[0]].Pos(du.RID); !exists {
+			if newRids[du.Table] == nil {
+				newRids[du.Table] = make(map[int64]bool)
+			}
+			newRids[du.Table][du.RID] = true
+		}
+	}
+	known := func(table string, key int64) bool {
+		if js, ok := s.dimJ[table]; ok {
+			if _, ok := s.idxs[js[0]].Pos(key); ok {
+				return true
+			}
+		}
+		return newRids[table][key]
 	}
 	for i, du := range b.Dims {
-		j, ok := s.dimJ[du.Table]
+		js, ok := s.dimJ[du.Table]
 		if !ok {
 			return res, valErrf("stream: batch dim %d: no dimension table %q in this stream", i, du.Table)
 		}
+		j := js[0]
 		if len(du.Features) != s.p.Dims[1+j] {
 			return res, valErrf("stream: batch dim %d: table %q takes %d features, got %d",
 				i, du.Table, s.p.Dims[1+j], len(du.Features))
 		}
-		if _, exists := s.idxs[j].Pos(du.RID); !exists {
-			newRids[j][du.RID] = true
+		refs := s.spec.Rs[j].Schema().Refs
+		if len(du.FKs) != len(refs) {
+			return res, valErrf("stream: batch dim %d: table %q takes %d sub-dimension keys, got %d",
+				i, du.Table, len(refs), len(du.FKs))
+		}
+		for k, fk := range du.FKs {
+			if !known(refs[k], fk) {
+				return res, valErrf("stream: batch dim %d: table %q references unknown key %d in sub-dimension table %q",
+					i, du.Table, fk, refs[k])
+			}
 		}
 	}
 	hasTarget := s.spec.S.Schema().HasTarget
@@ -316,14 +349,14 @@ func (s *Stream) Ingest(b Batch) (IngestResult, error) {
 			return res, valErrf("stream: batch fact %d (sid %d): fact table %q has no target column, got target %g",
 				i, fr.SID, s.spec.S.Schema().Name, fr.Target)
 		}
-		if len(fr.FKs) != len(s.idxs) {
-			return res, valErrf("stream: batch fact %d (sid %d): %d foreign keys for %d dimension tables",
-				i, fr.SID, len(fr.FKs), len(s.idxs))
+		if len(fr.FKs) != len(s.direct) {
+			return res, valErrf("stream: batch fact %d (sid %d): %d foreign keys for %d direct dimension tables",
+				i, fr.SID, len(fr.FKs), len(s.direct))
 		}
-		for j, fk := range fr.FKs {
-			if _, ok := s.idxs[j].Pos(fk); !ok && !newRids[j][fk] {
+		for d, fk := range fr.FKs {
+			if name := s.idxs[s.direct[d]].Name(); !known(name, fk) {
 				return res, valErrf("stream: batch fact %d (sid %d): unknown key %d in dimension table %q",
-					i, fr.SID, fk, s.idxs[j].Name())
+					i, fr.SID, fk, name)
 			}
 		}
 	}
@@ -332,9 +365,12 @@ func (s *Stream) Ingest(b Batch) (IngestResult, error) {
 	touchedDims := make(map[int]bool)
 	anyDimUpdate := false
 	for _, du := range b.Dims {
-		j := s.dimJ[du.Table]
+		j := s.dimJ[du.Table][0]
 		tbl := s.spec.Rs[j]
-		tp := &storage.Tuple{Keys: []int64{du.RID}, Features: du.Features}
+		keys := make([]int64, 1+len(du.FKs))
+		keys[0] = du.RID
+		copy(keys[1:], du.FKs)
+		tp := &storage.Tuple{Keys: keys, Features: du.Features}
 		if pos, exists := s.idxs[j].Pos(du.RID); exists {
 			// The resident index is loaded in append order, so the dense
 			// index is the heap row id.
@@ -351,11 +387,11 @@ func (s *Stream) Ingest(b Batch) (IngestResult, error) {
 			res.DimInserts++
 		}
 		if s.eng != nil {
-			if _, err := s.eng.ApplyDimUpdate(du.Table, du.RID, du.Features); err != nil {
+			if _, err := s.eng.ApplyDimUpdate(du.Table, du.RID, du.FKs, du.Features); err != nil {
 				return res, err
 			}
 		} else {
-			if _, err := s.idxs[j].Upsert(du.RID, du.Features); err != nil {
+			if _, err := s.idxs[j].Upsert(du.RID, du.FKs, du.Features); err != nil {
 				return res, err
 			}
 		}
@@ -445,7 +481,7 @@ func (s *Stream) refreshLocked(auto bool) (RefreshResult, error) {
 				mr.Rebaselined = true
 			}
 			before := m.stats.Rows()
-			if err := m.stats.Absorb(m.gmdl, s.spec.S, s.idxs, s.pol.NumWorkers); err != nil {
+			if err := m.stats.Absorb(m.gmdl, s.spec.S, s.rv, s.pol.NumWorkers); err != nil {
 				return res, err
 			}
 			mr.RowsAbsorbed = m.stats.Rows() - before

@@ -100,7 +100,7 @@ func TestStreamRefreshBitIdentical(t *testing.T) {
 	// Full-retraining baseline over the union, several worker counts.
 	for _, w := range []int{1, 4} {
 		full := NewGMMStats(p, model.K)
-		if err := full.Absorb(model, spec.S, s.idxs, w); err != nil {
+		if err := full.Absorb(model, spec.S, s.rv, w); err != nil {
 			t.Fatal(err)
 		}
 		want, err := full.Step(model, s.idxs, 1e-6)
@@ -207,7 +207,7 @@ func serveFixture(t *testing.T, pol Policy) (*storage.Database, *join.Spec, *ser
 	if err := reg.SaveNN("n", nres.Net); err != nil {
 		t.Fatal(err)
 	}
-	eng, err := serve.NewEngine(reg, spec.Rs, serve.EngineConfig{NumWorkers: 1})
+	eng, err := serve.NewEngine(reg, spec.Plan(), serve.EngineConfig{NumWorkers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
