@@ -22,9 +22,10 @@ race:
 
 # Benchmark smoke: one iteration of every benchmark, no unit tests. The
 # parallel sweep writes BENCH_parallel.json (ns/op per algorithm x workers),
-# the serving sweep writes BENCH_serve.json (rows/sec per model x workers)
-# and the streaming sweep writes BENCH_stream.json (incremental vs full
-# refresh cost x workers).
+# the serving sweep writes BENCH_serve.json (rows/sec per model x workers),
+# the streaming sweep writes BENCH_stream.json (incremental vs full
+# refresh cost x workers) and the planner sweep writes BENCH_plan.json
+# (estimated vs measured cost per strategy on three schema shapes).
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 

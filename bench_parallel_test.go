@@ -58,6 +58,7 @@ func TestMain(m *testing.M) {
 	flushServeBench()     // see bench_serve_test.go
 	flushStreamBench()    // see bench_stream_test.go
 	flushSnowflakeBench() // see bench_snowflake_test.go
+	flushPlanBench()      // see bench_plan_test.go
 	os.Exit(code)
 }
 

@@ -153,28 +153,28 @@ func measureSnowflakeOps(tb testing.TB, withTiming func(model, algo string, trai
 		if err != nil {
 			return 0, 0, err
 		}
-		return res.Stats.Ops.Mul, res.Stats.Ops.Add, nil
+		return res.Stats.Ops.Mul, res.Stats.Ops.Adds, nil
 	})
 	run("gmm", "factorized", func() (int64, int64, error) {
 		res, err := gmm.TrainF(db, spec, gcfg)
 		if err != nil {
 			return 0, 0, err
 		}
-		return res.Stats.Ops.Mul, res.Stats.Ops.Add, nil
+		return res.Stats.Ops.Mul, res.Stats.Ops.Adds, nil
 	})
 	run("nn", "materialized", func() (int64, int64, error) {
 		res, err := nn.TrainM(db, spec, ncfg)
 		if err != nil {
 			return 0, 0, err
 		}
-		return res.Stats.Ops.Mul, res.Stats.Ops.Add, nil
+		return res.Stats.Ops.Mul, res.Stats.Ops.Adds, nil
 	})
 	run("nn", "factorized", func() (int64, int64, error) {
 		res, err := nn.TrainF(db, spec, ncfg)
 		if err != nil {
 			return 0, 0, err
 		}
-		return res.Stats.Ops.Mul, res.Stats.Ops.Add, nil
+		return res.Stats.Ops.Mul, res.Stats.Ops.Adds, nil
 	})
 }
 

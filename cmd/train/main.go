@@ -1,16 +1,20 @@
 // Command train runs one of the six training algorithms (M/S/F × GMM/NN)
-// over a star schema stored in a database directory created by datagen.
+// over a star schema stored in a database directory created by datagen —
+// or lets the cost-based planner pick the strategy with -algo auto.
 //
 // Usage:
 //
 //	train -db orders.db -fact synth_S -dims synth_R1 -model gmm -algo f -k 5
 //	train -db orders.db -fact synth_S -dims synth_R1,synth_R2 \
-//	      -model nn -algo f -hidden 50 -epochs 10 -save orders-nn
+//	      -model nn -algo auto -hidden 50 -epochs 10 -save orders-nn
+//	train -db orders.db -fact synth_S -dims synth_R1 -model gmm -k 5 -explain
 //
 // It prints training time, page I/O, multiplication counts and the model's
 // final log-likelihood (GMM) or loss (NN). With -save the trained model is
 // persisted in the database's model registry under the given name, ready
-// for the serve command.
+// for the serve command. With -explain the planner's per-strategy cost
+// table (estimated flops, page I/O and combined score from the catalog's
+// table statistics) is printed and nothing is trained.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"factorml/internal/gmm"
 	"factorml/internal/join"
 	"factorml/internal/nn"
+	"factorml/internal/plan"
 	"factorml/internal/serve"
 	"factorml/internal/storage"
 )
@@ -32,7 +37,7 @@ func main() {
 	fact := flag.String("fact", "", "fact table name")
 	dims := flag.String("dims", "", "comma-separated dimension table names, join order")
 	model := flag.String("model", "gmm", "model: gmm or nn")
-	algo := flag.String("algo", "f", "algorithm: m (materialized), s (streaming), f (factorized)")
+	algo := flag.String("algo", "f", "algorithm: m (materialized), s (streaming), f (factorized), auto (cost-based planner)")
 	k := flag.Int("k", 5, "GMM components")
 	iters := flag.Int("iters", 10, "GMM max EM iterations")
 	tol := flag.Float64("tol", 1e-4, "GMM convergence tolerance")
@@ -43,26 +48,33 @@ func main() {
 	seed := flag.Int64("seed", 1, "initialization seed")
 	workers := flag.Int("workers", 0, "training worker pool size (0 = all CPUs, 1 = sequential); the result is bit-identical for every value")
 	save := flag.String("save", "", "save the trained model in the database's model registry under this name (for the serve command)")
+	explain := flag.Bool("explain", false, "print the planner's per-strategy cost table for this dataset and configuration, then exit without training")
 	flag.Parse()
 
 	if *dbDir == "" || *fact == "" || *dims == "" {
 		fmt.Fprintln(os.Stderr, "train: -db, -fact and -dims are required")
 		os.Exit(2)
 	}
-	if err := validateFlags(*model, *k, *iters, *tol, *epochs, *lr, *workers, *save); err != nil {
+	if err := validateFlags(*model, *algo, *k, *iters, *tol, *epochs, *lr, *workers, *save); err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(2)
 	}
-	if err := run(*dbDir, *fact, *dims, *model, *algo, *k, *iters, *tol, *hidden, *act, *epochs, *lr, *seed, *workers, *save); err != nil {
+	if err := run(*dbDir, *fact, *dims, *model, *algo, *k, *iters, *tol, *hidden, *act, *epochs, *lr, *seed, *workers, *save, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
 }
 
-// validateFlags rejects out-of-range numeric flags up front with a clear
-// message, instead of passing them through to the trainers (where, e.g., a
-// negative -workers would silently clamp to sequential).
-func validateFlags(model string, k, iters int, tol float64, epochs int, lr float64, workers int, save string) error {
+// validateFlags rejects unknown strategies and out-of-range numeric flags
+// up front with a clear message, instead of passing them through to the
+// trainers (where, e.g., an invalid -algo used to fall through to a late
+// error and a negative -workers would silently clamp to sequential).
+func validateFlags(model, algo string, k, iters int, tol float64, epochs int, lr float64, workers int, save string) error {
+	switch algo {
+	case "m", "s", "f", "auto":
+	default:
+		return fmt.Errorf("unknown -algo %q: valid strategies are m (materialized), s (streaming), f (factorized), auto (cost-based planner)", algo)
+	}
 	if workers < 0 {
 		return fmt.Errorf("-workers must be >= 0 (0 = all CPUs, 1 = sequential), got %d", workers)
 	}
@@ -110,7 +122,7 @@ func parseHidden(hidden string) ([]int, error) {
 }
 
 func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
-	hidden, act string, epochs int, lr float64, seed int64, workers int, save string) error {
+	hidden, act string, epochs int, lr float64, seed int64, workers int, save string, explain bool) error {
 
 	db, err := storage.Open(dbDir, storage.Options{PoolPages: -1})
 	if err != nil {
@@ -135,6 +147,35 @@ func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
 	spec, err := join.NewSnowflakeSpec(sTbl, direct, db.Table)
 	if err != nil {
 		return err
+	}
+
+	// The planner is consulted for -explain and -algo auto: catalog table
+	// statistics price every strategy with the trainers' own flop
+	// accounting plus a page-I/O model (internal/plan).
+	var pl *plan.Plan
+	if explain || algo == "auto" {
+		mspec, err := plannerSpec(model, k, iters, hidden, epochs)
+		if err != nil {
+			return err
+		}
+		ss, err := plan.Collect(spec)
+		if err != nil {
+			return err
+		}
+		pl, err = plan.Choose(ss, mspec, plan.Options{})
+		if err != nil {
+			return err
+		}
+	}
+	if explain {
+		printPlan(pl, fact, dims)
+		return nil
+	}
+	if algo == "auto" {
+		algo = map[plan.Strategy]string{plan.Materialized: "m", plan.Streaming: "s", plan.Factorized: "f"}[pl.Chosen]
+		best := pl.Estimates[0]
+		fmt.Printf("planner chose %s (est %.1f Mflops, %d pages, score %.3g)\n",
+			pl.Chosen, float64(best.Ops.Total())/1e6, best.Pages, best.Score)
 	}
 
 	saveModel := func(kind string, doSave func(*serve.Registry) error) error {
@@ -227,4 +268,35 @@ func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
 	default:
 		return fmt.Errorf("unknown model %q (gmm or nn)", model)
 	}
+}
+
+// plannerSpec builds the planner's model description from the CLI flags.
+func plannerSpec(model string, k, iters int, hidden string, epochs int) (plan.ModelSpec, error) {
+	switch model {
+	case "gmm":
+		return plan.ModelSpec{Family: plan.FamilyGMM, K: k, Iters: iters}, nil
+	case "nn":
+		sizes, err := parseHidden(hidden)
+		if err != nil {
+			return plan.ModelSpec{}, err
+		}
+		return plan.ModelSpec{Family: plan.FamilyNN, Hidden: sizes, Epochs: epochs}, nil
+	default:
+		return plan.ModelSpec{}, fmt.Errorf("unknown model %q (gmm or nn)", model)
+	}
+}
+
+// printPlan renders the -explain cost table.
+func printPlan(pl *plan.Plan, fact, dims string) {
+	fmt.Printf("strategy plan for %s over %s ⋈ %s (from catalog TableStats)\n", pl.Model, fact, dims)
+	fmt.Printf("  %-14s %14s %14s %12s %14s\n", "strategy", "est Mmul", "est Madd", "est pages", "score")
+	for _, e := range pl.Estimates {
+		marker := " "
+		if e.Strategy == pl.Chosen {
+			marker = "*"
+		}
+		fmt.Printf("%s %-14s %14.2f %14.2f %12d %14.4g\n",
+			marker, e.Strategy, float64(e.Ops.Mul)/1e6, float64(e.Ops.Adds)/1e6, e.Pages, e.Score)
+	}
+	fmt.Printf("  planner would choose: %s\n", pl.Chosen)
 }

@@ -12,11 +12,19 @@
 // faster and never materializing the join.
 //
 // Three execution strategies are provided for each model family, matching
-// the paper's M-/S-/F- algorithm triples:
+// the paper's M-/S-/F- algorithm triples, plus a planner that picks one:
 //
 //	Materialized — write the join result T to disk, train from T (baseline)
 //	Streaming    — re-execute the join on the fly each pass (no T storage)
 //	Factorized   — stream the join and factorize the computation (the paper)
+//	Auto         — consult the cost-based planner (internal/plan): catalog
+//	               statistics (row counts, widths, distinct foreign keys,
+//	               fan-out — storage.TableStats) price every strategy with
+//	               the same flop accounting the trainers measure, plus a
+//	               block-nested-loops page-I/O model, and the cheapest wins.
+//	               The decision and full cost table land in Stats.Plan; the
+//	               trained model is bit-identical to invoking the chosen
+//	               strategy directly.
 //
 // Training additionally runs on a chunked worker pool (internal/parallel),
 // sized by Options.NumWorkers or the per-training NumWorkers field of
@@ -55,6 +63,7 @@ import (
 	"factorml/internal/gmm"
 	"factorml/internal/join"
 	"factorml/internal/nn"
+	"factorml/internal/plan"
 	"factorml/internal/serve"
 	"factorml/internal/storage"
 	"factorml/internal/stream"
@@ -72,6 +81,11 @@ const (
 	// Factorized is the paper's F-GMM/F-NN: join on the fly with
 	// factorized, redundancy-free computation.
 	Factorized
+	// Auto consults the cost-based planner: the catalog's table statistics
+	// price every strategy for this dataset and configuration, and training
+	// runs the cheapest one. The decision (chosen strategy plus the ranked
+	// per-strategy estimates) is reported in the result's Stats.Plan.
+	Auto
 )
 
 // String names the algorithm.
@@ -83,6 +97,8 @@ func (a Algorithm) String() string {
 		return "streaming"
 	case Factorized:
 		return "factorized"
+	case Auto:
+		return "auto"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -137,6 +153,18 @@ type (
 	RefreshResult = stream.RefreshResult
 	// StreamCounters is a snapshot of a stream's cumulative counters.
 	StreamCounters = stream.Counters
+	// StrategyPlan is the cost-based planner's ranked decision: the chosen
+	// strategy plus one StrategyEstimate per strategy, ascending by score.
+	// Plan.Chosen's integer value matches the Algorithm constants.
+	StrategyPlan = plan.Plan
+	// StrategyEstimate is one strategy's priced cost: estimated training
+	// flops (core.Ops, the same accounting Stats.Ops measures), page I/O,
+	// and the combined score the ranking uses.
+	StrategyEstimate = plan.Estimate
+	// TableStats is the catalog's per-relation statistics snapshot the
+	// planner prices strategies from (rows, pages, width, distinct foreign
+	// keys; collected at append/flush, persisted in the catalog).
+	TableStats = storage.TableStats
 )
 
 // Registered model kinds.
@@ -380,39 +408,131 @@ func (ds *Dataset) Stream(fn func(sid int64, features []float64, target float64)
 }
 
 // TrainGMM trains a Gaussian mixture over the dataset with the chosen
-// execution strategy.
+// execution strategy. With Auto, the cost-based planner selects the
+// strategy from the catalog's table statistics; the decision is recorded
+// in the result's Stats.Plan and the trained model is bit-identical to
+// invoking the chosen strategy directly.
 func TrainGMM(ds *Dataset, algo Algorithm, cfg GMMConfig) (*GMMResult, error) {
 	if cfg.NumWorkers == 0 {
 		cfg.NumWorkers = ds.db.opts.NumWorkers
 	}
+	var planned *StrategyPlan
+	if algo == Auto {
+		p, err := PlanGMM(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		planned = p
+		algo = Algorithm(p.Chosen)
+	}
+	var res *GMMResult
+	var err error
 	switch algo {
 	case Materialized:
-		return gmm.TrainM(ds.db.db, ds.spec, cfg)
+		res, err = gmm.TrainM(ds.db.db, ds.spec, cfg)
 	case Streaming:
-		return gmm.TrainS(ds.db.db, ds.spec, cfg)
+		res, err = gmm.TrainS(ds.db.db, ds.spec, cfg)
 	case Factorized:
-		return gmm.TrainF(ds.db.db, ds.spec, cfg)
+		res, err = gmm.TrainF(ds.db.db, ds.spec, cfg)
 	default:
 		return nil, fmt.Errorf("factorml: unknown algorithm %d", int(algo))
 	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Plan = planned
+	return res, nil
 }
 
 // TrainNN trains a feed-forward network over the dataset with the chosen
 // execution strategy. The fact table must have been created with a target.
+// With Auto, the cost-based planner selects the strategy (see TrainGMM).
 func TrainNN(ds *Dataset, algo Algorithm, cfg NNConfig) (*NNResult, error) {
 	if cfg.NumWorkers == 0 {
 		cfg.NumWorkers = ds.db.opts.NumWorkers
 	}
+	var planned *StrategyPlan
+	if algo == Auto {
+		p, err := PlanNN(ds, cfg)
+		if err != nil {
+			return nil, err
+		}
+		planned = p
+		algo = Algorithm(p.Chosen)
+	}
+	var res *NNResult
+	var err error
 	switch algo {
 	case Materialized:
-		return nn.TrainM(ds.db.db, ds.spec, cfg)
+		res, err = nn.TrainM(ds.db.db, ds.spec, cfg)
 	case Streaming:
-		return nn.TrainS(ds.db.db, ds.spec, cfg)
+		res, err = nn.TrainS(ds.db.db, ds.spec, cfg)
 	case Factorized:
-		return nn.TrainF(ds.db.db, ds.spec, cfg)
+		res, err = nn.TrainF(ds.db.db, ds.spec, cfg)
 	default:
 		return nil, fmt.Errorf("factorml: unknown algorithm %d", int(algo))
 	}
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Plan = planned
+	return res, nil
+}
+
+// PlanGMM prices the three execution strategies for EM training of a
+// mixture with this configuration over the dataset, using the catalog's
+// persisted table statistics (storage.TableStats), and returns the ranked
+// plan without training. Plan.Chosen converts to an Algorithm by integer
+// value (the planner's strategy constants mirror Materialized, Streaming,
+// Factorized).
+func PlanGMM(ds *Dataset, cfg GMMConfig) (*StrategyPlan, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("factorml: GMMConfig.K = %d, want >= 1", cfg.K)
+	}
+	ss, err := plan.Collect(ds.spec)
+	if err != nil {
+		return nil, err
+	}
+	iters := cfg.MaxIter
+	if iters == 0 {
+		iters = gmm.DefaultMaxIter
+	}
+	return plan.Choose(ss, plan.ModelSpec{
+		Family:     plan.FamilyGMM,
+		K:          cfg.K,
+		Iters:      iters,
+		Diagonal:   cfg.Diagonal,
+		BlockPages: cfg.BlockPages,
+	}, plan.Options{})
+}
+
+// PlanNN prices the three execution strategies for SGD training of a
+// network with this configuration over the dataset; see PlanGMM.
+func PlanNN(ds *Dataset, cfg NNConfig) (*StrategyPlan, error) {
+	ss, err := plan.Collect(ds.spec)
+	if err != nil {
+		return nil, err
+	}
+	hidden := cfg.Hidden
+	if cfg.Init != nil {
+		// A warm start fixes the architecture: price the network that will
+		// actually train, even when it has no hidden layers.
+		hidden = cfg.Init.Sizes[1 : len(cfg.Init.Sizes)-1]
+	} else if len(hidden) == 0 {
+		hidden = []int{nn.DefaultHidden}
+	}
+	epochs := cfg.Epochs
+	if epochs == 0 {
+		epochs = nn.DefaultEpochs
+	}
+	return plan.Choose(ss, plan.ModelSpec{
+		Family:          plan.FamilyNN,
+		Hidden:          hidden,
+		Epochs:          epochs,
+		BlockMode:       cfg.Mode == BlockUpdates,
+		GroupedGradient: cfg.GroupedGradient,
+		BlockPages:      cfg.BlockPages,
+	}, plan.Options{})
 }
 
 // GenerateSynthetic creates a synthetic star schema in the database and
@@ -649,6 +769,7 @@ func NewStreamingPredictionServer(d *DB, fact string, dimTables []string, cfg Se
 	}
 	srv.SetIngestHandler(st.Handler())
 	srv.SetStreamStats(st.StatsProvider())
+	srv.SetPlannerStats(st.PlannerProvider())
 	return srv, &Stream{st: st}, nil
 }
 

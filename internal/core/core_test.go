@@ -143,30 +143,54 @@ func TestFillQuadCacheReusesBuffers(t *testing.T) {
 func TestOpsAccounting(t *testing.T) {
 	var o Ops
 	o.AddQuadForm(3)
-	if o.Mul != 9 || o.Add != 8 {
+	if o.Mul != 9 || o.Adds != 8 {
 		t.Fatalf("AddQuadForm: %+v", o)
 	}
 	o = Ops{}
 	o.AddMatVec(2, 3)
-	if o.Mul != 6 || o.Add != 4 {
+	if o.Mul != 6 || o.Adds != 4 {
 		t.Fatalf("AddMatVec: %+v", o)
 	}
 	o = Ops{}
 	o.AddOuter(2, 3)
-	if o.Mul != 8 || o.Add != 6 {
+	if o.Mul != 8 || o.Adds != 6 {
 		t.Fatalf("AddOuter: %+v", o)
 	}
 	o = Ops{}
 	o.AddDot(4)
-	if o.Mul != 4 || o.Add != 3 {
+	if o.Mul != 4 || o.Adds != 3 {
 		t.Fatalf("AddDot: %+v", o)
 	}
-	a := Ops{Mul: 5, Add: 2}
-	b := Ops{Mul: 1, Add: 1}
-	if s := a.Plus(b); s.Mul != 6 || s.Add != 3 {
+	a := Ops{Mul: 5, Adds: 2}
+	b := Ops{Mul: 1, Adds: 1}
+	if s := a.Plus(b); s.Mul != 6 || s.Adds != 3 {
 		t.Fatalf("Plus: %+v", s)
 	}
-	if d := a.Minus(b); d.Mul != 4 || d.Add != 1 {
+	if d := a.Minus(b); d.Mul != 4 || d.Adds != 1 {
 		t.Fatalf("Minus: %+v", d)
+	}
+}
+
+func TestOpsMergeScaleTotal(t *testing.T) {
+	a := Ops{Mul: 5, Adds: 2}
+	a.Add(Ops{Mul: 3, Adds: 7})
+	if a.Mul != 8 || a.Adds != 9 {
+		t.Fatalf("Add: %+v", a)
+	}
+	if got := a.Total(); got != 17 {
+		t.Fatalf("Total = %d, want 17", got)
+	}
+	if s := a.Scale(3); s.Mul != 24 || s.Adds != 27 {
+		t.Fatalf("Scale: %+v", s)
+	}
+	// Add over a zero counter is the identity, and composing Add with Scale
+	// matches the planner's estimate-building pattern: per-kernel charge,
+	// scale by row count, merge into the running total.
+	var total Ops
+	var kernel Ops
+	kernel.AddQuadForm(3) // 9 muls, 8 adds
+	total.Add(kernel.Scale(10))
+	if total.Mul != 90 || total.Adds != 80 {
+		t.Fatalf("Add(Scale): %+v", total)
 	}
 }

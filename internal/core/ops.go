@@ -5,27 +5,32 @@ package core
 // kernel call site — e.g. a d×d quadratic form charges d² multiplications —
 // which is exactly the accounting the paper's §V-B saving-rate analysis
 // uses, so the closed form Δτ/τ can be checked against these counters.
+//
+// The same accounting doubles as the planner's cost model: internal/plan
+// composes per-kernel Ops with Scale and Add to price a whole training run
+// per strategy before it starts, so estimated and measured counters are
+// directly comparable.
 type Ops struct {
-	Mul int64 // multiplications
-	Add int64 // additions and subtractions
+	Mul  int64 // multiplications
+	Adds int64 // additions and subtractions
 }
 
 // AddQuadForm charges a d-dimensional quadratic form xᵀAx.
 func (o *Ops) AddQuadForm(d int) {
 	o.Mul += int64(d) * int64(d)
-	o.Add += int64(d)*int64(d) - 1
+	o.Adds += int64(d)*int64(d) - 1
 }
 
 // AddBilinear charges xᵀAy with len(x)=r, len(y)=c.
 func (o *Ops) AddBilinear(r, c int) {
 	o.Mul += int64(r) * int64(c)
-	o.Add += int64(r)*int64(c) - 1
+	o.Adds += int64(r)*int64(c) - 1
 }
 
 // AddMatVec charges an r×c matrix-vector product.
 func (o *Ops) AddMatVec(r, c int) {
 	o.Mul += int64(r) * int64(c)
-	o.Add += int64(r) * int64(c-1)
+	o.Adds += int64(r) * int64(c-1)
 }
 
 // AddOuter charges a weighted outer-product accumulation w·x·yᵀ into an
@@ -33,14 +38,14 @@ func (o *Ops) AddMatVec(r, c int) {
 // accumulation, plus r multiplies for w·x).
 func (o *Ops) AddOuter(r, c int) {
 	o.Mul += int64(r)*int64(c) + int64(r)
-	o.Add += int64(r) * int64(c)
+	o.Adds += int64(r) * int64(c)
 }
 
 // AddOuterPlain charges an unweighted outer-product accumulation x·yᵀ into
 // an r×c block (one multiply and one add per cell; no scalar weight).
 func (o *Ops) AddOuterPlain(r, c int) {
 	o.Mul += int64(r) * int64(c)
-	o.Add += int64(r) * int64(c)
+	o.Adds += int64(r) * int64(c)
 }
 
 // AddDiagQuad charges a diagonal quadratic form Σ (x_i−µ_i)²·w_i over d
@@ -48,32 +53,49 @@ func (o *Ops) AddOuterPlain(r, c int) {
 // one weighting multiply per dimension.
 func (o *Ops) AddDiagQuad(d int) {
 	o.Mul += 2 * int64(d)
-	o.Add += 2*int64(d) - 1
+	o.Adds += 2*int64(d) - 1
 }
 
 // AddDot charges an n-dimensional inner product.
 func (o *Ops) AddDot(n int) {
 	o.Mul += int64(n)
-	o.Add += int64(n - 1)
+	o.Adds += int64(n - 1)
 }
 
 // AddSub charges n element-wise subtractions (e.g. forming PD = x − µ).
 func (o *Ops) AddSub(n int) {
-	o.Add += int64(n)
+	o.Adds += int64(n)
 }
 
 // AddAxpy charges y += a·x over n elements.
 func (o *Ops) AddAxpy(n int) {
 	o.Mul += int64(n)
-	o.Add += int64(n)
+	o.Adds += int64(n)
+}
+
+// Add merges another counter into o in place, so planner estimates and
+// measured per-chunk counters compose without field-by-field copying.
+func (o *Ops) Add(b Ops) {
+	o.Mul += b.Mul
+	o.Adds += b.Adds
 }
 
 // Plus returns the element-wise sum of two counters.
 func (o Ops) Plus(b Ops) Ops {
-	return Ops{Mul: o.Mul + b.Mul, Add: o.Add + b.Add}
+	return Ops{Mul: o.Mul + b.Mul, Adds: o.Adds + b.Adds}
 }
 
 // Minus returns o - b.
 func (o Ops) Minus(b Ops) Ops {
-	return Ops{Mul: o.Mul - b.Mul, Add: o.Add - b.Add}
+	return Ops{Mul: o.Mul - b.Mul, Adds: o.Adds - b.Adds}
 }
+
+// Scale returns the counter multiplied by n (e.g. one EM iteration's
+// per-row kernel costs scaled to n rows by the planner).
+func (o Ops) Scale(n int64) Ops {
+	return Ops{Mul: o.Mul * n, Adds: o.Adds * n}
+}
+
+// Total returns the combined flop count (multiplications plus additions),
+// the scalar the planner ranks strategies by.
+func (o Ops) Total() int64 { return o.Mul + o.Adds }

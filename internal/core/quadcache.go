@@ -59,14 +59,14 @@ func FactQuad(bs *BlockedSym, pds []float64, caches []*QuadCache, ops *Ops) floa
 	for _, c := range caches {
 		q += 2*linalg.Dot(pds, c.CrossS) + c.Self
 		ops.AddDot(len(pds))
-		ops.Add += 3
+		ops.Adds += 3
 		ops.Mul++
 	}
 	for i := 0; i < len(caches); i++ {
 		for j := i + 1; j < len(caches); j++ {
 			q += 2 * linalg.BilinearForm(caches[i].PD, bs.B[i+1][j+1], caches[j].PD)
 			ops.AddBilinear(len(caches[i].PD), len(caches[j].PD))
-			ops.Add++
+			ops.Adds++
 			ops.Mul++
 		}
 	}

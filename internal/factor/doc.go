@@ -1,0 +1,29 @@
+// Package factor is the strategy-agnostic sufficient-statistics operator
+// layer shared by every trainer (M/S/F × GMM/NN) and by the planner's
+// measured counterparts.
+//
+// The paper's three execution strategies differ only in how the joined
+// relation is *accessed*, never in the statistics a model accumulates over
+// it. This package owns the access paths, so a model family plugs in pure
+// accumulator definitions and an EM/SGD driver:
+//
+//   - Source — a re-scannable stream of joined rows, either read back from
+//     a materialized T (MaterializedSource) or re-joined on the fly
+//     (StreamedSource). Both expose the same group (R1-block) boundaries,
+//     so mini-batch formation is identical across strategies.
+//   - RunRowPass / RunSGDPass — the chunked-parallel pass operators: rows
+//     are cut into fixed-geometry chunks, each chunk folds into a private
+//     accumulator on a worker, and accumulators merge strictly in chunk
+//     order. The reduction is therefore bit-identical for every worker
+//     count; RunSGDPass adds per-group barrier hooks for Block-mode
+//     gradient steps.
+//   - PartScan — the factorized access path: the block-nested-loops join
+//     runner plus the relation partition, with parallel per-dimension-tuple
+//     cache fills (FillCaches) over disjoint index grains and the
+//     sequential/chunked match streams the factorized trainers drive their
+//     per-match accumulation through.
+//
+// A new model family (linear models, logistic regression, …) needs only
+// its accumulators: the operators here already provide all three strategy
+// access paths, deterministic parallelism included.
+package factor

@@ -1,0 +1,80 @@
+package factor
+
+import (
+	"factorml/internal/core"
+	"factorml/internal/join"
+	"factorml/internal/parallel"
+	"factorml/internal/storage"
+)
+
+// PartScan is the factorized access path: the block-nested-loops join
+// runner paired with the relation partition [S, R1, …, Rq]. Factorized
+// trainers fill per-dimension-tuple caches through FillCaches (parallel,
+// disjoint slots, deterministic op accounting), then stream the matches
+// sequentially (Run) or in fixed chunks on the worker pool (RunChunks) and
+// fold model-specific accumulators per match.
+type PartScan struct {
+	Runner *join.Runner
+	P      core.Partition
+}
+
+// NewPartScan prepares the runner and partition for a spec. blockPages
+// overrides the spec's block size when the spec leaves it at zero.
+func NewPartScan(spec *join.Spec, blockPages int) (*PartScan, error) {
+	sp := *spec
+	if sp.BlockPages == 0 {
+		sp.BlockPages = blockPages
+	}
+	runner, err := join.NewRunner(&sp)
+	if err != nil {
+		return nil, err
+	}
+	dims := []int{sp.S.Schema().NumFeatures()}
+	for _, r := range sp.Rs {
+		dims = append(dims, r.Schema().NumFeatures())
+	}
+	return &PartScan{Runner: runner, P: core.NewPartition(dims)}, nil
+}
+
+// NumRows returns the fact-table size.
+func (ps *PartScan) NumRows() int { return int(ps.Runner.Spec().S.NumTuples()) }
+
+// Resident returns the loaded tuples of dimension relation 1+j (available
+// once a scan has started; see join.Runner.Resident).
+func (ps *PartScan) Resident(j int) []*storage.Tuple { return ps.Runner.Resident(j) }
+
+// Scan streams the fully concatenated joined rows — the initialization
+// pass a factorized trainer shares with the dense strategies, so every
+// strategy starts from the identical model.
+func (ps *PartScan) Scan(onRow RowFn) error {
+	return join.StreamWith(ps.Runner, func(_ int64, x []float64, y float64) error {
+		return onRow(x, y)
+	})
+}
+
+// Run streams one sequential pass over the join.
+func (ps *PartScan) Run(cb join.Callbacks) error { return ps.Runner.Run(cb) }
+
+// RunChunks streams one pass with the matches cut into fixed-size chunks
+// worked on the pool and merged in chunk order (see join.Runner.RunParallel
+// for the determinism contract).
+func (ps *PartScan) RunChunks(workers int, cb join.ParallelCallbacks) error {
+	return ps.Runner.RunParallel(workers, join.ParallelChunkRows, cb)
+}
+
+// FillCaches fills one per-tuple cache slot for every tuple on the worker
+// pool: indexes are cut into fixed grains, each grain charges a private op
+// counter, and the counters merge in grain order into total — so both the
+// cache contents (disjoint slots) and the accounting are identical for
+// every worker count.
+func (ps *PartScan) FillCaches(workers int, tuples []*storage.Tuple, total *core.Ops,
+	fill func(i int, tp *storage.Tuple, ops *core.Ops) error) error {
+	return parallel.RunRange(workers, len(tuples), func(s, e int, ops *core.Ops) error {
+		for i := s; i < e; i++ {
+			if err := fill(i, tuples[i], ops); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, total)
+}

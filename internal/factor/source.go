@@ -1,0 +1,192 @@
+package factor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"factorml/internal/join"
+	"factorml/internal/storage"
+)
+
+// RowFn receives one joined row: the concatenated feature vector (reused
+// between calls — clone to retain) and the fact tuple's target (zero when
+// the fact table carries none).
+type RowFn func(x []float64, y float64) error
+
+// GroupedScan streams every joined row in deterministic order and invokes
+// onGroupEnd at each R1-block boundary, so Block-mode mini-batches coincide
+// across strategies. Either callback may rely on the other's ordering; a
+// scan is one full pass over the joined relation.
+type GroupedScan func(onRow RowFn, onGroupEnd func() error) error
+
+// Source is a re-scannable stream of joined rows — the access path of the
+// Materialized and Streaming strategies. A Source may be scanned any number
+// of times (EM makes three passes per iteration); every scan yields the
+// identical row order.
+type Source interface {
+	// NumRows reports the number of rows one scan delivers — the join
+	// result size for a materialized source, the fact-table size for a
+	// streamed one (they differ only when a foreign key dangles).
+	NumRows() int
+	// Width is the joined feature dimensionality.
+	Width() int
+	// Scan streams every joined row.
+	Scan(onRow RowFn) error
+	// ScanGroups streams every joined row with group boundaries.
+	ScanGroups(onRow RowFn, onGroupEnd func() error) error
+	// Close releases anything the source materialized.
+	Close() error
+}
+
+// MaterializedSource reads joined rows back from a denormalized table T
+// written by join.Materialize — the access path of the M-* algorithms. The
+// per-block tuple counts recorded at materialization time let ScanGroups
+// reconstruct the exact block boundaries of the on-the-fly join.
+type MaterializedSource struct {
+	db     *storage.Database
+	tbl    *storage.Table
+	name   string
+	counts []int64
+	width  int
+}
+
+// NewMaterializedSource executes the join and writes T into db under name
+// (step 1 of the M-* algorithms). Close drops the temporary table.
+func NewMaterializedSource(db *storage.Database, spec *join.Spec, name string) (*MaterializedSource, error) {
+	tbl, counts, err := join.Materialize(db, spec, name)
+	if err != nil {
+		return nil, err
+	}
+	return &MaterializedSource{
+		db: db, tbl: tbl, name: name, counts: counts,
+		width: spec.JoinedWidth(),
+	}, nil
+}
+
+// NumRows returns the number of joined tuples written to T.
+func (s *MaterializedSource) NumRows() int { return int(s.tbl.NumTuples()) }
+
+// Width returns the joined feature dimensionality.
+func (s *MaterializedSource) Width() int { return s.width }
+
+// Scan reads T front to back.
+func (s *MaterializedSource) Scan(onRow RowFn) error {
+	sc := s.tbl.NewScanner()
+	for sc.Next() {
+		tp := sc.Tuple()
+		if err := onRow(tp.Features, tp.Target); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// ScanGroups reads T and fires onGroupEnd at the recorded block
+// boundaries, including runs of empty blocks (a block whose keys matched
+// no fact tuple still ends a mini-batch in the streamed join).
+func (s *MaterializedSource) ScanGroups(onRow RowFn, onGroupEnd func() error) error {
+	sc := s.tbl.NewScanner()
+	blk := 0
+	// Leading empty blocks fire their boundaries before the first row —
+	// without this the `inBlock == counts[blk]` check below (inBlock >= 1
+	// once rows flow) could never match a zero count and every later
+	// boundary would land one block late.
+	for blk < len(s.counts) && s.counts[blk] == 0 {
+		if err := onGroupEnd(); err != nil {
+			return err
+		}
+		blk++
+	}
+	var inBlock int64
+	for sc.Next() {
+		tp := sc.Tuple()
+		if err := onRow(tp.Features, tp.Target); err != nil {
+			return err
+		}
+		inBlock++
+		for blk < len(s.counts) && inBlock == s.counts[blk] {
+			if err := onGroupEnd(); err != nil {
+				return err
+			}
+			inBlock = 0
+			blk++
+			// Skip over empty blocks (possible when a block's keys match
+			// no fact tuples).
+			for blk < len(s.counts) && s.counts[blk] == 0 {
+				if err := onGroupEnd(); err != nil {
+					return err
+				}
+				blk++
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// Close drops the materialized table.
+func (s *MaterializedSource) Close() error { return s.db.DropTable(s.name) }
+
+// StreamedSource re-executes the block-nested-loops join on every scan —
+// the access path of the S-* algorithms. The resident dimension relations
+// are loaded once and reused across scans.
+type StreamedSource struct {
+	runner *join.Runner
+	width  int
+}
+
+// NewStreamedSource prepares the join runner. blockPages overrides the
+// spec's block size when the spec leaves it at zero.
+func NewStreamedSource(spec *join.Spec, blockPages int) (*StreamedSource, error) {
+	sp := *spec
+	if sp.BlockPages == 0 {
+		sp.BlockPages = blockPages
+	}
+	runner, err := join.NewRunner(&sp)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamedSource{runner: runner, width: sp.JoinedWidth()}, nil
+}
+
+// NumRows returns the fact-table size (the join is lossless on S when no
+// foreign key dangles).
+func (s *StreamedSource) NumRows() int { return int(s.runner.Spec().S.NumTuples()) }
+
+// Width returns the joined feature dimensionality.
+func (s *StreamedSource) Width() int { return s.width }
+
+// Scan re-executes the join, assembling each joined feature vector.
+func (s *StreamedSource) Scan(onRow RowFn) error {
+	return join.StreamWith(s.runner, func(_ int64, x []float64, y float64) error {
+		return onRow(x, y)
+	})
+}
+
+// ScanGroups re-executes the join with block boundaries.
+func (s *StreamedSource) ScanGroups(onRow RowFn, onGroupEnd func() error) error {
+	x := make([]float64, s.width)
+	var block []*storage.Tuple
+	return s.runner.Run(join.Callbacks{
+		OnBlockStart: func(b []*storage.Tuple) error { block = b; return nil },
+		OnMatch: func(st *storage.Tuple, r1Idx int, resIdx []int) error {
+			n := copy(x, st.Features)
+			n += copy(x[n:], block[r1Idx].Features)
+			for j, ri := range resIdx {
+				n += copy(x[n:], s.runner.Resident(j)[ri].Features)
+			}
+			if n != s.width {
+				return fmt.Errorf("factor: assembled %d features, want %d", n, s.width)
+			}
+			return onRow(x, st.Target)
+		},
+		OnBlockEnd: onGroupEnd,
+	})
+}
+
+// Shuffle installs a per-scan permutation of R1's rows (the paper's §VI
+// per-epoch key permutation for SGD); nil restores sequential order. Only
+// the streamed source supports this — a materialized T is fixed on disk.
+func (s *StreamedSource) Shuffle(rng *rand.Rand) { s.runner.Shuffle(rng) }
+
+// Close is a no-op (nothing was materialized).
+func (s *StreamedSource) Close() error { return nil }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"factorml/internal/core"
+	"factorml/internal/factor"
 	"factorml/internal/linalg"
 	"factorml/internal/parallel"
 )
@@ -15,12 +16,16 @@ import (
 // whatever access path `pass` encapsulates (reading the materialized T, or
 // re-joining on the fly).
 //
-// Every pass is executed by the chunked worker pool of internal/parallel:
-// rows are cut into fixed chunks, each chunk folds into its own accumulator
-// on a worker, and the accumulators merge in chunk order. The trained model
-// is therefore bit-identical for every cfg.NumWorkers value.
+// Every pass is executed by the shared chunked row-pass operator
+// (factor.RunRowPass over internal/parallel): rows are cut into fixed
+// chunks, each chunk folds into its own accumulator on a worker, and the
+// accumulators merge in chunk order. The trained model is therefore
+// bit-identical for every cfg.NumWorkers value.
 func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) error {
 	nw := parallel.Workers(cfg.NumWorkers)
+	scan := func(onRow factor.RowFn) error {
+		return pass(func(x []float64) error { return onRow(x, 0) })
+	}
 	k := cfg.K
 	gamma := make([]float64, n*k)
 	p := core.NewPartition([]int{d})
@@ -79,13 +84,13 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 		// Workers write γ rows at disjoint indices; the per-chunk
 		// log-likelihood partials merge in chunk order.
 		ll := 0.0
-		err = runRowPass(nw, d, pass,
-			func() any {
+		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+			NewAcc: func() any {
 				a := ePool.Get().(*eAcc)
 				a.ll, a.ops = 0, core.Ops{}
 				return a
 			},
-			func(acc any, start int, rows []float64, nr int) error {
+			Fold: func(acc any, start int, rows, _ []float64, nr int) error {
 				a := acc.(*eAcc)
 				for i := 0; i < nr; i++ {
 					x := rows[i*d : (i+1)*d]
@@ -105,13 +110,13 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 				}
 				return nil
 			},
-			func(acc any) error {
+			Merge: func(acc any) error {
 				a := acc.(*eAcc)
 				ll += a.ll
-				stats.Ops = stats.Ops.Plus(a.ops)
+				stats.Ops.Add(a.ops)
 				ePool.Put(a)
 				return nil
-			})
+			}})
 		if err != nil {
 			return err
 		}
@@ -121,8 +126,8 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 			nk[c] = 0
 			linalg.VecZero(sumMu[c])
 		}
-		err = runRowPass(nw, d, pass,
-			func() any {
+		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+			NewAcc: func() any {
 				a := m1Pool.Get().(*m1Acc)
 				a.ops = core.Ops{}
 				for c := 0; c < k; c++ {
@@ -131,7 +136,7 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 				}
 				return a
 			},
-			func(acc any, start int, rows []float64, nr int) error {
+			Fold: func(acc any, start int, rows, _ []float64, nr int) error {
 				a := acc.(*m1Acc)
 				for i := 0; i < nr; i++ {
 					x := rows[i*d : (i+1)*d]
@@ -144,16 +149,16 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 				}
 				return nil
 			},
-			func(acc any) error {
+			Merge: func(acc any) error {
 				a := acc.(*m1Acc)
 				for c := 0; c < k; c++ {
 					nk[c] += a.nk[c]
 					linalg.VecAdd(sumMu[c], sumMu[c], a.sumMu[c])
 				}
-				stats.Ops = stats.Ops.Plus(a.ops)
+				stats.Ops.Add(a.ops)
 				m1Pool.Put(a)
 				return nil
-			})
+			}})
 		if err != nil {
 			return err
 		}
@@ -163,8 +168,8 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 		for c := 0; c < k; c++ {
 			sumCov[c].Zero()
 		}
-		err = runRowPass(nw, d, pass,
-			func() any {
+		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+			NewAcc: func() any {
 				a := m2Pool.Get().(*m2Acc)
 				a.ops = core.Ops{}
 				for c := 0; c < k; c++ {
@@ -172,7 +177,7 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 				}
 				return a
 			},
-			func(acc any, start int, rows []float64, nr int) error {
+			Fold: func(acc any, start int, rows, _ []float64, nr int) error {
 				a := acc.(*m2Acc)
 				for i := 0; i < nr; i++ {
 					x := rows[i*d : (i+1)*d]
@@ -186,15 +191,15 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 				}
 				return nil
 			},
-			func(acc any) error {
+			Merge: func(acc any) error {
 				a := acc.(*m2Acc)
 				for c := 0; c < k; c++ {
 					sumCov[c].AddScaled(1, a.sumCov[c])
 				}
-				stats.Ops = stats.Ops.Plus(a.ops)
+				stats.Ops.Add(a.ops)
 				m2Pool.Put(a)
 				return nil
-			})
+			}})
 		if err != nil {
 			return err
 		}

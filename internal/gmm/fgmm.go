@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"factorml/internal/core"
+	"factorml/internal/factor"
 	"factorml/internal/join"
 	"factorml/internal/linalg"
 	"factorml/internal/parallel"
@@ -27,29 +28,17 @@ func TrainF(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 	start := time.Now()
 	io0 := db.Pool().Stats()
 
-	sp := *spec
-	if sp.BlockPages == 0 {
-		sp.BlockPages = cfg.BlockPages
-	}
-	runner, err := join.NewRunner(&sp)
+	ps, err := factor.NewPartScan(spec, cfg.BlockPages)
 	if err != nil {
 		return nil, err
 	}
 
-	dims := []int{sp.S.Schema().NumFeatures()}
-	for _, r := range sp.Rs {
-		dims = append(dims, r.Schema().NumFeatures())
-	}
-	p := core.NewPartition(dims)
-
 	// Initialization streams concatenated vectors in the same order as the
 	// other algorithms, so all trainers start from the identical model.
 	pass := func(fn func(x []float64) error) error {
-		return join.StreamWith(runner, func(_ int64, x []float64, _ float64) error {
-			return fn(x)
-		})
+		return ps.Scan(func(x []float64, _ float64) error { return fn(x) })
 	}
-	model, n, err := initModel(pass, p.D, cfg)
+	model, n, err := initModel(pass, ps.P.D, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -59,7 +48,7 @@ func TrainF(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 	if cfg.Diagonal {
 		em = emFactorizedDiag
 	}
-	if err := em(runner, p, n, cfg, model, &res.Stats); err != nil {
+	if err := em(ps, n, cfg, model, &res.Stats); err != nil {
 		return nil, err
 	}
 	res.Stats.IO = db.Pool().Stats().Sub(io0)
@@ -77,7 +66,8 @@ func TrainF(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 // bit-identical for every worker count. The M-step passes stay sequential:
 // factorization already collapses their per-tuple work to the small fact
 // part plus per-group flushes.
-func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, model *Model, stats *Stats) error {
+func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *Stats) error {
+	p := ps.P
 	nw := parallel.Workers(cfg.NumWorkers)
 	k := cfg.K
 	q := p.Parts() - 1 // number of dimension relations
@@ -143,15 +133,13 @@ func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, mode
 		// disjoint (tuple, component) slots).
 		resCache := make([][]core.QuadCache, q-1)
 		for j := 0; j < q-1; j++ {
-			tuples := runner.Resident(j)
+			tuples := ps.Resident(j)
 			resCache[j] = make([]core.QuadCache, len(tuples)*k)
 			rj := resCache[j]
 			part := 2 + j
-			err = fillRange(nw, len(tuples), stats, func(s, e int, ops *core.Ops) error {
-				for t := s; t < e; t++ {
-					for c := 0; c < k; c++ {
-						core.FillQuadCache(&rj[t*k+c], states[c].blocked, part, tuples[t].Features, model.Means[c], ops)
-					}
+			err = ps.FillCaches(nw, tuples, &stats.Ops, func(t int, tp *storage.Tuple, ops *core.Ops) error {
+				for c := 0; c < k; c++ {
+					core.FillQuadCache(&rj[t*k+c], states[c].blocked, part, tp.Features, model.Means[c], ops)
 				}
 				return nil
 			})
@@ -162,18 +150,16 @@ func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, mode
 
 		ll := 0.0
 		idx := 0
-		err = runner.RunParallel(nw, join.ParallelChunkRows, join.ParallelCallbacks{
+		err = ps.RunChunks(nw, join.ParallelCallbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k
 				if cap(blkCache) < need {
 					blkCache = make([]core.QuadCache, need)
 				}
 				blkCache = blkCache[:need]
-				return fillRange(nw, len(block), stats, func(s, e int, ops *core.Ops) error {
-					for i := s; i < e; i++ {
-						for c := 0; c < k; c++ {
-							core.FillQuadCache(&blkCache[i*k+c], states[c].blocked, 1, block[i].Features, model.Means[c], ops)
-						}
+				return ps.FillCaches(nw, block, &stats.Ops, func(i int, tp *storage.Tuple, ops *core.Ops) error {
+					for c := 0; c < k; c++ {
+						core.FillQuadCache(&blkCache[i*k+c], states[c].blocked, 1, tp.Features, model.Means[c], ops)
 					}
 					return nil
 				})
@@ -211,7 +197,7 @@ func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, mode
 				copy(gamma[idx*k:(idx+a.ng)*k], a.gamma)
 				idx += a.ng
 				ll += a.ll
-				stats.Ops = stats.Ops.Plus(a.ops)
+				stats.Ops.Add(a.ops)
 				fePool.Put(a)
 				return nil
 			},
@@ -232,10 +218,10 @@ func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, mode
 		}
 		wRes := make([][]float64, q-1)
 		for j := 0; j < q-1; j++ {
-			wRes[j] = make([]float64, len(runner.Resident(j))*k)
+			wRes[j] = make([]float64, len(ps.Resident(j))*k)
 		}
 		idx = 0
-		err = runner.Run(join.Callbacks{
+		err = ps.Run(join.Callbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k
 				if cap(wBlk) < need {
@@ -274,7 +260,7 @@ func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, mode
 			return err
 		}
 		for j := 0; j < q-1; j++ {
-			for t, tp := range runner.Resident(j) {
+			for t, tp := range ps.Resident(j) {
 				for c := 0; c < k; c++ {
 					linalg.Axpy(wRes[j][t*k+c], tp.Features, sumMuParts[2+j][c])
 					stats.Ops.AddAxpy(p.Dims[2+j])
@@ -305,7 +291,7 @@ func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, mode
 		wRes2 := make([][]float64, q-1)
 		gvecRes := make([][][]float64, q-1)
 		for j := 0; j < q-1; j++ {
-			tuples := runner.Resident(j)
+			tuples := ps.Resident(j)
 			pdRes[j] = make([][]float64, len(tuples)*k)
 			gvecRes[j] = make([][]float64, len(tuples)*k)
 			wRes2[j] = make([]float64, len(tuples)*k)
@@ -322,7 +308,7 @@ func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, mode
 		}
 
 		idx = 0
-		err = runner.Run(join.Callbacks{
+		err = ps.Run(join.Callbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k
 				if cap(pdBlk) < need {
@@ -403,7 +389,7 @@ func emFactorized(runner *join.Runner, p core.Partition, n int, cfg Config, mode
 		}
 		for j := 0; j < q-1; j++ {
 			dRj := p.Dims[2+j]
-			for t := range runner.Resident(j) {
+			for t := range ps.Resident(j) {
 				for c := 0; c < k; c++ {
 					pd := pdRes[j][t*k+c]
 					gv := gvecRes[j][t*k+c]

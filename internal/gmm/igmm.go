@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"factorml/internal/core"
+	"factorml/internal/factor"
 	"factorml/internal/join"
 	"factorml/internal/linalg"
 	"factorml/internal/parallel"
@@ -64,6 +65,9 @@ func diagQuad(x, mu, inv []float64) float64 {
 // cfg.NumWorkers value.
 func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) error {
 	nw := parallel.Workers(cfg.NumWorkers)
+	scan := func(onRow factor.RowFn) error {
+		return pass(func(x []float64) error { return onRow(x, 0) })
+	}
 	k := cfg.K
 	gamma := make([]float64, n*k)
 
@@ -113,13 +117,13 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 
 		// E pass.
 		ll := 0.0
-		err = runRowPass(nw, d, pass,
-			func() any {
+		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+			NewAcc: func() any {
 				a := ePool.Get().(*eAcc)
 				a.ll, a.ops = 0, core.Ops{}
 				return a
 			},
-			func(acc any, start int, rows []float64, nr int) error {
+			Fold: func(acc any, start int, rows, _ []float64, nr int) error {
 				a := acc.(*eAcc)
 				for i := 0; i < nr; i++ {
 					x := rows[i*d : (i+1)*d]
@@ -137,13 +141,13 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 				}
 				return nil
 			},
-			func(acc any) error {
+			Merge: func(acc any) error {
 				a := acc.(*eAcc)
 				ll += a.ll
-				stats.Ops = stats.Ops.Plus(a.ops)
+				stats.Ops.Add(a.ops)
 				ePool.Put(a)
 				return nil
-			})
+			}})
 		if err != nil {
 			return err
 		}
@@ -153,8 +157,9 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 			nk[c] = 0
 			linalg.VecZero(sumMu[c])
 		}
-		err = runRowPass(nw, d, pass, getMAcc,
-			func(acc any, start int, rows []float64, nr int) error {
+		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+			NewAcc: getMAcc,
+			Fold: func(acc any, start int, rows, _ []float64, nr int) error {
 				a := acc.(*mAcc)
 				for i := 0; i < nr; i++ {
 					x := rows[i*d : (i+1)*d]
@@ -167,16 +172,16 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 				}
 				return nil
 			},
-			func(acc any) error {
+			Merge: func(acc any) error {
 				a := acc.(*mAcc)
 				for c := 0; c < k; c++ {
 					nk[c] += a.nk[c]
 					linalg.VecAdd(sumMu[c], sumMu[c], a.sum[c])
 				}
-				stats.Ops = stats.Ops.Plus(a.ops)
+				stats.Ops.Add(a.ops)
 				mPool.Put(a)
 				return nil
-			})
+			}})
 		if err != nil {
 			return err
 		}
@@ -186,8 +191,9 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 		for c := 0; c < k; c++ {
 			linalg.VecZero(sumVar[c])
 		}
-		err = runRowPass(nw, d, pass, getMAcc,
-			func(acc any, start int, rows []float64, nr int) error {
+		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+			NewAcc: getMAcc,
+			Fold: func(acc any, start int, rows, _ []float64, nr int) error {
 				a := acc.(*mAcc)
 				for i := 0; i < nr; i++ {
 					x := rows[i*d : (i+1)*d]
@@ -205,15 +211,15 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 				}
 				return nil
 			},
-			func(acc any) error {
+			Merge: func(acc any) error {
 				a := acc.(*mAcc)
 				for c := 0; c < k; c++ {
 					linalg.VecAdd(sumVar[c], sumVar[c], a.sum[c])
 				}
-				stats.Ops = stats.Ops.Plus(a.ops)
+				stats.Ops.Add(a.ops)
 				mPool.Put(a)
 				return nil
-			})
+			}})
 		if err != nil {
 			return err
 		}
@@ -248,7 +254,8 @@ func applyDiagCovUpdates(model *Model, nk []float64, sumVar [][]float64, collaps
 // scalar caches (no cross blocks exist for a diagonal covariance). The
 // E-step runs on the chunked worker pool; the factorized M-step passes stay
 // sequential (see emFactorized).
-func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, model *Model, stats *Stats) error {
+func emFactorizedDiag(ps *factor.PartScan, n int, cfg Config, model *Model, stats *Stats) error {
+	p := ps.P
 	nw := parallel.Workers(cfg.NumWorkers)
 	k := cfg.K
 	q := p.Parts() - 1
@@ -298,17 +305,15 @@ func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, 
 		// the pool over disjoint slots.
 		qRes := make([][]float64, q-1)
 		for j := 0; j < q-1; j++ {
-			tuples := runner.Resident(j)
+			tuples := ps.Resident(j)
 			qRes[j] = make([]float64, len(tuples)*k)
 			qj := qRes[j]
 			off := p.Offs[2+j]
 			dj := p.Dims[2+j]
-			err = fillRange(nw, len(tuples), stats, func(s, e int, ops *core.Ops) error {
-				for t := s; t < e; t++ {
-					for c := 0; c < k; c++ {
-						qj[t*k+c] = diagQuad(tuples[t].Features, model.Means[c][off:off+dj], states[c].invVar[off:off+dj])
-						ops.AddDiagQuad(dj)
-					}
+			err = ps.FillCaches(nw, tuples, &stats.Ops, func(t int, tp *storage.Tuple, ops *core.Ops) error {
+				for c := 0; c < k; c++ {
+					qj[t*k+c] = diagQuad(tp.Features, model.Means[c][off:off+dj], states[c].invVar[off:off+dj])
+					ops.AddDiagQuad(dj)
 				}
 				return nil
 			})
@@ -320,7 +325,7 @@ func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, 
 		// E pass.
 		ll := 0.0
 		idx := 0
-		err = runner.RunParallel(nw, join.ParallelChunkRows, join.ParallelCallbacks{
+		err = ps.RunChunks(nw, join.ParallelCallbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k
 				if cap(qBlk) < need {
@@ -329,12 +334,10 @@ func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, 
 				qBlk = qBlk[:need]
 				off := p.Offs[1]
 				d1 := p.Dims[1]
-				return fillRange(nw, len(block), stats, func(s, e int, ops *core.Ops) error {
-					for i := s; i < e; i++ {
-						for c := 0; c < k; c++ {
-							qBlk[i*k+c] = diagQuad(block[i].Features, model.Means[c][off:off+d1], states[c].invVar[off:off+d1])
-							ops.AddDiagQuad(d1)
-						}
+				return ps.FillCaches(nw, block, &stats.Ops, func(i int, tp *storage.Tuple, ops *core.Ops) error {
+					for c := 0; c < k; c++ {
+						qBlk[i*k+c] = diagQuad(tp.Features, model.Means[c][off:off+d1], states[c].invVar[off:off+d1])
+						ops.AddDiagQuad(d1)
 					}
 					return nil
 				})
@@ -355,7 +358,7 @@ func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, 
 						for j, ri := range m.Res {
 							qv += qRes[j][ri*k+c]
 						}
-						a.ops.Add += int64(q)
+						a.ops.Adds += int64(q)
 						a.logp[c] = states[c].logW + states[c].logNorm - 0.5*qv
 					}
 					lse := linalg.LogSumExp(a.logp)
@@ -372,7 +375,7 @@ func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, 
 				copy(gamma[idx*k:(idx+a.ng)*k], a.gamma)
 				idx += a.ng
 				ll += a.ll
-				stats.Ops = stats.Ops.Plus(a.ops)
+				stats.Ops.Add(a.ops)
 				fdPool.Put(a)
 				return nil
 			},
@@ -390,10 +393,10 @@ func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, 
 		}
 		wRes := make([][]float64, q-1)
 		for j := 0; j < q-1; j++ {
-			wRes[j] = make([]float64, len(runner.Resident(j))*k)
+			wRes[j] = make([]float64, len(ps.Resident(j))*k)
 		}
 		idx = 0
-		err = runner.Run(join.Callbacks{
+		err = ps.Run(join.Callbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k
 				if cap(wBlk) < need {
@@ -432,7 +435,7 @@ func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, 
 			return err
 		}
 		for j := 0; j < q-1; j++ {
-			for t, tp := range runner.Resident(j) {
+			for t, tp := range ps.Resident(j) {
 				for c := 0; c < k; c++ {
 					linalg.Axpy(wRes[j][t*k+c], tp.Features, sumMuParts[2+j][c])
 					stats.Ops.AddAxpy(p.Dims[2+j])
@@ -455,10 +458,10 @@ func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, 
 		}
 		wRes2 := make([][]float64, q-1)
 		for j := 0; j < q-1; j++ {
-			wRes2[j] = make([]float64, len(runner.Resident(j))*k)
+			wRes2[j] = make([]float64, len(ps.Resident(j))*k)
 		}
 		idx = 0
-		err = runner.Run(join.Callbacks{
+		err = ps.Run(join.Callbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k
 				if cap(wBlk) < need {
@@ -510,7 +513,7 @@ func emFactorizedDiag(runner *join.Runner, p core.Partition, n int, cfg Config, 
 		}
 		for j := 0; j < q-1; j++ {
 			off := p.Offs[2+j]
-			for t, tp := range runner.Resident(j) {
+			for t, tp := range ps.Resident(j) {
 				for c := 0; c < k; c++ {
 					w := wRes2[j][t*k+c]
 					mu := model.Means[c]

@@ -36,9 +36,11 @@ func warmStart(pass passFn, d int, cfg Config) (*Model, int, error) {
 	return cfg.Init.Clone(), n, nil
 }
 
-// passFn streams every joined training vector in a deterministic order.
-// All three algorithms expose their data through this shape; only the
-// factorized trainer bypasses it for the EM passes themselves.
+// passFn streams every joined training vector in a deterministic order —
+// the Scan shape of a factor.Source (targets ignored: a mixture is
+// unsupervised). All three algorithms expose their data through this
+// shape; only the factorized trainer bypasses it for the EM passes
+// themselves.
 type passFn func(fn func(x []float64) error) error
 
 // initModel performs one pass over the data to (a) count N, (b) accumulate

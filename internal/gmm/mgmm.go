@@ -4,13 +4,14 @@ import (
 	"fmt"
 	"time"
 
+	"factorml/internal/factor"
 	"factorml/internal/join"
 	"factorml/internal/storage"
 )
 
 // TrainM is the baseline M-GMM (Algorithm 1): materialize T = S ⋈ R1 ⋈ … on
-// disk, then run EM reading T three times per iteration. The temporary
-// table is dropped when training finishes.
+// disk (factor.MaterializedSource), then run EM reading T three times per
+// iteration. The temporary table is dropped when training finishes.
 func TrainM(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -19,37 +20,10 @@ func TrainM(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 	start := time.Now()
 	io0 := db.Pool().Stats()
 
-	tName := fmt.Sprintf("T_%s_mgmm", spec.S.Schema().Name)
-	tTbl, _, err := join.Materialize(db, spec, tName)
+	src, err := factor.NewMaterializedSource(db, spec, fmt.Sprintf("T_%s_mgmm", spec.S.Schema().Name))
 	if err != nil {
 		return nil, err
 	}
-	defer db.DropTable(tName) //nolint:errcheck // best-effort temp cleanup
-
-	d := spec.JoinedWidth()
-	pass := func(fn func(x []float64) error) error {
-		sc := tTbl.NewScanner()
-		for sc.Next() {
-			if err := fn(sc.Tuple().Features); err != nil {
-				return err
-			}
-		}
-		return sc.Err()
-	}
-
-	model, n, err := initModel(pass, d, cfg)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{Model: model}
-	em := emDense
-	if cfg.Diagonal {
-		em = emDenseDiag
-	}
-	if err := em(pass, d, n, cfg, model, &res.Stats); err != nil {
-		return nil, err
-	}
-	res.Stats.IO = db.Pool().Stats().Sub(io0)
-	res.Stats.TrainTime = time.Since(start)
-	return res, nil
+	defer src.Close() //nolint:errcheck // best-effort temp cleanup
+	return trainDense(db, src, cfg, start, io0)
 }

@@ -8,6 +8,7 @@ import (
 
 	"factorml/internal/core"
 	"factorml/internal/linalg"
+	"factorml/internal/plan"
 	"factorml/internal/storage"
 )
 
@@ -58,9 +59,14 @@ type Config struct {
 	NumWorkers int
 }
 
+// DefaultMaxIter is the EM iteration cap when Config.MaxIter is zero —
+// exported so the strategy planner prices the same number of passes the
+// trainer would run.
+const DefaultMaxIter = 25
+
 func (c Config) withDefaults() Config {
 	if c.MaxIter == 0 {
-		c.MaxIter = 25
+		c.MaxIter = DefaultMaxIter
 	}
 	if c.Tol == 0 {
 		c.Tol = 1e-4
@@ -92,6 +98,11 @@ type Stats struct {
 	Ops           core.Ops  // training-math flop counters
 	IO            storage.IOStats
 	TrainTime     time.Duration
+
+	// Plan, when training was strategy-planned (factorml.Auto), records
+	// the planner's decision: the chosen strategy plus the per-strategy
+	// cost estimates it ranked. Nil when the caller picked the strategy.
+	Plan *plan.Plan
 }
 
 // Result bundles the trained model with its statistics.

@@ -3,13 +3,14 @@ package gmm
 import (
 	"time"
 
+	"factorml/internal/factor"
 	"factorml/internal/join"
 	"factorml/internal/storage"
 )
 
 // TrainS is the baseline S-GMM: identical EM to M-GMM, but every pass over
-// T is replaced by re-executing the block-nested-loops join on the fly, so
-// T is never written to disk.
+// T is replaced by re-executing the block-nested-loops join on the fly
+// (factor.StreamedSource), so T is never written to disk.
 func TrainS(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -18,21 +19,21 @@ func TrainS(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 	start := time.Now()
 	io0 := db.Pool().Stats()
 
-	sp := *spec
-	if sp.BlockPages == 0 {
-		sp.BlockPages = cfg.BlockPages
-	}
-	runner, err := join.NewRunner(&sp)
+	src, err := factor.NewStreamedSource(spec, cfg.BlockPages)
 	if err != nil {
 		return nil, err
 	}
-	pass := func(fn func(x []float64) error) error {
-		return join.StreamWith(runner, func(_ int64, x []float64, _ float64) error {
-			return fn(x)
-		})
-	}
+	return trainDense(db, src, cfg, start, io0)
+}
 
-	d := sp.JoinedWidth()
+// trainDense is the shared body of M-GMM and S-GMM: initialize over one
+// scan of the source, then run the dense EM driver over the same access
+// path. The two strategies differ only in the factor.Source they hand in.
+func trainDense(db *storage.Database, src factor.Source, cfg Config, start time.Time, io0 storage.IOStats) (*Result, error) {
+	pass := func(fn func(x []float64) error) error {
+		return src.Scan(func(x []float64, _ float64) error { return fn(x) })
+	}
+	d := src.Width()
 	model, n, err := initModel(pass, d, cfg)
 	if err != nil {
 		return nil, err

@@ -4,14 +4,10 @@ import (
 	"sync"
 
 	"factorml/internal/core"
+	"factorml/internal/factor"
 	"factorml/internal/linalg"
 	"factorml/internal/parallel"
 )
-
-// markedPass streams every joined training example in deterministic order,
-// invoking onBlockEnd at each R1-block boundary (so the Block batching mode
-// forms identical mini-batches in all trainers).
-type markedPass func(onTuple func(x []float64, y float64) error, onBlockEnd func() error) error
 
 // gradAcc is a per-chunk gradient accumulator: a private workspace whose
 // gW/gB fold the chunk's example gradients, plus loss/batch partials. The
@@ -59,19 +55,19 @@ func (a *gradAcc) mergeInto(w *workspace, lossSum *float64, batchN *int, stats *
 	}
 	*lossSum += a.loss
 	*batchN += a.batchN
-	stats.Ops = stats.Ops.Plus(a.ops)
+	stats.Ops.Add(a.ops)
 }
 
 // trainDense is the engine of both M-NN and S-NN: standard backprop over a
-// dense stream of joined tuples, executed by the chunked worker pool of
-// internal/parallel. The producer copies examples into fixed-size chunks
-// (cut additionally at R1-block boundaries under Block updates), workers
-// fold each chunk into a pooled gradAcc, and the accumulators merge in
-// chunk order; Block-mode gradient steps apply at a full barrier. With
-// NumWorkers <= 1 the same chunk/merge structure runs inline on the
-// streamed examples with no copying. Either way the parameter trajectory is
-// bit-identical for every cfg.NumWorkers value.
-func trainDense(pass markedPass, n int, cfg Config, net *Network, stats *Stats) error {
+// dense stream of joined tuples, one factor.RunSGDPass per epoch. The pass
+// operator copies examples into fixed-size chunks (cut additionally at
+// R1-block boundaries under Block updates, where the gradient step runs at
+// a full barrier), workers fold each chunk into a pooled gradAcc, and the
+// accumulators merge in chunk order; with NumWorkers <= 1 the same
+// chunk/merge structure runs inline on the streamed examples with no
+// copying. Either way the parameter trajectory is bit-identical for every
+// cfg.NumWorkers value.
+func trainDense(pass factor.GroupedScan, n int, cfg Config, net *Network, stats *Stats) error {
 	nw := parallel.Workers(cfg.NumWorkers)
 	d := net.Sizes[0]
 	w := newWorkspace(net, &stats.Ops)
@@ -81,115 +77,32 @@ func trainDense(pass markedPass, n int, cfg Config, net *Network, stats *Stats) 
 		w.zeroGrads()
 		lossSum := 0.0
 		batchN := 0
-		var err error
-		if nw <= 1 {
-			// Inline path: fold each example as it streams, merging at the
-			// same chunk boundaries as the pooled path.
-			var acc *gradAcc
-			inChunk := 0
-			flushAcc := func() error {
-				if acc == nil {
-					return nil
-				}
-				acc.mergeInto(w, &lossSum, &batchN, stats)
-				accPool.Put(acc)
-				acc, inChunk = nil, 0
-				return nil
-			}
-			err = pass(
-				func(x []float64, y float64) error {
-					if acc == nil {
-						acc = accPool.Get().(*gradAcc)
-						acc.reset()
-					}
-					acc.example(x, y)
-					inChunk++
-					if inChunk == parallel.DefaultChunkRows {
-						return flushAcc()
-					}
-					return nil
-				},
-				func() error {
-					if cfg.Mode != Block {
-						return nil
-					}
-					if err := flushAcc(); err != nil {
-						return err
-					}
-					w.applyStep(cfg.LearningRate, batchN)
-					w.zeroGrads()
-					batchN = 0
-					return nil
-				},
-			)
-			if err == nil {
-				err = flushAcc()
-			}
-		} else {
-			err = parallel.Run(nw,
-				func(f *parallel.Feed[*parallel.RowChunk]) error {
-					cur := parallel.GetRowChunk(0, d, true)
-					flush := func() error {
-						if cur.N == 0 {
-							return nil
-						}
-						if err := f.Emit(cur); err != nil {
-							return err
-						}
-						cur = parallel.GetRowChunk(0, d, true)
-						return nil
-					}
-					err := pass(
-						func(x []float64, y float64) error {
-							copy(cur.Rows[cur.N*d:(cur.N+1)*d], x)
-							cur.Ys[cur.N] = y
-							cur.N++
-							if cur.N == parallel.DefaultChunkRows {
-								return flush()
-							}
-							return nil
-						},
-						func() error {
-							if cfg.Mode != Block {
-								return nil
-							}
-							if err := flush(); err != nil {
-								return err
-							}
-							// Barrier: every emitted chunk is merged, and no
-							// worker reads the parameters while they step.
-							return f.Barrier(func() error {
-								w.applyStep(cfg.LearningRate, batchN)
-								w.zeroGrads()
-								batchN = 0
-								return nil
-							})
-						},
-					)
-					if err != nil {
-						return err
-					}
-					if cur.N > 0 {
-						return f.Emit(cur)
-					}
-					parallel.PutRowChunk(cur)
-					return nil
-				},
-				func(c *parallel.RowChunk) (*gradAcc, error) {
-					a := accPool.Get().(*gradAcc)
-					a.reset()
-					for i := 0; i < c.N; i++ {
-						a.example(c.Rows[i*c.D:(i+1)*c.D], c.Ys[i])
-					}
-					parallel.PutRowChunk(c)
-					return a, nil
-				},
-				func(a *gradAcc) error {
-					a.mergeInto(w, &lossSum, &batchN, stats)
-					accPool.Put(a)
-					return nil
-				})
+		step := func() error {
+			w.applyStep(cfg.LearningRate, batchN)
+			w.zeroGrads()
+			batchN = 0
+			return nil
 		}
+		err := factor.RunSGDPass(nw, d, pass, cfg.Mode == Block, step, factor.PassHooks{
+			NewAcc: func() any {
+				a := accPool.Get().(*gradAcc)
+				a.reset()
+				return a
+			},
+			Fold: func(acc any, _ int, rows, ys []float64, nr int) error {
+				a := acc.(*gradAcc)
+				for i := 0; i < nr; i++ {
+					a.example(rows[i*d:(i+1)*d], ys[i])
+				}
+				return nil
+			},
+			Merge: func(acc any) error {
+				a := acc.(*gradAcc)
+				a.mergeInto(w, &lossSum, &batchN, stats)
+				accPool.Put(a)
+				return nil
+			},
+		})
 		if err != nil {
 			return err
 		}

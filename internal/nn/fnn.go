@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"factorml/internal/core"
+	"factorml/internal/factor"
 	"factorml/internal/join"
 	"factorml/internal/linalg"
 	"factorml/internal/parallel"
@@ -32,27 +33,17 @@ func TrainF(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 	start := time.Now()
 	io0 := db.Pool().Stats()
 
-	sp := *spec
-	if sp.BlockPages == 0 {
-		sp.BlockPages = cfg.BlockPages
-	}
-	runner, err := join.NewRunner(&sp)
+	ps, err := factor.NewPartScan(spec, cfg.BlockPages)
 	if err != nil {
 		return nil, err
 	}
 
-	dims := []int{sp.S.Schema().NumFeatures()}
-	for _, r := range sp.Rs {
-		dims = append(dims, r.Schema().NumFeatures())
-	}
-	p := core.NewPartition(dims)
-
-	net, err := initNetwork(cfg, p.D)
+	net, err := initNetwork(cfg, ps.P.D)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Net: net}
-	if err := trainFactorized(runner, p, cfg, net, &res.Stats); err != nil {
+	if err := trainFactorized(ps, cfg, net, &res.Stats); err != nil {
 		return nil, err
 	}
 	res.Stats.IO = db.Pool().Stats().Sub(io0)
@@ -91,14 +82,14 @@ func (fc *fwdCtx) forward(ws *workspace, t1 []float64, s *storage.Tuple, r1 int,
 		// Seed the accumulator with the cached dimension part, then add the
 		// fact part.
 		linalg.VecAdd(ws.a[0], fc.blkCache.t[r1], net.B[0])
-		ops.Add += int64(fc.nh0)
+		ops.Adds += int64(fc.nh0)
 		for j, ri := range res {
 			linalg.VecAdd(ws.a[0], ws.a[0], fc.resCache[j].t[ri])
-			ops.Add += int64(fc.nh0)
+			ops.Adds += int64(fc.nh0)
 		}
 		linalg.MatVecRangeAdd(ws.a[0], net.W[0], 0, s.Features)
 		ops.AddMatVec(fc.nh0, fc.dS)
-		ops.Add += int64(fc.nh0)
+		ops.Adds += int64(fc.nh0)
 		net.Act.Apply(ws.h[0], ws.a[0])
 		return ws.forwardUpper(1)
 	}
@@ -108,25 +99,25 @@ func (fc *fwdCtx) forward(ws *workspace, t1 []float64, s *storage.Tuple, r1 int,
 	ops.AddMatVec(fc.nh0, fc.dS)
 	copy(ws.a[0], t1)
 	linalg.VecAdd(ws.a[0], ws.a[0], fc.blkCache.t[r1])
-	ops.Add += int64(fc.nh0)
+	ops.Adds += int64(fc.nh0)
 	for j, ri := range res {
 		linalg.VecAdd(ws.a[0], ws.a[0], fc.resCache[j].t[ri])
-		ops.Add += int64(fc.nh0)
+		ops.Adds += int64(fc.nh0)
 	}
 	linalg.VecAdd(ws.a[0], ws.a[0], net.B[0])
-	ops.Add += int64(fc.nh0)
+	ops.Adds += int64(fc.nh0)
 	copy(ws.h[0], ws.a[0]) // Identity
 	// Second layer from shared parts.
 	linalg.MatVec(ws.a[1], net.W[1], t1)
 	ops.AddMatVec(fc.nh1, fc.nh0)
 	linalg.VecAdd(ws.a[1], ws.a[1], fc.blkCache.t3[r1])
-	ops.Add += int64(fc.nh1)
+	ops.Adds += int64(fc.nh1)
 	for j, ri := range res {
 		linalg.VecAdd(ws.a[1], ws.a[1], fc.resCache[j].t3[ri])
-		ops.Add += int64(fc.nh1)
+		ops.Adds += int64(fc.nh1)
 	}
 	linalg.VecAdd(ws.a[1], ws.a[1], fc.cBias)
-	ops.Add += int64(fc.nh1)
+	ops.Adds += int64(fc.nh1)
 	copy(ws.h[1], ws.a[1]) // Identity
 	return ws.forwardUpper(2)
 }
@@ -152,11 +143,11 @@ func (pc *partCaches) ensure(n, nh0, nh1 int, share bool) {
 // under the GroupedGradient extension, whose sparse per-group accumulators
 // are a sequential cost-model study (DESIGN.md §6) and stay on the legacy
 // loop for every NumWorkers value.
-func trainFactorized(runner *join.Runner, p core.Partition, cfg Config, net *Network, stats *Stats) error {
+func trainFactorized(ps *factor.PartScan, cfg Config, net *Network, stats *Stats) error {
 	if cfg.GroupedGradient {
-		return trainFactorizedSeq(runner, p, cfg, net, stats)
+		return trainFactorizedSeq(ps, cfg, net, stats)
 	}
-	return trainFactorizedPar(runner, p, cfg, net, stats)
+	return trainFactorizedPar(ps, cfg, net, stats)
 }
 
 // trainFactorizedPar is F-NN on the worker pool: the per-block dimension
@@ -165,7 +156,8 @@ func trainFactorized(runner *join.Runner, p core.Partition, cfg Config, net *Net
 // private gradAcc, and the accumulators merge in chunk order — so the
 // parameter trajectory is bit-identical for every cfg.NumWorkers value.
 // Cache refills and Block-mode gradient steps happen at full barriers.
-func trainFactorizedPar(runner *join.Runner, p core.Partition, cfg Config, net *Network, stats *Stats) error {
+func trainFactorizedPar(ps *factor.PartScan, cfg Config, net *Network, stats *Stats) error {
+	p := ps.P
 	nw := parallel.Workers(cfg.NumWorkers)
 	w := newWorkspace(net, &stats.Ops)
 	q := p.Parts() - 1
@@ -183,7 +175,7 @@ func trainFactorizedPar(runner *join.Runner, p core.Partition, cfg Config, net *
 		resCache[j] = &partCaches{}
 	}
 	cBias := make([]float64, nh1)
-	n := int(runner.Spec().S.NumTuples())
+	n := ps.NumRows()
 	accPool := newGradAccPool(net, nh0)
 	fc := &fwdCtx{net: net, share: share, dS: dS, nh0: nh0, nh1: nh1,
 		blkCache: &blkCache, resCache: resCache, cBias: cBias}
@@ -192,18 +184,16 @@ func trainFactorizedPar(runner *join.Runner, p core.Partition, cfg Config, net *
 		pc.ensure(len(tuples), nh0, nh1, share)
 		off := p.Offs[part]
 		dPart := p.Dims[part]
-		return parallel.RunRange(nw, len(tuples), func(s, e int, ops *core.Ops) error {
-			for i := s; i < e; i++ {
-				linalg.MatVecRange(pc.t[i], net.W[0], off, tuples[i].Features)
-				ops.AddMatVec(nh0, dPart)
-				if share {
-					// t3 = W1·f(t); f = Identity, so f(t) = t.
-					linalg.MatVec(pc.t3[i], net.W[1], pc.t[i])
-					ops.AddMatVec(nh1, nh0)
-				}
+		return ps.FillCaches(nw, tuples, &stats.Ops, func(i int, tp *storage.Tuple, ops *core.Ops) error {
+			linalg.MatVecRange(pc.t[i], net.W[0], off, tp.Features)
+			ops.AddMatVec(nh0, dPart)
+			if share {
+				// t3 = W1·f(t); f = Identity, so f(t) = t.
+				linalg.MatVec(pc.t3[i], net.W[1], pc.t[i])
+				ops.AddMatVec(nh1, nh0)
 			}
 			return nil
-		}, &stats.Ops)
+		})
 	}
 	fillShared := func() {
 		if !share {
@@ -214,7 +204,7 @@ func trainFactorizedPar(runner *join.Runner, p core.Partition, cfg Config, net *
 		linalg.MatVec(cBias, net.W[1], net.B[0])
 		stats.Ops.AddMatVec(nh1, nh0)
 		linalg.VecAdd(cBias, cBias, net.B[1])
-		stats.Ops.Add += int64(nh1)
+		stats.Ops.Adds += int64(nh1)
 	}
 
 	var shuffleRng *rand.Rand
@@ -223,7 +213,7 @@ func trainFactorizedPar(runner *join.Runner, p core.Partition, cfg Config, net *
 	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if shuffleRng != nil {
-			runner.Shuffle(shuffleRng) // one permutation per epoch (§VI)
+			ps.Runner.Shuffle(shuffleRng) // one permutation per epoch (§VI)
 		}
 		w.zeroGrads()
 		lossSum := 0.0
@@ -231,14 +221,14 @@ func trainFactorizedPar(runner *join.Runner, p core.Partition, cfg Config, net *
 		residentFresh := false
 		var curBlock []*storage.Tuple
 
-		err := runner.RunParallel(nw, join.ParallelChunkRows, join.ParallelCallbacks{
+		err := ps.RunChunks(nw, join.ParallelCallbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				curBlock = block
 				// Dimension caches are valid for one parameter state: per
 				// block under Block updates, per pass under Epoch updates.
 				if cfg.Mode == Block || !residentFresh {
 					for j := 0; j < q-1; j++ {
-						if err := fillPart(resCache[j], runner.Resident(j), 2+j); err != nil {
+						if err := fillPart(resCache[j], ps.Resident(j), 2+j); err != nil {
 							return err
 						}
 					}
@@ -268,11 +258,11 @@ func trainFactorizedPar(runner *join.Runner, p core.Partition, cfg Config, net *
 					linalg.OuterAccumAt(ws.gW[0], 0, 0, 1, delta0, s.Features)
 					a.ops.AddOuterPlain(nh0, dS)
 					linalg.Axpy(1, delta0, ws.gB[0])
-					a.ops.Add += int64(nh0)
+					a.ops.Adds += int64(nh0)
 					linalg.OuterAccumAt(ws.gW[0], 0, p.Offs[1], 1, delta0, curBlock[m.R1].Features)
 					a.ops.AddOuterPlain(nh0, p.Dims[1])
 					for j, ri := range m.Res {
-						linalg.OuterAccumAt(ws.gW[0], 0, p.Offs[2+j], 1, delta0, runner.Resident(j)[ri].Features)
+						linalg.OuterAccumAt(ws.gW[0], 0, p.Offs[2+j], 1, delta0, ps.Resident(j)[ri].Features)
 						a.ops.AddOuterPlain(nh0, p.Dims[2+j])
 					}
 					a.batchN++
@@ -310,7 +300,8 @@ func trainFactorizedPar(runner *join.Runner, p core.Partition, cfg Config, net *
 // trainFactorizedSeq is the legacy single-threaded F-NN loop, kept for the
 // GroupedGradient extension whose per-group gradient accumulators are not
 // chunked.
-func trainFactorizedSeq(runner *join.Runner, p core.Partition, cfg Config, net *Network, stats *Stats) error {
+func trainFactorizedSeq(ps *factor.PartScan, cfg Config, net *Network, stats *Stats) error {
+	p := ps.P
 	w := newWorkspace(net, &stats.Ops)
 	q := p.Parts() - 1
 	dS := p.Dims[0]
@@ -333,22 +324,27 @@ func trainFactorizedSeq(runner *join.Runner, p core.Partition, cfg Config, net *
 	t1 := make([]float64, nh0) // W0_S·x_S (kept separate under sharing)
 	cBias := make([]float64, nh1)
 
-	n := int(runner.Spec().S.NumTuples())
+	n := ps.NumRows()
 	fc := &fwdCtx{net: net, share: share, dS: dS, nh0: nh0, nh1: nh1,
 		blkCache: &blkCache, resCache: resCache, cBias: cBias}
 
+	// The grouped-gradient trainer is sequential by design, so its cache
+	// fills run through the shared operator with a single worker — same
+	// grain geometry, same accounting, no pool.
 	fillPart := func(pc *partCaches, tuples []*storage.Tuple, part int) {
 		pc.ensure(len(tuples), nh0, nh1, share)
 		off := p.Offs[part]
-		for i, tp := range tuples {
+		//nolint:errcheck // the fill body cannot fail
+		ps.FillCaches(1, tuples, &stats.Ops, func(i int, tp *storage.Tuple, ops *core.Ops) error {
 			linalg.MatVecRange(pc.t[i], net.W[0], off, tp.Features)
-			stats.Ops.AddMatVec(nh0, p.Dims[part])
+			ops.AddMatVec(nh0, p.Dims[part])
 			if share {
 				// t3 = W1·f(t); f = Identity, so f(t) = t.
 				linalg.MatVec(pc.t3[i], net.W[1], pc.t[i])
-				stats.Ops.AddMatVec(nh1, nh0)
+				ops.AddMatVec(nh1, nh0)
 			}
-		}
+			return nil
+		})
 	}
 	fillShared := func() {
 		if !share {
@@ -359,7 +355,7 @@ func trainFactorizedSeq(runner *join.Runner, p core.Partition, cfg Config, net *
 		linalg.MatVec(cBias, net.W[1], net.B[0])
 		stats.Ops.AddMatVec(nh1, nh0)
 		linalg.VecAdd(cBias, cBias, net.B[1])
-		stats.Ops.Add += int64(nh1)
+		stats.Ops.Adds += int64(nh1)
 	}
 
 	flushGroupedBlock := func(block []*storage.Tuple) {
@@ -377,7 +373,7 @@ func trainFactorizedSeq(runner *join.Runner, p core.Partition, cfg Config, net *
 			return
 		}
 		for j := 0; j < q-1; j++ {
-			for t, tp := range runner.Resident(j) {
+			for t, tp := range ps.Resident(j) {
 				linalg.OuterAccumAt(w.gW[0], 0, p.Offs[2+j], 1, gsumRes[j][t], tp.Features)
 				stats.Ops.AddOuterPlain(nh0, p.Dims[2+j])
 				linalg.VecZero(gsumRes[j][t])
@@ -391,7 +387,7 @@ func trainFactorizedSeq(runner *join.Runner, p core.Partition, cfg Config, net *
 	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if shuffleRng != nil {
-			runner.Shuffle(shuffleRng) // one permutation per epoch (§VI)
+			ps.Runner.Shuffle(shuffleRng) // one permutation per epoch (§VI)
 		}
 		w.zeroGrads()
 		lossSum := 0.0
@@ -399,20 +395,20 @@ func trainFactorizedSeq(runner *join.Runner, p core.Partition, cfg Config, net *
 		residentFresh := false
 		var curBlock []*storage.Tuple
 
-		err := runner.Run(join.Callbacks{
+		err := ps.Run(join.Callbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				curBlock = block
 				// Dimension caches are valid for one parameter state: per
 				// block under Block updates, per pass under Epoch updates.
 				if cfg.Mode == Block || !residentFresh {
 					for j := 0; j < q-1; j++ {
-						fillPart(resCache[j], runner.Resident(j), 2+j)
+						fillPart(resCache[j], ps.Resident(j), 2+j)
 					}
 					fillShared()
 					residentFresh = true
 					if cfg.GroupedGradient && q > 1 && gsumRes[0] == nil {
 						for j := 0; j < q-1; j++ {
-							gsumRes[j] = make([][]float64, len(runner.Resident(j)))
+							gsumRes[j] = make([][]float64, len(ps.Resident(j)))
 							for t := range gsumRes[j] {
 								gsumRes[j][t] = make([]float64, nh0)
 							}
@@ -447,19 +443,19 @@ func trainFactorizedSeq(runner *join.Runner, p core.Partition, cfg Config, net *
 				linalg.OuterAccumAt(w.gW[0], 0, 0, 1, delta0, s.Features)
 				stats.Ops.AddOuterPlain(nh0, dS)
 				linalg.Axpy(1, delta0, w.gB[0])
-				stats.Ops.Add += int64(nh0)
+				stats.Ops.Adds += int64(nh0)
 				if cfg.GroupedGradient {
 					linalg.Axpy(1, delta0, gsumBlk[r1Idx])
-					stats.Ops.Add += int64(nh0)
+					stats.Ops.Adds += int64(nh0)
 					for j, ri := range resIdx {
 						linalg.Axpy(1, delta0, gsumRes[j][ri])
-						stats.Ops.Add += int64(nh0)
+						stats.Ops.Adds += int64(nh0)
 					}
 				} else {
 					linalg.OuterAccumAt(w.gW[0], 0, p.Offs[1], 1, delta0, curBlock[r1Idx].Features)
 					stats.Ops.AddOuterPlain(nh0, p.Dims[1])
 					for j, ri := range resIdx {
-						linalg.OuterAccumAt(w.gW[0], 0, p.Offs[2+j], 1, delta0, runner.Resident(j)[ri].Features)
+						linalg.OuterAccumAt(w.gW[0], 0, p.Offs[2+j], 1, delta0, ps.Resident(j)[ri].Features)
 						stats.Ops.AddOuterPlain(nh0, p.Dims[2+j])
 					}
 				}

@@ -4,13 +4,15 @@ import (
 	"fmt"
 	"time"
 
+	"factorml/internal/factor"
 	"factorml/internal/join"
 	"factorml/internal/storage"
 )
 
-// TrainM is the baseline M-NN: materialize T on disk, then train reading T
-// once per epoch. Block-mode mini-batch boundaries are reconstructed from
-// the materializer's per-block tuple counts, so the parameter trajectory is
+// TrainM is the baseline M-NN: materialize T on disk
+// (factor.MaterializedSource), then train reading T once per epoch.
+// Block-mode mini-batch boundaries are reconstructed from the
+// materializer's per-block tuple counts, so the parameter trajectory is
 // identical to S-NN/F-NN. The temporary table is dropped afterwards.
 func TrainM(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
@@ -26,48 +28,18 @@ func TrainM(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 	start := time.Now()
 	io0 := db.Pool().Stats()
 
-	tName := fmt.Sprintf("T_%s_mnn", spec.S.Schema().Name)
-	tTbl, counts, err := join.Materialize(db, spec, tName)
+	src, err := factor.NewMaterializedSource(db, spec, fmt.Sprintf("T_%s_mnn", spec.S.Schema().Name))
 	if err != nil {
 		return nil, err
 	}
-	defer db.DropTable(tName) //nolint:errcheck // best-effort temp cleanup
-
-	pass := func(onTuple func(x []float64, y float64) error, onBlockEnd func() error) error {
-		sc := tTbl.NewScanner()
-		blk := 0
-		var inBlock int64
-		for sc.Next() {
-			tp := sc.Tuple()
-			if err := onTuple(tp.Features, tp.Target); err != nil {
-				return err
-			}
-			inBlock++
-			for blk < len(counts) && inBlock == counts[blk] {
-				if err := onBlockEnd(); err != nil {
-					return err
-				}
-				inBlock = 0
-				blk++
-				// Skip over empty blocks (possible when a block's keys match
-				// no fact tuples).
-				for blk < len(counts) && counts[blk] == 0 {
-					if err := onBlockEnd(); err != nil {
-						return err
-					}
-					blk++
-				}
-			}
-		}
-		return sc.Err()
-	}
+	defer src.Close() //nolint:errcheck // best-effort temp cleanup
 
 	net, err := initNetwork(cfg, spec.JoinedWidth())
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Net: net}
-	if err := trainDense(pass, int(tTbl.NumTuples()), cfg, net, &res.Stats); err != nil {
+	if err := trainDense(src.ScanGroups, src.NumRows(), cfg, net, &res.Stats); err != nil {
 		return nil, err
 	}
 	res.Stats.IO = db.Pool().Stats().Sub(io0)

@@ -9,6 +9,7 @@ import (
 
 	"factorml/internal/core"
 	"factorml/internal/linalg"
+	"factorml/internal/plan"
 	"factorml/internal/storage"
 )
 
@@ -172,12 +173,20 @@ type Config struct {
 	ShareLayer2 bool
 }
 
+// DefaultHidden and DefaultEpochs are the architecture and epoch count
+// used when the Config leaves them zero — exported so the strategy
+// planner prices the same run the trainer would execute.
+const (
+	DefaultHidden = 50
+	DefaultEpochs = 10
+)
+
 func (c Config) withDefaults() Config {
 	if len(c.Hidden) == 0 {
-		c.Hidden = []int{50}
+		c.Hidden = []int{DefaultHidden}
 	}
 	if c.Epochs == 0 {
-		c.Epochs = 10
+		c.Epochs = DefaultEpochs
 	}
 	if c.LearningRate == 0 {
 		c.LearningRate = 0.05
@@ -233,6 +242,11 @@ type Stats struct {
 	Ops       core.Ops
 	IO        storage.IOStats
 	TrainTime time.Duration
+
+	// Plan, when training was strategy-planned (factorml.Auto), records
+	// the planner's decision: the chosen strategy plus the per-strategy
+	// cost estimates it ranked. Nil when the caller picked the strategy.
+	Plan *plan.Plan
 }
 
 // Result bundles the trained network with its statistics.

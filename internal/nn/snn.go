@@ -5,13 +5,14 @@ import (
 	"math/rand"
 	"time"
 
+	"factorml/internal/factor"
 	"factorml/internal/join"
 	"factorml/internal/storage"
 )
 
 // TrainS is the baseline S-NN: identical training to M-NN, but each epoch
-// re-executes the block-nested-loops join instead of reading a materialized
-// T.
+// re-executes the block-nested-loops join (factor.StreamedSource) instead
+// of reading a materialized T.
 func TrainS(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
@@ -23,49 +24,28 @@ func TrainS(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 	start := time.Now()
 	io0 := db.Pool().Stats()
 
-	sp := *spec
-	if sp.BlockPages == 0 {
-		sp.BlockPages = cfg.BlockPages
-	}
-	runner, err := join.NewRunner(&sp)
+	src, err := factor.NewStreamedSource(spec, cfg.BlockPages)
 	if err != nil {
 		return nil, err
 	}
-
-	// Count N once (a cheap fact-table property).
-	n := int(sp.S.NumTuples())
 
 	var shuffleRng *rand.Rand
 	if cfg.ShuffleSeed != 0 {
 		shuffleRng = rand.New(rand.NewSource(cfg.ShuffleSeed))
 	}
-	pass := func(onTuple func(x []float64, y float64) error, onBlockEnd func() error) error {
+	pass := func(onRow factor.RowFn, onGroupEnd func() error) error {
 		if shuffleRng != nil {
-			runner.Shuffle(shuffleRng) // one permutation per epoch (§VI)
+			src.Shuffle(shuffleRng) // one permutation per epoch (§VI)
 		}
-		d := sp.JoinedWidth()
-		x := make([]float64, d)
-		var block []*storage.Tuple
-		return runner.Run(join.Callbacks{
-			OnBlockStart: func(b []*storage.Tuple) error { block = b; return nil },
-			OnMatch: func(s *storage.Tuple, r1Idx int, resIdx []int) error {
-				nc := copy(x, s.Features)
-				nc += copy(x[nc:], block[r1Idx].Features)
-				for j, ri := range resIdx {
-					nc += copy(x[nc:], runner.Resident(j)[ri].Features)
-				}
-				return onTuple(x, s.Target)
-			},
-			OnBlockEnd: onBlockEnd,
-		})
+		return src.ScanGroups(onRow, onGroupEnd)
 	}
 
-	net, err := initNetwork(cfg, sp.JoinedWidth())
+	net, err := initNetwork(cfg, src.Width())
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Net: net}
-	if err := trainDense(pass, n, cfg, net, &res.Stats); err != nil {
+	if err := trainDense(pass, src.NumRows(), cfg, net, &res.Stats); err != nil {
 		return nil, err
 	}
 	res.Stats.IO = db.Pool().Stats().Sub(io0)

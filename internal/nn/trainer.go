@@ -59,7 +59,7 @@ func (w *workspace) forwardDense(x []float64) float64 {
 	linalg.MatVec(w.a[0], net.W[0], x)
 	w.ops.AddMatVec(net.Sizes[1], net.Sizes[0])
 	linalg.VecAdd(w.a[0], w.a[0], net.B[0])
-	w.ops.Add += int64(net.Sizes[1])
+	w.ops.Adds += int64(net.Sizes[1])
 	net.Act.Apply(w.h[0], w.a[0])
 	return w.forwardUpper(1)
 }
@@ -72,7 +72,7 @@ func (w *workspace) forwardUpper(from int) float64 {
 		linalg.MatVec(w.a[l], net.W[l], w.h[l-1])
 		w.ops.AddMatVec(net.Sizes[l+1], net.Sizes[l])
 		linalg.VecAdd(w.a[l], w.a[l], net.B[l])
-		w.ops.Add += int64(net.Sizes[l+1])
+		w.ops.Adds += int64(net.Sizes[l+1])
 		if l < net.Layers()-1 {
 			net.Act.Apply(w.h[l], w.a[l])
 		} else {
@@ -90,13 +90,13 @@ func (w *workspace) backward(o, y float64) {
 	net := w.net
 	last := net.Layers() - 1
 	w.delta[last][0] = o - y
-	w.ops.Add++
+	w.ops.Adds++
 	for l := last; l >= 1; l-- {
 		// Gradients of layer l (weights see h[l-1]).
 		linalg.OuterAccum(w.gW[l], 1, w.delta[l], w.h[l-1])
 		w.ops.AddOuterPlain(net.Sizes[l+1], net.Sizes[l])
 		linalg.Axpy(1, w.delta[l], w.gB[l])
-		w.ops.Add += int64(net.Sizes[l+1])
+		w.ops.Adds += int64(net.Sizes[l+1])
 		// δ^{l-1} = (W_lᵀ δ^l) ⊙ f'(a^{l-1}).
 		linalg.VecMat(w.delta[l-1], w.delta[l], net.W[l])
 		w.ops.AddMatVec(net.Sizes[l], net.Sizes[l+1])
@@ -133,5 +133,5 @@ func (w *workspace) accumulateInputGrad(x []float64) {
 	linalg.OuterAccum(w.gW[0], 1, w.delta[0], x)
 	w.ops.AddOuterPlain(w.net.Sizes[1], w.net.Sizes[0])
 	linalg.Axpy(1, w.delta[0], w.gB[0])
-	w.ops.Add += int64(w.net.Sizes[1])
+	w.ops.Adds += int64(w.net.Sizes[1])
 }

@@ -1,0 +1,255 @@
+// Package plan is the cost-based strategy planner: given catalog
+// statistics for a star/snowflake join (storage.TableStats) and a model
+// configuration, it prices each execution strategy — Materialized,
+// Streaming, Factorized — with the same core.Ops flop accounting the
+// trainers charge at their kernel call sites, plus a block-nested-loops
+// page-I/O model, and returns a ranked Plan. factorml.Auto consults it to
+// pick a strategy per dataset and configuration; `train -explain` prints
+// its table.
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"factorml/internal/core"
+	"factorml/internal/join"
+	"factorml/internal/storage"
+)
+
+// Strategy identifies one execution strategy. The values mirror the
+// factorml.Algorithm constants (Materialized = 0, Streaming = 1,
+// Factorized = 2), so the facade converts by integer value.
+type Strategy int
+
+const (
+	// Materialized joins once, writes T to disk, trains reading T.
+	Materialized Strategy = iota
+	// Streaming re-executes the join on the fly every pass.
+	Streaming
+	// Factorized streams the join and factorizes the computation.
+	Factorized
+	numStrategies
+)
+
+// String names the strategy (matching factorml.Algorithm.String).
+func (s Strategy) String() string {
+	switch s {
+	case Materialized:
+		return "materialized"
+	case Streaming:
+		return "streaming"
+	case Factorized:
+		return "factorized"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// MarshalJSON renders the strategy by name (for /statsz and BENCH files).
+func (s Strategy) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Relation pairs a relation name with its catalog statistics.
+type Relation struct {
+	Name  string             `json:"name"`
+	Stats storage.TableStats `json:"stats"`
+}
+
+// SchemaStats is the planner's input: catalog statistics for the fact
+// table and every dimension relation of the flattened hierarchy, in join
+// (depth-first preorder) order.
+type SchemaStats struct {
+	Fact      Relation   `json:"fact"`
+	Dims      []Relation `json:"dims"`
+	HasTarget bool       `json:"has_target"`
+}
+
+// Collect reads the catalog statistics of every relation in the spec.
+// Statistics are maintained at append time and persisted in the catalog,
+// so this touches no tuple data unless a pre-planner catalog forces a
+// one-off key rescan (see storage.TableStats).
+func Collect(spec *join.Spec) (*SchemaStats, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fs, err := spec.S.Stats()
+	if err != nil {
+		return nil, err
+	}
+	ss := &SchemaStats{
+		Fact:      Relation{Name: spec.S.Schema().Name, Stats: fs},
+		HasTarget: spec.S.Schema().HasTarget,
+	}
+	for _, r := range spec.Rs {
+		rs, err := r.Stats()
+		if err != nil {
+			return nil, err
+		}
+		ss.Dims = append(ss.Dims, Relation{Name: r.Schema().Name, Stats: rs})
+	}
+	return ss, nil
+}
+
+// JoinedWidth returns the feature dimensionality of the (virtual) join.
+func (ss *SchemaStats) JoinedWidth() int {
+	d := ss.Fact.Stats.Width
+	for _, r := range ss.Dims {
+		d += r.Stats.Width
+	}
+	return d
+}
+
+// Family selects the model family being priced.
+type Family int
+
+const (
+	// FamilyGMM prices EM training of a Gaussian mixture.
+	FamilyGMM Family = iota
+	// FamilyNN prices SGD training of a feed-forward network.
+	FamilyNN
+)
+
+// String names the family.
+func (f Family) String() string {
+	if f == FamilyNN {
+		return "nn"
+	}
+	return "gmm"
+}
+
+// ModelSpec carries the configuration knobs the cost model depends on.
+type ModelSpec struct {
+	Family Family
+
+	// GMM: components, EM iterations priced (use MaxIter — the planner
+	// cannot foresee early convergence, and all strategies run the same
+	// iterations, so the ranking is unaffected), diagonal restriction.
+	K        int
+	Iters    int
+	Diagonal bool
+
+	// NN: hidden layer sizes, epochs, Block-mode updates (dimension caches
+	// refill per block instead of per epoch), grouped layer-1 gradients.
+	Hidden          []int
+	Epochs          int
+	BlockMode       bool
+	GroupedGradient bool
+
+	// BlockPages is the join's block size (0 = join.DefaultBlockPages); it
+	// sets how many times the fact table is rescanned per pass.
+	BlockPages int
+}
+
+func (m ModelSpec) validate(ss *SchemaStats) error {
+	if len(ss.Dims) == 0 {
+		return fmt.Errorf("plan: schema has no dimension relations")
+	}
+	switch m.Family {
+	case FamilyGMM:
+		if m.K < 1 || m.Iters < 1 {
+			return fmt.Errorf("plan: GMM spec needs K >= 1 and Iters >= 1 (got K=%d, Iters=%d)", m.K, m.Iters)
+		}
+	case FamilyNN:
+		if m.Epochs < 1 {
+			return fmt.Errorf("plan: NN spec needs Epochs >= 1 (got %d)", m.Epochs)
+		}
+		// An empty Hidden prices the degenerate [d, 1] network — legal for
+		// warm starts of hidden-less models; callers wanting the trainer's
+		// default architecture must pass it explicitly.
+	default:
+		return fmt.Errorf("plan: unknown family %d", int(m.Family))
+	}
+	return nil
+}
+
+// Estimate is one strategy's priced cost: training-math flops (the same
+// accounting the trainers measure into Stats.Ops), page I/O, and the
+// combined score the ranking uses.
+type Estimate struct {
+	Strategy Strategy `json:"strategy"`
+	Ops      core.Ops `json:"ops"`
+	Pages    int64    `json:"pages"`
+	Score    float64  `json:"score"`
+}
+
+// Plan is a ranked strategy decision.
+type Plan struct {
+	Chosen    Strategy     `json:"chosen"`
+	Model     string       `json:"model"`
+	Estimates []Estimate   `json:"estimates"` // ascending score
+	Stats     *SchemaStats `json:"stats,omitempty"`
+}
+
+// Estimate returns the estimate for one strategy (zero value if absent).
+func (p *Plan) Estimate(s Strategy) Estimate {
+	for _, e := range p.Estimates {
+		if e.Strategy == s {
+			return e
+		}
+	}
+	return Estimate{}
+}
+
+// CheapestNonMaterializing returns the best-ranked strategy that does not
+// write a join table — what a live streaming refresh reuses, where
+// materializing next to concurrent readers is off the table.
+func (p *Plan) CheapestNonMaterializing() Strategy {
+	for _, e := range p.Estimates {
+		if e.Strategy != Materialized {
+			return e.Strategy
+		}
+	}
+	return Factorized
+}
+
+// Options tunes the scoring.
+type Options struct {
+	// FlopsPerPage converts one logical page access into flop-equivalents
+	// for the combined score (default DefaultFlopsPerPage). Raising it
+	// biases toward I/O-frugal strategies (Materialized for many passes
+	// over a narrow T), lowering it toward compute-frugal ones.
+	FlopsPerPage float64
+}
+
+// DefaultFlopsPerPage charges one flop per byte moved (8 KiB pages): a
+// middle ground between a cold read (far more expensive) and a warm
+// buffer-pool hit (far cheaper).
+const DefaultFlopsPerPage = 8192
+
+// Choose prices every strategy for the schema and model and returns the
+// ranked plan. Ties prefer Factorized, then Streaming — never materialize
+// without a measured reason to.
+func Choose(ss *SchemaStats, m ModelSpec, opt Options) (*Plan, error) {
+	if err := m.validate(ss); err != nil {
+		return nil, err
+	}
+	fpp := opt.FlopsPerPage
+	if fpp == 0 {
+		fpp = DefaultFlopsPerPage
+	}
+	ests := make([]Estimate, 0, int(numStrategies))
+	for s := Materialized; s < numStrategies; s++ {
+		ops := estimateOps(ss, m, s)
+		pages := estimatePages(ss, m, s)
+		ests = append(ests, Estimate{
+			Strategy: s,
+			Ops:      ops,
+			Pages:    pages,
+			Score:    float64(ops.Total()) + fpp*float64(pages),
+		})
+	}
+	pref := map[Strategy]int{Factorized: 0, Streaming: 1, Materialized: 2}
+	sort.SliceStable(ests, func(i, j int) bool {
+		if ests[i].Score != ests[j].Score {
+			return ests[i].Score < ests[j].Score
+		}
+		return pref[ests[i].Strategy] < pref[ests[j].Strategy]
+	})
+	return &Plan{
+		Chosen:    ests[0].Strategy,
+		Model:     m.Family.String(),
+		Estimates: ests,
+		Stats:     ss,
+	}, nil
+}

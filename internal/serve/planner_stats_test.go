@@ -1,0 +1,56 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"factorml/internal/serve"
+)
+
+// TestStatszPlannerSection: a provider installed with SetPlannerStats is
+// embedded as the "planner" section of /statsz, and the section is absent
+// until one is installed.
+func TestStatszPlannerSection(t *testing.T) {
+	db, spec := testStar(t, t.TempDir())
+	defer db.Close()
+	_, eng := newTestEngine(t, db, spec, serve.EngineConfig{NumWorkers: 1})
+	srv := serve.NewServer(eng)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	statsz := func() map[string]any {
+		resp, err := http.Get(ts.URL + "/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("statsz status %d", resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if _, ok := statsz()["planner"]; ok {
+		t.Fatal("planner section present before SetPlannerStats")
+	}
+	srv.SetPlannerStats(func() any {
+		return []map[string]any{{"model": "m-nn", "strategy": "factorized"}}
+	})
+	got, ok := statsz()["planner"]
+	if !ok {
+		t.Fatal("planner section missing after SetPlannerStats")
+	}
+	list, ok := got.([]any)
+	if !ok || len(list) != 1 {
+		t.Fatalf("planner section = %v", got)
+	}
+	if entry := list[0].(map[string]any); entry["strategy"] != "factorized" {
+		t.Fatalf("planner entry = %v", entry)
+	}
+}

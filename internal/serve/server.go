@@ -26,9 +26,10 @@ type Server struct {
 	start time.Time
 	mux   *http.ServeMux
 
-	ingestMu    sync.RWMutex
-	ingest      http.Handler // nil until SetIngestHandler
-	streamStats func() any   // nil until SetStreamStats
+	ingestMu     sync.RWMutex
+	ingest       http.Handler // nil until SetIngestHandler
+	streamStats  func() any   // nil until SetStreamStats
+	plannerStats func() any   // nil until SetPlannerStats
 }
 
 // NewServer wires the handlers. The engine's registry is used for the
@@ -59,6 +60,16 @@ func (s *Server) SetIngestHandler(h http.Handler) {
 func (s *Server) SetStreamStats(fn func() any) {
 	s.ingestMu.Lock()
 	s.streamStats = fn
+	s.ingestMu.Unlock()
+}
+
+// SetPlannerStats installs a provider whose value is embedded as the
+// "planner" section of /statsz — the cost-based strategy decisions the
+// attached models' refreshes reuse (chosen strategy and per-strategy
+// estimates; see internal/plan).
+func (s *Server) SetPlannerStats(fn func() any) {
+	s.ingestMu.Lock()
+	s.plannerStats = fn
 	s.ingestMu.Unlock()
 }
 
@@ -100,13 +111,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.ingestMu.RLock()
 	streamStats := s.streamStats
+	plannerStats := s.plannerStats
 	s.ingestMu.RUnlock()
 	payload := struct {
 		Stats
-		Stream any `json:"stream,omitempty"`
+		Stream  any `json:"stream,omitempty"`
+		Planner any `json:"planner,omitempty"`
 	}{Stats: s.eng.Stats()}
 	if streamStats != nil {
 		payload.Stream = streamStats()
+	}
+	if plannerStats != nil {
+		payload.Planner = plannerStats()
 	}
 	writeJSON(w, http.StatusOK, payload)
 }

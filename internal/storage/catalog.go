@@ -16,16 +16,22 @@ type catalogEntry struct {
 	Features  []string `json:"features"`
 	Refs      []string `json:"refs,omitempty"`
 	HasTarget bool     `json:"has_target"`
+	// Stats is the table's planner statistics snapshot (see TableStats);
+	// absent in catalogs written before the cost-based planner existed, in
+	// which case the first Stats call after reopening rescans the keys.
+	Stats *TableStats `json:"stats,omitempty"`
 }
 
-// saveCatalog persists the schemas of all tables so a database directory
-// can be reopened by a later process.
+// saveCatalog persists the schemas — and planner statistics — of all
+// tables so a database directory can be reopened by a later process.
 func (db *Database) saveCatalog() error {
 	entries := make([]catalogEntry, 0, len(db.tables))
 	for _, name := range db.TableNames() {
-		s := db.tables[name].schema
+		t := db.tables[name]
+		s := t.schema
 		entries = append(entries, catalogEntry{
 			Name: s.Name, Keys: s.Keys, Features: s.Features, Refs: s.Refs, HasTarget: s.HasTarget,
+			Stats: t.statsForCatalog(),
 		})
 	}
 	blob, err := json.MarshalIndent(entries, "", "  ")
@@ -36,7 +42,15 @@ func (db *Database) saveCatalog() error {
 	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
 		return fmt.Errorf("storage: writing catalog: %w", err)
 	}
-	return os.Rename(tmp, filepath.Join(db.dir, catalogFile))
+	if err := os.Rename(tmp, filepath.Join(db.dir, catalogFile)); err != nil {
+		return err
+	}
+	// Every table's statistics are now in the persisted catalog; further
+	// Flushes can skip the rewrite until new keys arrive.
+	for _, t := range db.tables {
+		t.statsDirty = false
+	}
+	return nil
 }
 
 // loadCatalog reopens every table recorded in the catalog file, if present.
@@ -57,6 +71,9 @@ func (db *Database) loadCatalog() error {
 		schema := &Schema{Name: e.Name, Keys: e.Keys, Features: e.Features, Refs: e.Refs, HasTarget: e.HasTarget}
 		if err := db.openExisting(schema); err != nil {
 			return err
+		}
+		if e.Stats != nil {
+			db.tables[e.Name].loadedStats = e.Stats
 		}
 	}
 	return nil

@@ -21,6 +21,15 @@ type Table struct {
 	tail     *page
 	tailUsed int
 	flushed  bool // tail page state is on disk
+
+	// Planner statistics (see stats.go): distinct foreign-key values per fk
+	// column, maintained at Append/UpdateAt; nil until the first write of
+	// this session (reopened tables serve loadedStats until then).
+	// statsDirty marks in-memory statistics newer than the catalog's copy,
+	// so Flush persists the catalog only when there is something new.
+	fkSets      []map[int64]struct{}
+	loadedStats *TableStats // catalog-persisted statistics from open time
+	statsDirty  bool
 }
 
 // Schema returns the table's schema.
@@ -61,11 +70,29 @@ func (t *Table) Append(tp *Tuple) error {
 		t.tailUsed = 0
 		t.flushed = true
 	}
+	return t.noteKeys(tp.Keys)
+}
+
+// Flush writes any buffered partial tail page to disk and persists the
+// table's planner statistics into the catalog (see TableStats).
+func (t *Table) Flush() error {
+	if err := t.flushTail(); err != nil {
+		return err
+	}
+	// Statistics accompany the flush so a crash afterwards still leaves
+	// the catalog's copy aligned with the heap — but only when they are
+	// newer than the persisted copy: per-row paths (UpdateAt) write pages
+	// without rewriting the whole catalog, and the next batch-level Flush
+	// or Close folds their statistics in.
+	if t.statsDirty {
+		return t.db.saveCatalog()
+	}
 	return nil
 }
 
-// Flush writes any buffered partial tail page to disk.
-func (t *Table) Flush() error {
+// flushTail writes the buffered partial tail page, without touching the
+// catalog.
+func (t *Table) flushTail() error {
 	if t.tailUsed == 0 || t.flushed {
 		return nil
 	}
@@ -126,7 +153,13 @@ func (t *Table) UpdateAt(rowID int64, tp *Tuple) error {
 			return err
 		}
 		t.flushed = false
-		return t.Flush()
+		if err := t.noteKeys(tp.Keys); err != nil {
+			return err
+		}
+		// Persist the page only; the catalog statistics ride the next
+		// batch-level Flush/Close instead of costing a whole-catalog
+		// rewrite per updated row.
+		return t.flushTail()
 	}
 	// Full page on disk: read it directly (bypassing the pool so we never
 	// mutate a shared cached page), rewrite the record, and write it back.
@@ -138,7 +171,12 @@ func (t *Table) UpdateAt(rowID int64, tp *Tuple) error {
 	if err := encodeTuple(p.record(slot, rs), t.schema, tp); err != nil {
 		return err
 	}
-	return t.writePage(pageNo, p)
+	if err := t.writePage(pageNo, p); err != nil {
+		return err
+	}
+	// An update may repoint a foreign key; fold the new value into the
+	// distinct sets (the old value may stay counted — see TableStats).
+	return t.noteKeys(tp.Keys)
 }
 
 // Get reads the tuple with the given row id (0-based append order) into dst.

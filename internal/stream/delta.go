@@ -106,6 +106,12 @@ type ModelRefresh struct {
 	// under the current model (dirty after a dimension update, or the
 	// Policy.RebaselineEvery cadence).
 	Rebaselined bool `json:"rebaselined,omitempty"`
+	// Strategy names how this refresh trained: "incremental" for the GMM
+	// sufficient-statistics maintenance, or the planner-chosen execution
+	// strategy ("factorized"/"streaming") for an NN warm-start retrain —
+	// the refresh reuses the plan computed at attach time (recomputed
+	// after dimension updates, when the statistics shift).
+	Strategy string `json:"strategy,omitempty"`
 }
 
 // RefreshResult reports one refresh across every attached model.

@@ -59,6 +59,12 @@ func (s *Stream) StatsProvider() func() any {
 	return func() any { return s.Counters() }
 }
 
+// PlannerProvider adapts PlannerDecisions for
+// serve.Server.SetPlannerStats (the "planner" section of /statsz).
+func (s *Stream) PlannerProvider() func() any {
+	return func() any { return s.PlannerDecisions() }
+}
+
 func httpJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

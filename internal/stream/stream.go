@@ -9,6 +9,7 @@ import (
 	"factorml/internal/gmm"
 	"factorml/internal/join"
 	"factorml/internal/nn"
+	"factorml/internal/plan"
 	"factorml/internal/serve"
 	"factorml/internal/storage"
 )
@@ -84,6 +85,11 @@ type attached struct {
 	// (NN), so a refresh with no new data and no dimension change can
 	// skip the full-dataset warm-start epochs.
 	lastRows int64
+	// plan is the cost-based strategy decision an NN refresh reuses
+	// (computed at attach time from the catalog statistics, recomputed
+	// when a dimension update dirties the model). Nil falls back to the
+	// factorized trainer.
+	plan *plan.Plan
 }
 
 // Stream is the change feed over one star schema: it appends fact and
@@ -119,6 +125,11 @@ type Stream struct {
 	cmu      sync.Mutex
 	pending  int64
 	counters Counters
+	// plannerSnap is the current per-model strategy decisions, rebuilt
+	// under mu whenever a plan changes (attach, refresh replan) and read
+	// under cmu — so the /statsz planner section, like Counters, never
+	// blocks behind a refresh holding mu for an O(dataset) pass.
+	plannerSnap []PlannerDecision
 }
 
 // New builds a stream over the (star or snowflake) join spec. When
@@ -196,6 +207,7 @@ func (s *Stream) AttachGMM(name string, m *gmm.Model) error {
 	s.cmu.Lock()
 	s.counters.AttachedModels = len(s.models)
 	s.cmu.Unlock()
+	s.snapshotPlansLocked()
 	return nil
 }
 
@@ -217,11 +229,36 @@ func (s *Stream) AttachNN(name string, net *nn.Network) error {
 	if _, ok := s.models[name]; ok {
 		return fmt.Errorf("stream: model %q already attached", name)
 	}
-	s.models[name] = &attached{name: name, kind: serve.KindNN, net: net.Clone()}
+	m := &attached{name: name, kind: serve.KindNN, net: net.Clone()}
+	m.plan = s.planNN(m.net) // the strategy every refresh reuses
+	s.models[name] = m
 	s.cmu.Lock()
 	s.counters.AttachedModels = len(s.models)
 	s.cmu.Unlock()
+	s.snapshotPlansLocked()
 	return nil
+}
+
+// planNN consults the cost-based planner for one attached network's
+// refresh: Policy.NNEpochs warm-start epochs over the current catalog
+// statistics. A nil return (degenerate architecture, statistics
+// unavailable) falls back to the factorized trainer.
+func (s *Stream) planNN(net *nn.Network) *plan.Plan {
+	hidden := net.Sizes[1 : len(net.Sizes)-1]
+	ss, err := plan.Collect(s.spec)
+	if err != nil {
+		return nil
+	}
+	pol := s.pol
+	p, err := plan.Choose(ss, plan.ModelSpec{
+		Family: plan.FamilyNN,
+		Hidden: hidden,
+		Epochs: pol.NNEpochs,
+	}, plan.Options{})
+	if err != nil {
+		return nil
+	}
+	return p
 }
 
 // GMM returns the current refreshed parameters of an attached mixture.
@@ -261,6 +298,57 @@ func (s *Stream) Attached() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// PlannerDecision reports the cost-based strategy decision one attached
+// model's next refresh will reuse (see internal/plan): "incremental" for
+// the GMM sufficient-statistics maintenance, or the planner-chosen
+// strategy with its full estimate table for an NN warm-start retrain.
+type PlannerDecision struct {
+	Model     string          `json:"model"`
+	Kind      string          `json:"kind"`
+	Strategy  string          `json:"strategy"`
+	Estimates []plan.Estimate `json:"estimates,omitempty"`
+}
+
+// PlannerDecisions lists the per-model strategy decisions, sorted by
+// model name — the "planner" section of /statsz. Like Counters, it reads
+// a snapshot under the small counters lock only, so the endpoint stays
+// responsive while a refresh or attach holds the stream lock.
+func (s *Stream) PlannerDecisions() []PlannerDecision {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	return append([]PlannerDecision{}, s.plannerSnap...)
+}
+
+// snapshotPlansLocked rebuilds the planner-decision snapshot. Callers
+// hold mu (lock order mu → cmu).
+func (s *Stream) snapshotPlansLocked() {
+	names := make([]string, 0, len(s.models))
+	for name := range s.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snap := make([]PlannerDecision, 0, len(names))
+	for _, name := range names {
+		m := s.models[name]
+		d := PlannerDecision{Model: name, Kind: string(m.kind)}
+		switch m.kind {
+		case serve.KindGMM:
+			d.Strategy = "incremental"
+		case serve.KindNN:
+			strat := plan.Factorized
+			if m.plan != nil {
+				strat = m.plan.CheapestNonMaterializing()
+				d.Estimates = m.plan.Estimates
+			}
+			d.Strategy = strat.String()
+		}
+		snap = append(snap, d)
+	}
+	s.cmu.Lock()
+	s.plannerSnap = snap
+	s.cmu.Unlock()
 }
 
 // Pending returns the number of fact rows ingested since the last
@@ -472,6 +560,7 @@ func (s *Stream) refreshLocked(auto bool) (RefreshResult, error) {
 		mr := ModelRefresh{Name: name, Kind: string(m.kind)}
 		switch m.kind {
 		case serve.KindGMM:
+			mr.Strategy = "incremental" // O(delta) sufficient-statistics maintenance
 			rebase := m.dirty || (s.pol.RebaselineEvery > 0 && s.refreshSeq%uint64(s.pol.RebaselineEvery) == 0)
 			if rebase {
 				m.stats.Reset()
@@ -515,16 +604,35 @@ func (s *Stream) refreshLocked(auto bool) (RefreshResult, error) {
 				// information.
 				continue
 			}
+			if m.dirty || m.plan == nil {
+				// Dimension updates shift the statistics the attach-time
+				// plan was priced on; replan once, then keep reusing it.
+				m.plan = s.planNN(m.net)
+			}
+			// The refresh reuses the plan, restricted to non-materializing
+			// strategies: writing a join table into a live serving database
+			// would race concurrent readers for no payoff.
+			strat := plan.Factorized
+			if m.plan != nil {
+				strat = m.plan.CheapestNonMaterializing()
+			}
 			cfg := nn.Config{
 				Init:         m.net,
 				Epochs:       s.pol.NNEpochs,
 				LearningRate: s.pol.NNLearningRate,
 				NumWorkers:   s.pol.NumWorkers,
 			}
-			tres, err := nn.TrainF(s.db, s.spec, cfg)
+			var tres *nn.Result
+			var err error
+			if strat == plan.Streaming {
+				tres, err = nn.TrainS(s.db, s.spec, cfg)
+			} else {
+				tres, err = nn.TrainF(s.db, s.spec, cfg)
+			}
 			if err != nil {
 				return res, err
 			}
+			mr.Strategy = strat.String()
 			m.net = tres.Net
 			m.dirty = false
 			m.lastRows = n
@@ -544,5 +652,6 @@ func (s *Stream) refreshLocked(auto bool) (RefreshResult, error) {
 		s.counters.AutoRefreshes++
 	}
 	s.cmu.Unlock()
+	s.snapshotPlansLocked() // replans above may have changed the decisions
 	return res, nil
 }
