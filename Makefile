@@ -7,7 +7,7 @@ GO ?= go
 # scripts/check_coverage.sh; recorded from the snowflake PR's 71.9%).
 COVERAGE_BASELINE ?= 70.0
 
-.PHONY: all build test race bench cover serve-smoke stream-smoke snowflake-smoke fmt vet ci
+.PHONY: all build test race bench cover serve-smoke stream-smoke snowflake-smoke load-smoke fmt vet ci
 
 all: build
 
@@ -40,6 +40,14 @@ serve-smoke:
 stream-smoke:
 	./scripts/stream_smoke.sh
 
+# Load smoke: boot cmd/serve with admission control + metrics, drive a
+# mixed predict/ingest/refresh ramp with cmd/loadgen, check the
+# BENCH_load.json report (p50/p99/p999, saturation throughput), that
+# overload answers structured 429s only, and that /metrics is valid
+# Prometheus text format. CI uploads BENCH_load.json as an artifact.
+load-smoke:
+	./scripts/load_smoke.sh
+
 # Snowflake smoke: the runnable multi-hop hierarchy example — builds
 # orders ⋈ items ⋈ categories ⋈ suppliers through the public API, trains
 # M/F over the flattened join and verifies the models agree.
@@ -64,4 +72,4 @@ vet:
 
 # cover runs before bench so the BENCH_*.json files the benchmarks write
 # (with ns/op filled in) are the ones left on disk.
-ci: fmt vet build race cover bench serve-smoke stream-smoke snowflake-smoke
+ci: fmt vet build race cover bench serve-smoke stream-smoke snowflake-smoke load-smoke

@@ -1,0 +1,425 @@
+// Command loadgen drives mixed traffic against a running factorml serve
+// instance and reports latency percentiles and saturation throughput.
+//
+// Traffic is open-loop: arrivals fire on a fixed schedule derived from
+// the target rate regardless of how fast the server answers, so
+// overload shows up as growing latency and 429/503 rejections instead
+// of the generator politely slowing down (closed-loop coordination
+// omission). The schedule ramps through the -rates list, one step of
+// -step duration per rate, and the mix of predict/ingest/refresh
+// requests follows the -mix weights.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -model smoke-nn \
+//	    -mix predict=0.9,ingest=0.08,refresh=0.02 \
+//	    -rates 50,100,200,400 -step 5s -out BENCH_load.json
+//
+// The report (written to -out as JSON) carries, per step and overall:
+// request counts by status code, achieved throughput, and
+// p50/p99/p999/max latency per endpoint. The saturation throughput is
+// the highest completed-request rate achieved across the ramp — beyond
+// it, extra offered load only produces rejections or queueing.
+//
+// Predict rows are synthesized from -fact-width and -fk-max (foreign
+// keys are drawn uniformly from [0, fk-max)); ingest batches append
+// -ingest-facts fact rows per request with unique synthetic ids starting
+// at -sid-start, so repeated runs against the same database never
+// collide. All randomness is seeded (-seed) for reproducible schedules.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type mixWeights struct {
+	predict, ingest, refresh float64
+}
+
+func parseMix(s string) (mixWeights, error) {
+	var m mixWeights
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("mix entry %q is not name=weight", part)
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("mix weight %q must be a number >= 0", kv[1])
+		}
+		switch kv[0] {
+		case "predict":
+			m.predict = w
+		case "ingest":
+			m.ingest = w
+		case "refresh":
+			m.refresh = w
+		default:
+			return m, fmt.Errorf("unknown mix endpoint %q (want predict/ingest/refresh)", kv[0])
+		}
+	}
+	if m.predict+m.ingest+m.refresh <= 0 {
+		return m, fmt.Errorf("mix %q has no positive weight", s)
+	}
+	return m, nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || r <= 0 {
+			return nil, fmt.Errorf("rate %q must be a number > 0", part)
+		}
+		rates = append(rates, r)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("empty rate schedule")
+	}
+	return rates, nil
+}
+
+// endpointStats accumulates one endpoint's completions within a step.
+type endpointStats struct {
+	count     int
+	durations []float64 // milliseconds
+}
+
+// stepResult is one ramp step's report.
+type stepResult struct {
+	TargetRPS   float64                   `json:"target_rps"`
+	DurationS   float64                   `json:"duration_s"`
+	Sent        int                       `json:"sent"`
+	Completed   int                       `json:"completed"`
+	Failed      int                       `json:"transport_errors"`
+	Statuses    map[string]int            `json:"statuses"`
+	AchievedRPS float64                   `json:"achieved_rps"`
+	Endpoints   map[string]*latencyReport `json:"endpoints"`
+}
+
+type latencyReport struct {
+	Count  int     `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func report(durations []float64) *latencyReport {
+	if len(durations) == 0 {
+		return &latencyReport{}
+	}
+	sorted := append([]float64{}, durations...)
+	sort.Float64s(sorted)
+	return &latencyReport{
+		Count:  len(sorted),
+		P50Ms:  percentile(sorted, 0.50),
+		P99Ms:  percentile(sorted, 0.99),
+		P999Ms: percentile(sorted, 0.999),
+		MaxMs:  sorted[len(sorted)-1],
+	}
+}
+
+// generator owns the synthetic request bodies.
+type generator struct {
+	rng        *rand.Rand
+	factWidth  int
+	fkMax      []int64
+	rows       int
+	ingestRows int
+	sid        int64
+	model      string
+}
+
+func (g *generator) predictBody() []byte {
+	var sb strings.Builder
+	sb.WriteString(`{"rows":[`)
+	for i := 0; i < g.rows; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`{"fact":[`)
+		for d := 0; d < g.factWidth; d++ {
+			if d > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%.4f", g.rng.NormFloat64())
+		}
+		sb.WriteString(`],"fks":[`)
+		for k, max := range g.fkMax {
+			if k > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", g.rng.Int63n(max))
+		}
+		sb.WriteString(`]}`)
+	}
+	sb.WriteString(`]}`)
+	return []byte(sb.String())
+}
+
+func (g *generator) ingestBody() []byte {
+	var sb strings.Builder
+	sb.WriteString(`{"facts":[`)
+	for i := 0; i < g.ingestRows; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `{"sid":%d,"fks":[`, g.sid)
+		g.sid++
+		for k, max := range g.fkMax {
+			if k > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", g.rng.Int63n(max))
+		}
+		sb.WriteString(`],"features":[`)
+		for d := 0; d < g.factWidth; d++ {
+			if d > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%.4f", g.rng.NormFloat64())
+		}
+		fmt.Fprintf(&sb, `],"target":%.4f}`, g.rng.NormFloat64())
+	}
+	sb.WriteString(`]}`)
+	return []byte(sb.String())
+}
+
+// arrival is one scheduled request, prepared on the scheduler goroutine
+// so the workers never share the rng.
+type arrival struct {
+	endpoint string
+	path     string
+	body     []byte
+}
+
+func main() {
+	url := flag.String("url", "", "base URL of the serve instance (required)")
+	model := flag.String("model", "", "model name for predict traffic (required when the mix predicts)")
+	mixFlag := flag.String("mix", "predict=1", "traffic mix weights, e.g. predict=0.9,ingest=0.08,refresh=0.02")
+	ratesFlag := flag.String("rates", "50,100,200", "ramp schedule: comma-separated open-loop arrival rates (requests/second)")
+	step := flag.Duration("step", 5*time.Second, "duration of each ramp step")
+	rows := flag.Int("rows", 4, "rows per predict request")
+	factWidth := flag.Int("fact-width", 3, "fact features per synthesized row")
+	fkMaxFlag := flag.String("fk-max", "20", "comma-separated per-dimension foreign-key bounds (keys drawn from [0, bound))")
+	ingestRows := flag.Int("ingest-facts", 16, "fact rows per ingest batch")
+	sidStart := flag.Int64("sid-start", 1<<40, "first synthetic fact id for ingest batches")
+	seed := flag.Int64("seed", 1, "rng seed for schedules and bodies")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	out := flag.String("out", "BENCH_load.json", "report output path")
+	flag.Parse()
+
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -url is required")
+		os.Exit(2)
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	if mix.predict > 0 && *model == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -model is required when the mix includes predict")
+		os.Exit(2)
+	}
+	rates, err := parseRates(*ratesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	if *rows < 1 || *factWidth < 1 || *ingestRows < 1 || *step <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -rows, -fact-width, -ingest-facts must be >= 1 and -step > 0")
+		os.Exit(2)
+	}
+	var fkMax []int64
+	for _, part := range strings.Split(*fkMaxFlag, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "loadgen: fk bound %q must be an integer >= 1\n", part)
+			os.Exit(2)
+		}
+		fkMax = append(fkMax, v)
+	}
+
+	gen := &generator{
+		rng:       rand.New(rand.NewSource(*seed)),
+		factWidth: *factWidth, fkMax: fkMax,
+		rows: *rows, ingestRows: *ingestRows,
+		sid: *sidStart, model: *model,
+	}
+	client := &http.Client{Timeout: *timeout}
+	base := strings.TrimRight(*url, "/")
+
+	total := mix.predict + mix.ingest + mix.refresh
+	pick := func() arrival {
+		r := gen.rng.Float64() * total
+		switch {
+		case r < mix.predict:
+			return arrival{"predict", "/v1/models/" + gen.model + "/predict", gen.predictBody()}
+		case r < mix.predict+mix.ingest:
+			return arrival{"ingest", "/v1/ingest", gen.ingestBody()}
+		default:
+			return arrival{"refresh", "/v1/refresh", nil}
+		}
+	}
+
+	var steps []stepResult
+	allDurations := map[string][]float64{}
+	for _, rate := range rates {
+		fmt.Printf("loadgen: step %.0f req/s for %s\n", rate, *step)
+		res := runStep(client, base, rate, *step, pick)
+		for ep, s := range res.stats {
+			allDurations[ep] = append(allDurations[ep], s.durations...)
+		}
+		steps = append(steps, res.report())
+	}
+
+	overall := map[string]*latencyReport{}
+	for ep, ds := range allDurations {
+		overall[ep] = report(ds)
+	}
+	saturation := 0.0
+	for _, s := range steps {
+		if s.AchievedRPS > saturation {
+			saturation = s.AchievedRPS
+		}
+	}
+	doc := map[string]any{
+		"tool": "factorml-loadgen",
+		"config": map[string]any{
+			"url": base, "model": *model, "mix": *mixFlag, "rates": rates,
+			"step_s": step.Seconds(), "rows": *rows, "fact_width": *factWidth,
+			"fk_max": fkMax, "ingest_facts": *ingestRows, "seed": *seed,
+		},
+		"steps":          steps,
+		"overall":        overall,
+		"saturation_rps": saturation,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loadgen: saturation %.1f req/s, report written to %s\n", saturation, *out)
+	for ep, r := range overall {
+		fmt.Printf("loadgen: %-7s p50 %.2fms p99 %.2fms p999 %.2fms (n=%d)\n",
+			ep, r.P50Ms, r.P99Ms, r.P999Ms, r.Count)
+	}
+}
+
+// stepRun collects one step's raw results.
+type stepRun struct {
+	targetRPS float64
+	duration  time.Duration
+	sent      int
+	failed    int
+	statuses  map[string]int
+	stats     map[string]*endpointStats
+	elapsed   time.Duration
+}
+
+func (r *stepRun) report() stepResult {
+	completed := 0
+	eps := map[string]*latencyReport{}
+	for ep, s := range r.stats {
+		completed += s.count
+		eps[ep] = report(s.durations)
+	}
+	achieved := 0.0
+	if r.elapsed > 0 {
+		achieved = float64(completed) / r.elapsed.Seconds()
+	}
+	return stepResult{
+		TargetRPS: r.targetRPS, DurationS: r.duration.Seconds(),
+		Sent: r.sent, Completed: completed, Failed: r.failed,
+		Statuses: r.statuses, AchievedRPS: achieved, Endpoints: eps,
+	}
+}
+
+// runStep fires open-loop arrivals at the target rate for the step
+// duration and waits for the stragglers.
+func runStep(client *http.Client, base string, rate float64, duration time.Duration, pick func() arrival) *stepRun {
+	interval := time.Duration(float64(time.Second) / rate)
+	run := &stepRun{
+		targetRPS: rate, duration: duration,
+		statuses: map[string]int{}, stats: map[string]*endpointStats{},
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	for next := start; next.Before(deadline); next = next.Add(interval) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		a := pick() // on the scheduler goroutine: rng stays single-threaded
+		run.sent++
+		wg.Add(1)
+		go func(a arrival) {
+			defer wg.Done()
+			var body *bytes.Reader
+			if a.body != nil {
+				body = bytes.NewReader(a.body)
+			} else {
+				body = bytes.NewReader(nil)
+			}
+			t0 := time.Now()
+			resp, err := client.Post(base+a.path, "application/json", body)
+			ms := float64(time.Since(t0)) / float64(time.Millisecond)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				run.failed++
+				return
+			}
+			resp.Body.Close()
+			run.statuses[strconv.Itoa(resp.StatusCode)]++
+			s := run.stats[a.endpoint]
+			if s == nil {
+				s = &endpointStats{}
+				run.stats[a.endpoint] = s
+			}
+			s.count++
+			s.durations = append(s.durations, ms)
+		}(a)
+	}
+	wg.Wait()
+	run.elapsed = time.Since(start)
+	return run
+}

@@ -1,0 +1,254 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("predict=0.9,ingest=0.08,refresh=0.02")
+	if err != nil {
+		t.Fatalf("parseMix: %v", err)
+	}
+	if m.predict != 0.9 || m.ingest != 0.08 || m.refresh != 0.02 {
+		t.Fatalf("weights = %+v", m)
+	}
+
+	m, err = parseMix("predict=1")
+	if err != nil || m.predict != 1 || m.ingest != 0 || m.refresh != 0 {
+		t.Fatalf("predict-only mix = %+v, err %v", m, err)
+	}
+
+	// Spaces and empty entries are tolerated.
+	if _, err := parseMix(" predict=0.5 , ingest=0.5 ,"); err != nil {
+		t.Fatalf("spaced mix rejected: %v", err)
+	}
+
+	for _, bad := range []string{
+		"predict",            // no weight
+		"predict=nope",       // non-numeric
+		"predict=-1",         // negative
+		"scan=1",             // unknown endpoint
+		"predict=0,ingest=0", // no positive weight
+		"",                   // empty
+	} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	rates, err := parseRates("50, 100,200.5")
+	if err != nil {
+		t.Fatalf("parseRates: %v", err)
+	}
+	if len(rates) != 3 || rates[0] != 50 || rates[1] != 100 || rates[2] != 200.5 {
+		t.Fatalf("rates = %v", rates)
+	}
+	for _, bad := range []string{"", "0", "-5", "abc", "50,x"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	sorted := make([]float64, 100)
+	for i := range sorted {
+		sorted[i] = float64(i + 1) // 1..100
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 50},
+		{0.99, 99},
+		{0.999, 100},
+		{1.0, 100},
+		{0.001, 1}, // clamps at the low end
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.q); got != c.want {
+			t.Errorf("percentile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestReport(t *testing.T) {
+	r := report(nil)
+	if r.Count != 0 || r.MaxMs != 0 {
+		t.Fatalf("empty report = %+v", r)
+	}
+	// Unsorted input: report must sort a copy without mutating the input.
+	in := []float64{5, 1, 3, 2, 4}
+	r = report(in)
+	if r.Count != 5 || r.MaxMs != 5 || r.P50Ms != 3 {
+		t.Fatalf("report = %+v", r)
+	}
+	if in[0] != 5 {
+		t.Fatalf("report mutated its input: %v", in)
+	}
+}
+
+func TestGeneratorBodies(t *testing.T) {
+	g := &generator{
+		rng:       rand.New(rand.NewSource(42)),
+		factWidth: 3, fkMax: []int64{10, 5},
+		rows: 2, ingestRows: 3,
+		sid: 1 << 40, model: "m",
+	}
+
+	var pred struct {
+		Rows []struct {
+			Fact []float64 `json:"fact"`
+			FKs  []int64   `json:"fks"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(g.predictBody(), &pred); err != nil {
+		t.Fatalf("predict body is not JSON: %v", err)
+	}
+	if len(pred.Rows) != 2 {
+		t.Fatalf("predict rows = %d", len(pred.Rows))
+	}
+	for _, row := range pred.Rows {
+		if len(row.Fact) != 3 || len(row.FKs) != 2 {
+			t.Fatalf("row shape = %+v", row)
+		}
+		if row.FKs[0] < 0 || row.FKs[0] >= 10 || row.FKs[1] < 0 || row.FKs[1] >= 5 {
+			t.Fatalf("fk out of bounds: %+v", row.FKs)
+		}
+	}
+
+	var ing struct {
+		Facts []struct {
+			SID      int64     `json:"sid"`
+			FKs      []int64   `json:"fks"`
+			Features []float64 `json:"features"`
+			Target   float64   `json:"target"`
+		} `json:"facts"`
+	}
+	if err := json.Unmarshal(g.ingestBody(), &ing); err != nil {
+		t.Fatalf("ingest body is not JSON: %v", err)
+	}
+	if len(ing.Facts) != 3 {
+		t.Fatalf("ingest facts = %d", len(ing.Facts))
+	}
+	for i, f := range ing.Facts {
+		if f.SID != int64(1<<40)+int64(i) {
+			t.Fatalf("sid[%d] = %d, want sequential from 1<<40", i, f.SID)
+		}
+		if len(f.FKs) != 2 || len(f.Features) != 3 {
+			t.Fatalf("fact shape = %+v", f)
+		}
+		if math.IsNaN(f.Target) {
+			t.Fatalf("target is NaN")
+		}
+	}
+	// A second batch continues the sid sequence — no collisions.
+	if err := json.Unmarshal(g.ingestBody(), &ing); err != nil {
+		t.Fatalf("second ingest body: %v", err)
+	}
+	if ing.Facts[0].SID != int64(1<<40)+3 {
+		t.Fatalf("second batch sid = %d", ing.Facts[0].SID)
+	}
+}
+
+func TestStepRunReport(t *testing.T) {
+	run := &stepRun{
+		targetRPS: 100, duration: 2 * time.Second,
+		sent: 10, failed: 1,
+		statuses: map[string]int{"200": 8, "429": 1},
+		stats: map[string]*endpointStats{
+			"predict": {count: 7, durations: []float64{1, 2, 3, 4, 5, 6, 7}},
+			"ingest":  {count: 2, durations: []float64{10, 20}},
+		},
+		elapsed: 3 * time.Second,
+	}
+	res := run.report()
+	if res.Completed != 9 || res.Sent != 10 || res.Failed != 1 {
+		t.Fatalf("report = %+v", res)
+	}
+	if got := res.AchievedRPS; math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("achieved_rps = %v, want 3", got)
+	}
+	if res.Endpoints["predict"].P50Ms != 4 || res.Endpoints["ingest"].MaxMs != 20 {
+		t.Fatalf("endpoint reports = %+v", res.Endpoints)
+	}
+
+	// Zero elapsed must not divide by zero.
+	run.elapsed = 0
+	if got := run.report().AchievedRPS; got != 0 {
+		t.Fatalf("achieved_rps with zero elapsed = %v", got)
+	}
+}
+
+// TestRunStepOpenLoop fires a short step at a local server and checks
+// the open-loop accounting: every arrival is sent, completions carry
+// statuses and latencies, and transport errors are counted separately.
+func TestRunStepOpenLoop(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if strings.HasSuffix(r.URL.Path, "/refresh") {
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	calls := 0
+	pick := func() arrival {
+		calls++
+		if calls%3 == 0 {
+			return arrival{"refresh", "/v1/refresh", nil}
+		}
+		return arrival{"predict", "/v1/models/m/predict", []byte(`{}`)}
+	}
+	client := &http.Client{Timeout: 2 * time.Second}
+	run := runStep(client, srv.URL, 200, 200*time.Millisecond, pick)
+
+	if run.sent == 0 {
+		t.Fatal("no arrivals fired")
+	}
+	if run.failed != 0 {
+		t.Fatalf("transport errors against a live server: %d", run.failed)
+	}
+	if int(hits.Load()) != run.sent {
+		t.Fatalf("server saw %d requests, loadgen sent %d", hits.Load(), run.sent)
+	}
+	completed := 0
+	for _, s := range run.stats {
+		completed += s.count
+		if len(s.durations) != s.count {
+			t.Fatalf("duration count mismatch: %d vs %d", len(s.durations), s.count)
+		}
+	}
+	if completed != run.sent {
+		t.Fatalf("completed %d != sent %d", completed, run.sent)
+	}
+	if run.statuses["200"] == 0 || run.statuses["429"] == 0 {
+		t.Fatalf("statuses = %v, want both 200 and 429", run.statuses)
+	}
+	if run.elapsed < 100*time.Millisecond {
+		t.Fatalf("elapsed %v far shorter than the 200ms step", run.elapsed)
+	}
+
+	// A dead server turns into transport errors, not a crash.
+	srv.Close()
+	run = runStep(client, srv.URL, 100, 50*time.Millisecond, pick)
+	if run.failed != run.sent || run.failed == 0 {
+		t.Fatalf("dead server: failed=%d sent=%d", run.failed, run.sent)
+	}
+}

@@ -9,20 +9,32 @@
 // immediately (exactly the touched cache entries are invalidated), and
 // every registered model is kept under incremental maintenance —
 // refreshed from the ingested deltas either on the -refresh-rows
-// threshold or on demand, without restarting the server.
+// threshold, on the -fact POST /v1/refresh endpoint, or on demand,
+// without restarting the server.
 //
 // Usage:
 //
 //	serve -db orders.db -dims synth_R1,synth_R2 -addr :8080
 //	serve -db orders.db -dims synth_R1 -fact synth_S -refresh-rows 1000
+//	serve -db orders.db -dims synth_R1 -max-inflight 8 -max-ingest-queue 32
 //
 // Endpoints:
 //
-//	GET  /healthz                       liveness + model count
+//	GET  /healthz                       liveness (+ model count once booted)
+//	GET  /readyz                        readiness (503 not_ready while booting)
 //	GET  /statsz                        cache hit rate, latency, stream counters
+//	GET  /metrics                       Prometheus text format (disable: -metrics=false)
 //	GET  /v1/models                     registered models
 //	POST /v1/models/{name}/predict      {"rows":[{"fact":[…],"fks":[…]}]}
 //	POST /v1/ingest                     {"facts":[…],"dims":[…]} (with -fact)
+//	POST /v1/refresh                    fold ingested deltas into models (with -fact)
+//
+// The listener binds before the model registry loads: during boot the
+// server answers /healthz (alive, not ready) and 503 not_ready
+// elsewhere, then atomically swaps in the real handler. With
+// -max-inflight / -max-ingest-queue, admission control rejects excess
+// load with structured 429 responses (error codes predict_overloaded /
+// ingest_overloaded, Retry-After header) before any work is admitted.
 //
 // Predictions are bit-identical for every -workers value; -dims must list
 // the DIRECT dimension tables in the join order used at training time —
@@ -40,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -58,6 +71,10 @@ func main() {
 	rebaseline := flag.Int("rebaseline-every", 0, "rebuild GMM statistics from scratch every Nth refresh (0 = only after dimension updates; needs -fact)")
 	refreshEpochs := flag.Int("refresh-epochs", 1, "warm-start SGD epochs per NN refresh (needs -fact)")
 	refreshLR := flag.Float64("refresh-lr", 0.05, "learning rate of NN refresh epochs (needs -fact)")
+	maxInflight := flag.Int("max-inflight", 0, "per-model in-flight prediction limit; excess answers 429 predict_overloaded (0 = unlimited)")
+	maxIngestQueue := flag.Int("max-ingest-queue", 0, "bounded ingest queue: admitted-but-unfinished batches; excess answers 429 ingest_overloaded (0 = unlimited)")
+	retryAfter := flag.Int("retry-after", 0, "Retry-After seconds on 429/503 rejections (0 = default 1)")
+	metricsOn := flag.Bool("metrics", true, "expose Prometheus text-format metrics at GET /metrics")
 	flag.Parse()
 
 	if *dbDir == "" || *dims == "" {
@@ -80,46 +97,93 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve: -refresh-rows/-rebaseline-every/-refresh-epochs/-refresh-lr need -fact (streaming ingestion)")
 		os.Exit(2)
 	}
-	if err := run(*dbDir, *dims, *addr, *fact, *workers, *cacheEntries, *batchRows,
-		*refreshRows, *rebaseline, *refreshEpochs, *refreshLR); err != nil {
+	if *maxInflight < 0 || *maxIngestQueue < 0 || *retryAfter < 0 {
+		fmt.Fprintln(os.Stderr, "serve: -max-inflight, -max-ingest-queue and -retry-after must be >= 0")
+		os.Exit(2)
+	}
+	cfg := serveFlags{
+		dbDir: *dbDir, dims: *dims, addr: *addr, fact: *fact,
+		workers: *workers, cacheEntries: *cacheEntries, batchRows: *batchRows,
+		refreshRows: *refreshRows, rebaseline: *rebaseline,
+		refreshEpochs: *refreshEpochs, refreshLR: *refreshLR,
+		maxInflight: *maxInflight, maxIngestQueue: *maxIngestQueue,
+		retryAfter: *retryAfter, metrics: *metricsOn,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbDir, dims, addr, fact string, workers, cacheEntries, batchRows,
-	refreshRows, rebaseline, refreshEpochs int, refreshLR float64) error {
-	db, err := factorml.Open(dbDir, factorml.Options{})
+type serveFlags struct {
+	dbDir, dims, addr, fact                 string
+	workers, cacheEntries, batchRows        int
+	refreshRows, rebaseline, refreshEpochs  int
+	refreshLR                               float64
+	maxInflight, maxIngestQueue, retryAfter int
+	metrics                                 bool
+}
+
+func run(cfg serveFlags) error {
+	// Bind the listener before loading the registry so the process
+	// answers health checks from the first instant: the swappable handler
+	// serves "booting" (alive, not ready) until the real server is up.
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	// atomic.Value needs one consistent concrete type, so the handler is
+	// boxed (the booting stand-in and the real server differ).
+	type handlerBox struct{ h http.Handler }
+	var handler atomic.Value
+	handler.Store(handlerBox{factorml.BootingHandler()})
+	srv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(handlerBox).h.ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	// The resolved address is printed (not just logged) so scripts can use
+	// port 0 and parse the chosen port.
+	fmt.Printf("factorml-serve listening on %s (booting)\n", ln.Addr())
+
+	db, err := factorml.Open(cfg.dbDir, factorml.Options{})
 	if err != nil {
 		return err
 	}
 	defer db.Close()
 
 	var dimTables []string
-	for _, name := range strings.Split(dims, ",") {
+	for _, name := range strings.Split(cfg.dims, ",") {
 		dimTables = append(dimTables, strings.TrimSpace(name))
 	}
-	scfg := factorml.ServeConfig{NumWorkers: workers, CacheEntries: cacheEntries, BatchRows: batchRows}
-	var handler http.Handler
-	if fact != "" {
-		pol := factorml.StreamPolicy{
-			RefreshRows:     refreshRows,
-			RebaselineEvery: rebaseline,
-			NumWorkers:      workers,
-			NNEpochs:        refreshEpochs,
-			NNLearningRate:  refreshLR,
-		}
-		h, st, err := factorml.NewStreamingPredictionServer(db, fact, dimTables, scfg, pol)
-		if err != nil {
-			return err
-		}
-		handler = h
-		fmt.Printf("models under incremental maintenance: %s\n", strings.Join(st.Attached(), ", "))
-	} else {
-		handler, err = factorml.NewPredictionServer(db, dimTables, scfg)
-		if err != nil {
-			return err
-		}
+	opts := []factorml.ServerOption{
+		factorml.WithEngineConfig(factorml.ServeConfig{
+			NumWorkers: cfg.workers, CacheEntries: cfg.cacheEntries, BatchRows: cfg.batchRows,
+		}),
+		factorml.WithLimits(factorml.Limits{
+			MaxInFlightPerModel: cfg.maxInflight,
+			MaxQueuedIngest:     cfg.maxIngestQueue,
+			RetryAfterSeconds:   cfg.retryAfter,
+		}),
+	}
+	if cfg.metrics {
+		opts = append(opts, factorml.WithMetrics())
+	}
+	if cfg.fact != "" {
+		opts = append(opts, factorml.WithStream(cfg.fact, factorml.StreamPolicy{
+			RefreshRows:     cfg.refreshRows,
+			RebaselineEvery: cfg.rebaseline,
+			NumWorkers:      cfg.workers,
+			NNEpochs:        cfg.refreshEpochs,
+			NNLearningRate:  cfg.refreshLR,
+		}))
+	}
+	server, err := factorml.NewServer(db, dimTables, opts...)
+	if err != nil {
+		return err
 	}
 	models, err := db.Models()
 	if err != nil {
@@ -128,21 +192,15 @@ func run(dbDir, dims, addr, fact string, workers, cacheEntries, batchRows,
 	for _, m := range models {
 		fmt.Printf("loaded model %q (%s, version %d, dim %d)\n", m.Name, m.Kind, m.Version, m.Dim)
 	}
-	if fact != "" {
-		fmt.Printf("streaming ingestion enabled over fact table %q (refresh-rows=%d)\n", fact, refreshRows)
+	if st := server.Stream(); st != nil {
+		fmt.Printf("models under incremental maintenance: %s\n", strings.Join(st.Attached(), ", "))
+		fmt.Printf("streaming ingestion enabled over fact table %q (refresh-rows=%d)\n", cfg.fact, cfg.refreshRows)
 	}
-
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
+	if cfg.maxInflight > 0 || cfg.maxIngestQueue > 0 {
+		fmt.Printf("admission control: max-inflight=%d max-ingest-queue=%d\n", cfg.maxInflight, cfg.maxIngestQueue)
 	}
-	// The resolved address is printed (not just logged) so scripts can use
-	// port 0 and parse the chosen port.
-	fmt.Printf("factorml-serve listening on %s (%d models, dims %s)\n", ln.Addr(), len(models), dims)
-
-	srv := &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	handler.Store(handlerBox{server})
+	fmt.Printf("factorml-serve ready on %s (%d models, dims %s)\n", ln.Addr(), len(models), cfg.dims)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -151,6 +209,7 @@ func run(dbDir, dims, addr, fact string, workers, cacheEntries, batchRows,
 		return err
 	case s := <-sig:
 		fmt.Printf("received %v, shutting down\n", s)
+		server.SetReady(false) // drain: fail readiness before closing
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		return srv.Shutdown(ctx)

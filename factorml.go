@@ -62,6 +62,7 @@ import (
 	"factorml/internal/data"
 	"factorml/internal/gmm"
 	"factorml/internal/join"
+	"factorml/internal/metrics"
 	"factorml/internal/nn"
 	"factorml/internal/plan"
 	"factorml/internal/serve"
@@ -133,9 +134,16 @@ type (
 	ModelInfo = serve.ModelInfo
 	// ModelKind identifies a registered model's family ("gmm" or "nn").
 	ModelKind = serve.Kind
-	// ServeConfig tunes the prediction engine behind NewPredictionServer
-	// (worker pool size, dimension-cache capacity, micro-batch rows).
+	// ServeConfig tunes the prediction engine behind NewServer (worker
+	// pool size, dimension-cache capacity, micro-batch rows).
 	ServeConfig = serve.EngineConfig
+	// Limits configures admission control on a Server: the per-model
+	// in-flight prediction cap and the bounded ingest queue. Zero fields
+	// mean unlimited.
+	Limits = serve.Limits
+	// MetricsRegistry holds the Prometheus metric families a Server
+	// built WithMetrics exposes at GET /metrics.
+	MetricsRegistry = metrics.Registry
 	// StreamPolicy tunes when and how a Stream refreshes its attached
 	// models (refresh-row threshold, rebaseline cadence, worker pool,
 	// NN warm-start epochs and learning rate, GMM regularizer).
@@ -706,43 +714,150 @@ func (d *DB) Ingest(s *Stream, b StreamBatch) (IngestResult, error) { return s.I
 // models in the registry.
 func (d *DB) Refresh(s *Stream) (RefreshResult, error) { return s.Refresh() }
 
-// NewStreamingPredictionServer builds the prediction server like
-// NewPredictionServer and wires a live change feed into it: every
-// compatible registered model is attached for incremental maintenance,
-// POST /v1/ingest accepts StreamBatch JSON, dimension updates invalidate
+// serverOptions collects what the ServerOption functions configure.
+type serverOptions struct {
+	engineCfg   ServeConfig
+	limits      Limits
+	withStream  bool
+	fact        string
+	pol         StreamPolicy
+	withMetrics bool
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*serverOptions)
+
+// WithEngineConfig tunes the prediction engine (worker pool size,
+// dimension-cache capacity, micro-batch rows). The zero ServeConfig is
+// the default.
+func WithEngineConfig(cfg ServeConfig) ServerOption {
+	return func(o *serverOptions) { o.engineCfg = cfg }
+}
+
+// WithStream wires a live change feed into the server: every compatible
+// registered model is attached for incremental maintenance, POST
+// /v1/ingest accepts StreamBatch JSON, POST /v1/refresh folds the
+// ingested delta into every attached model, dimension updates invalidate
 // exactly the serving-cache entries they touch, refreshed models are
-// republished (and served) without a restart, and /statsz gains a
-// "stream" section. fact names the fact table; dimTables list the
-// dimension tables in the join order used at training time.
+// republished (and served) without a restart, and /statsz gains "stream"
+// and "planner" sections. fact names the fact table; the dimension
+// tables are the ones passed to NewServer.
 //
 // A registered model that does not fit this star schema — wrong joined
-// width, or an NN over a target-less fact table — is left un-attached and
-// keeps serving its saved parameters; the Stream's Attached list reports
-// which models are under maintenance. Any other attach failure (storage
-// I/O, a dangling foreign key surfaced by the base statistics pass) is
-// returned as an error.
-func NewStreamingPredictionServer(d *DB, fact string, dimTables []string, cfg ServeConfig, pol StreamPolicy) (http.Handler, *Stream, error) {
+// width, or an NN over a target-less fact table — is left un-attached
+// and keeps serving its saved parameters; Server.Stream().Attached()
+// reports which models are under maintenance.
+func WithStream(fact string, pol StreamPolicy) ServerOption {
+	return func(o *serverOptions) { o.withStream = true; o.fact = fact; o.pol = pol }
+}
+
+// WithLimits switches on admission control: predictions over the
+// per-model in-flight cap answer 429 predict_overloaded, ingest batches
+// over the bounded queue answer 429 ingest_overloaded — both with a
+// Retry-After hint, both rejected before any work is admitted, so an
+// overloaded server degrades into fast structured rejections and every
+// admitted batch still runs to completion (the bit-identical-results
+// guarantee is never traded away mid-batch).
+func WithLimits(l Limits) ServerOption {
+	return func(o *serverOptions) { o.limits = l }
+}
+
+// WithMetrics switches on the Prometheus endpoint: GET /metrics serves
+// the text exposition format (0.0.4) with per-endpoint request counts
+// and latency histograms, engine cache hit-rate gauges, and — when
+// combined with WithStream — ingest-queue depth, rejection counters and
+// per-model planner decisions. The instrumentation adds no locks to the
+// serving hot path (atomics plus scrape-time snapshot collectors).
+func WithMetrics() ServerOption {
+	return func(o *serverOptions) { o.withMetrics = true }
+}
+
+// Server is the production serving surface over one database: the
+// versioned data plane under /v1/ (models, predict, ingest, refresh) and
+// the unversioned operational endpoints /healthz, /readyz, /statsz and —
+// WithMetrics — /metrics. Build one with NewServer; it is an
+// http.Handler, ready for http.Server.
+type Server struct {
+	srv *serve.Server
+	st  *Stream // nil without WithStream
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.srv.ServeHTTP(w, r) }
+
+// Stream returns the change feed wired by WithStream, or nil.
+func (s *Server) Stream() *Stream { return s.st }
+
+// Metrics returns the registry behind /metrics, or nil without
+// WithMetrics. Callers may register additional application metrics on
+// it; they render in the same exposition.
+func (s *Server) Metrics() *MetricsRegistry { return s.srv.Metrics() }
+
+// SetReady flips the /readyz readiness signal (liveness at /healthz is
+// unaffected). Servers start ready; an operator draining the process
+// can park it not-ready first so load balancers stop routing to it.
+func (s *Server) SetReady(ready bool) { s.srv.SetReady(ready) }
+
+// NewServer builds the serving stack over this database: registered
+// models are scored against normalized fact rows whose foreign keys are
+// resolved in the named dimension tables (join order — the same order
+// used at training time). Like training, prediction does
+// dimension-tuple work once, not once per row: per-dimension-tuple
+// partial results are cached in a bounded LRU and batches fan out over
+// the worker pool, with responses bit-identical for every
+// ServeConfig.NumWorkers value.
+//
+// The zero-option server exposes the data plane and health endpoints;
+// WithStream, WithLimits and WithMetrics layer on live ingestion,
+// admission control and Prometheus observability. Every error response
+// on every endpoint carries the unified envelope
+//
+//	{"error": {"code": "...", "message": "...", "details": {...}}}
+//
+// with a stable machine-readable code (see the README's API reference
+// for the catalog). See cmd/serve for a runnable server and cmd/loadgen
+// for a load generator against it.
+func NewServer(d *DB, dimTables []string, opts ...ServerOption) (*Server, error) {
+	var o serverOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	reg, err := d.registry()
 	if err != nil {
-		return nil, nil, err
-	}
-	factTbl, err := d.db.Table(fact)
-	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	plan, err := d.dimPlan(dimTables)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	spec := plan.Spec(factTbl)
-	eng, err := serve.NewEngine(reg, plan, cfg)
+	eng, err := serve.NewEngine(reg, plan, o.engineCfg)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	srv := serve.NewServer(eng)
-	st, err := stream.New(d.db, spec, stream.Options{Engine: eng, Registry: reg, Policy: pol})
+	sopts := []serve.Option{serve.WithLimits(o.limits)}
+	if o.withMetrics {
+		sopts = append(sopts, serve.WithMetrics(metrics.NewRegistry()))
+	}
+	// serve.NewServer already wires the engine collector when metrics
+	// are on; the stream collector is added below once the stream exists.
+	srv := serve.NewServer(eng, sopts...)
+	out := &Server{srv: srv}
+	if !o.withStream {
+		return out, nil
+	}
+
+	factTbl, err := d.db.Table(o.fact)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
+	}
+	st, err := stream.New(d.db, plan.Spec(factTbl), stream.Options{
+		Engine:          eng,
+		Registry:        reg,
+		Policy:          o.pol,
+		MaxQueuedIngest: o.limits.MaxQueuedIngest,
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, mi := range reg.List() {
 		var attachErr error
@@ -750,13 +865,13 @@ func NewStreamingPredictionServer(d *DB, fact string, dimTables []string, cfg Se
 		case KindGMM:
 			m, err := reg.GMM(mi.Name)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			attachErr = st.AttachGMM(mi.Name, m)
 		case KindNN:
 			n, err := reg.NN(mi.Name)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			attachErr = st.AttachNN(mi.Name, n)
 		}
@@ -764,41 +879,51 @@ func NewStreamingPredictionServer(d *DB, fact string, dimTables []string, cfg Se
 		// else (storage I/O, dangling foreign keys found by the base
 		// statistics pass) is a real failure the operator must see.
 		if attachErr != nil && !stream.IsIncompatibleModel(attachErr) {
-			return nil, nil, fmt.Errorf("factorml: attaching model %q to the stream: %w", mi.Name, attachErr)
+			return nil, fmt.Errorf("factorml: attaching model %q to the stream: %w", mi.Name, attachErr)
 		}
 	}
 	srv.SetIngestHandler(st.Handler())
+	srv.SetRefreshHandler(st.RefreshHandler())
 	srv.SetStreamStats(st.StatsProvider())
 	srv.SetPlannerStats(st.PlannerProvider())
-	return srv, &Stream{st: st}, nil
+	if o.withMetrics {
+		srv.Metrics().Collect(st.MetricsCollector())
+	}
+	out.st = &Stream{st: st}
+	return out, nil
+}
+
+// BootingHandler is a stand-in to serve while a Server is still being
+// constructed (the registry loads every persisted model at boot, which
+// can take a while on large registries): /healthz answers 200 with
+// {"ready": false} (the process is alive) and every other path answers
+// 503 not_ready with a Retry-After hint. Bind the listener first, serve
+// this, then atomically swap in the real Server once NewServer returns —
+// cmd/serve does exactly that.
+func BootingHandler() http.Handler { return serve.BootingHandler() }
+
+// NewStreamingPredictionServer builds a prediction server with a live
+// change feed.
+//
+// Deprecated: use NewServer with WithStream (and optionally WithLimits,
+// WithMetrics), which also mounts POST /v1/refresh. This wrapper remains
+// for source compatibility and behaves identically otherwise.
+func NewStreamingPredictionServer(d *DB, fact string, dimTables []string, cfg ServeConfig, pol StreamPolicy) (http.Handler, *Stream, error) {
+	s, err := NewServer(d, dimTables, WithEngineConfig(cfg), WithStream(fact, pol))
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, s.Stream(), nil
 }
 
 // NewPredictionServer builds the factorized inference HTTP handler over
-// this database: registered models are scored against normalized fact rows
-// whose foreign keys are resolved in the named dimension tables (join
-// order — the same order used at training time). The handler exposes
+// this database.
 //
-//	POST /v1/models/{name}/predict, GET /v1/models,
-//	GET /healthz, GET /statsz
-//
-// Like training, prediction does dimension-tuple work once, not once per
-// row: per-dimension-tuple partial results are cached in a bounded LRU and
-// batches fan out over the worker pool, with responses bit-identical for
-// every ServeConfig.NumWorkers value. See cmd/serve for a runnable server.
+// Deprecated: use NewServer, which returns a *Server (an http.Handler)
+// and accepts WithLimits/WithMetrics. This wrapper remains for source
+// compatibility and behaves identically.
 func NewPredictionServer(d *DB, dimTables []string, cfg ServeConfig) (http.Handler, error) {
-	reg, err := d.registry()
-	if err != nil {
-		return nil, err
-	}
-	plan, err := d.dimPlan(dimTables)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := serve.NewEngine(reg, plan, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return serve.NewServer(eng), nil
+	return NewServer(d, dimTables, WithEngineConfig(cfg))
 }
 
 // dimPlan expands the named direct dimension tables — and every

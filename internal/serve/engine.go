@@ -6,12 +6,27 @@ import (
 	"sync/atomic"
 	"time"
 
+	"factorml/internal/api"
 	"factorml/internal/core"
 	"factorml/internal/gmm"
 	"factorml/internal/join"
 	"factorml/internal/nn"
 	"factorml/internal/parallel"
 )
+
+// errIncompatibleModel marks a registered model whose shape cannot be
+// scored over this engine's dimension hierarchy (mapped to 400
+// model_incompatible by the HTTP layer, versus 500 for genuine faults).
+type errIncompatibleModel struct{ msg string }
+
+func (e errIncompatibleModel) Error() string { return e.msg }
+
+// IsIncompatibleModel reports whether err marks a model/hierarchy shape
+// mismatch.
+func IsIncompatibleModel(err error) bool {
+	_, ok := err.(errIncompatibleModel)
+	return ok
+}
 
 // DefaultCacheEntries is the per-(model, dimension relation) LRU capacity
 // when EngineConfig.CacheEntries is zero.
@@ -75,6 +90,9 @@ type Prediction struct {
 	Cluster int
 	// Err describes a per-row failure; empty on success.
 	Err string
+	// Code is the stable machine-readable code of the failure (one of the
+	// api.Code* row-error constants); empty on success.
+	Code string
 }
 
 // modelState is the engine's prepared per-model-version scoring state.
@@ -247,8 +265,8 @@ func (e *Engine) state(name string) (*modelState, error) {
 	}
 	dS := ent.info.Dim - e.sumDR
 	if dS < 0 {
-		return nil, fmt.Errorf("serve: model %q has dimension %d, smaller than the %d dimension-table features",
-			name, ent.info.Dim, e.sumDR)
+		return nil, errIncompatibleModel{fmt.Sprintf("serve: model %q has dimension %d, smaller than the %d dimension-table features",
+			name, ent.info.Dim, e.sumDR)}
 	}
 	p := core.NewPartition(append([]int{dS}, e.dimWidths...))
 	st := &modelState{info: ent.info, ent: ent, p: p}
@@ -319,24 +337,29 @@ func (e *Engine) dimPartial(st *modelState, sc *predScratch, j int, fk int64) (a
 	return v, nil
 }
 
-// scoreRow fills out for one row. Row-level failures land in out.Err.
+// scoreRow fills out for one row. Row-level failures land in out.Err with
+// a stable machine-readable code in out.Code.
 func (e *Engine) scoreRow(st *modelState, sc *predScratch, row *Row, out *Prediction) {
 	if len(row.Fact) != st.p.Dims[0] {
 		out.Err = fmt.Sprintf("row has %d fact features, model %q wants %d", len(row.Fact), st.info.Name, st.p.Dims[0])
+		out.Code = api.CodeRowWidthMismatch
 		return
 	}
 	if len(row.FKs) != e.nDirect {
 		out.Err = fmt.Sprintf("row has %d foreign keys, engine probes %d direct dimension tables", len(row.FKs), e.nDirect)
+		out.Code = api.CodeFKCountMismatch
 		return
 	}
 	if err := e.rv.Resolve(row.FKs, sc.pks, sc.pos); err != nil {
 		out.Err = err.Error()
+		out.Code = api.CodeUnknownForeignKey
 		return
 	}
 	for j, fk := range sc.pks {
 		v, err := e.dimPartial(st, sc, j, fk)
 		if err != nil {
 			out.Err = err.Error()
+			out.Code = api.CodeUnknownForeignKey
 			return
 		}
 		if st.net != nil {

@@ -2,56 +2,160 @@ package serve
 
 import (
 	"encoding/json"
-	"fmt"
+	"errors"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"factorml/internal/api"
+	"factorml/internal/metrics"
 )
 
 // maxPredictBody bounds a predict request body (32 MiB).
 const maxPredictBody = 32 << 20
 
-// Server is the HTTP JSON front end over a Registry and an Engine.
+// Server is the HTTP front end over a Registry and an Engine. The
+// surface is split into the unversioned control plane and the versioned
+// data plane (see internal/api):
 //
-//	GET    /healthz                  — liveness + model count
+//	GET    /healthz                  — liveness + model count + readiness flag
+//	GET    /readyz                   — readiness (503 not_ready until SetReady)
 //	GET    /statsz                   — engine counters (cache hit rate, latency)
+//	GET    /metrics                  — Prometheus text format (with WithMetrics)
 //	GET    /v1/models                — list registered models
 //	GET    /v1/models/{name}         — one model's metadata
 //	DELETE /v1/models/{name}         — unregister and delete a model
 //	POST   /v1/models/{name}/predict — score a batch of normalized rows
 //	POST   /v1/ingest                — streaming deltas (when enabled)
+//	POST   /v1/refresh               — fold ingested deltas into the models (when enabled)
+//
+// Every non-2xx response is the structured api.Envelope; 429/503 carry
+// Retry-After.
 type Server struct {
-	reg   *Registry
-	eng   *Engine
-	start time.Time
-	mux   *http.ServeMux
+	reg    *Registry
+	eng    *Engine
+	start  time.Time
+	mux    *http.ServeMux
+	ready  atomic.Bool
+	limits Limits
+
+	// predictLims hands out per-model in-flight limiters (nil when
+	// Limits.MaxInFlightPerModel is 0).
+	predictLims *modelLimiters
+
+	// Metrics instruments (nil without WithMetrics). Updated with atomics
+	// only — the registry lock is never taken on the request path.
+	mreg       *metrics.Registry
+	httpReqs   *metrics.CounterVec   // {endpoint, code}
+	httpLat    *metrics.HistogramVec // {endpoint}
+	rejections *metrics.CounterVec   // {endpoint, reason}
 
 	ingestMu     sync.RWMutex
 	ingest       http.Handler // nil until SetIngestHandler
+	refresh      http.Handler // nil until SetRefreshHandler
 	streamStats  func() any   // nil until SetStreamStats
 	plannerStats func() any   // nil until SetPlannerStats
 }
 
+// Option customizes NewServer.
+type Option func(*Server)
+
+// WithLimits installs admission control (see Limits). The ingest-queue
+// bound is enforced by the streaming subsystem; it is carried here so
+// one Limits value configures the whole surface.
+func WithLimits(l Limits) Option {
+	return func(s *Server) { s.limits = l }
+}
+
+// WithMetrics mounts reg's Prometheus exposition at GET /metrics,
+// instruments every endpoint with request counters and latency
+// histograms, and registers a scrape-time collector over the engine's
+// counters. Hot-path updates are atomic adds on pre-created children —
+// no new locks.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Server) { s.mreg = reg }
+}
+
 // NewServer wires the handlers. The engine's registry is used for the
-// model endpoints.
-func NewServer(eng *Engine) *Server {
+// model endpoints. The server starts ready; a boot sequence that wants a
+// not-ready window serves BootingHandler until construction finishes
+// (see cmd/serve).
+func NewServer(eng *Engine, opts ...Option) *Server {
 	s := &Server{reg: eng.Registry(), eng: eng, start: time.Now(), mux: http.NewServeMux()}
+	s.ready.Store(true)
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.predictLims = newModelLimiters(s.limits.MaxInFlightPerModel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleGetModel)
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDeleteModel)
 	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/refresh", s.handleRefresh)
+	s.mux.HandleFunc("/", s.handleFallback)
+	if s.mreg != nil {
+		s.mux.Handle("GET /metrics", s.mreg.Handler())
+		s.httpReqs = s.mreg.CounterVec("factorml_http_requests_total",
+			"HTTP requests served, by endpoint and status code.", "endpoint", "code")
+		s.httpLat = s.mreg.HistogramVec("factorml_http_request_duration_seconds",
+			"HTTP request latency in seconds, by endpoint.", nil, "endpoint")
+		s.rejections = s.mreg.CounterVec("factorml_admission_rejections_total",
+			"Requests rejected by admission control before any work was admitted.", "endpoint", "reason")
+		s.mreg.Collect(EngineCollector(s.eng))
+	}
 	return s
 }
 
+// EngineCollector adapts the engine's /statsz counters into Prometheus
+// samples at scrape time — the snapshot path already synchronizes, so
+// the predict hot path gains no new locks.
+func EngineCollector(eng *Engine) metrics.Collector {
+	return func(emit func(metrics.Sample)) {
+		st := eng.Stats()
+		g := func(name, help string, v float64) {
+			emit(metrics.Sample{Name: name, Help: help, Value: v})
+		}
+		c := func(name, help string, v float64) {
+			emit(metrics.Sample{Name: name, Help: help, Type: "counter", Value: v})
+		}
+		g("factorml_engine_models", "Registered models.", float64(st.Models))
+		c("factorml_engine_predict_requests_total", "Predict batches scored.", float64(st.Requests))
+		c("factorml_engine_predict_rows_total", "Prediction rows scored.", float64(st.Rows))
+		c("factorml_engine_dim_cache_hits_total", "Per-dimension-tuple partial cache hits.", float64(st.DimCacheHits))
+		c("factorml_engine_dim_cache_misses_total", "Per-dimension-tuple partial cache misses.", float64(st.DimCacheMisses))
+		g("factorml_engine_dim_cache_hit_rate", "Cache hit fraction since boot.", st.DimCacheHitRate)
+		g("factorml_engine_dim_cache_entries", "Live cache entries across models.", float64(st.DimCacheEntries))
+		c("factorml_engine_dim_invalidations_total", "Cache entries dropped by streaming dimension updates.", float64(st.DimInvalidations))
+		c("factorml_engine_predict_seconds_total", "Cumulative in-engine predict time.", float64(st.PredictNsTotal)/1e9)
+	}
+}
+
+// SetReady flips the readiness state reported by /readyz and /healthz.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
 // SetIngestHandler mounts h at POST /v1/ingest. The handler is owned by
 // the streaming subsystem (internal/stream), which defines the wire
-// format; until one is installed the endpoint answers 503.
+// format and enforces the bounded ingest queue; until one is installed
+// the endpoint answers 503 stream_disabled.
 func (s *Server) SetIngestHandler(h http.Handler) {
 	s.ingestMu.Lock()
 	s.ingest = h
+	s.ingestMu.Unlock()
+}
+
+// SetRefreshHandler mounts h at POST /v1/refresh (the on-demand model
+// refresh of the streaming subsystem); until one is installed the
+// endpoint answers 503 stream_disabled.
+func (s *Server) SetRefreshHandler(h http.Handler) {
+	s.ingestMu.Lock()
+	s.refresh = h
 	s.ingestMu.Unlock()
 }
 
@@ -73,39 +177,116 @@ func (s *Server) SetPlannerStats(fn func() any) {
 	s.ingestMu.Unlock()
 }
 
+// Metrics returns the Prometheus registry installed by WithMetrics (nil
+// without one), so callers can register additional collectors —
+// internal/stream contributes queue depth and planner decisions.
+func (s *Server) Metrics() *metrics.Registry { return s.mreg }
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ingestMu.RLock()
 	h := s.ingest
 	s.ingestMu.RUnlock()
 	if h == nil {
-		writeError(w, http.StatusServiceUnavailable, "streaming ingestion is not enabled on this server")
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeStreamDisabled,
+			"streaming ingestion is not enabled on this server")
 		return
 	}
 	h.ServeHTTP(w, r)
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	s.ingestMu.RLock()
+	h := s.refresh
+	s.ingestMu.RUnlock()
+	if h == nil {
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeStreamDisabled,
+			"streaming ingestion is not enabled on this server")
+		return
+	}
+	h.ServeHTTP(w, r)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// statusRecorder captures the response status for instrumentation.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// endpointLabel maps a ServeMux pattern to a stable metric label.
+var endpointLabels = map[string]string{
+	"GET /healthz":                   "healthz",
+	"GET /readyz":                    "readyz",
+	"GET /statsz":                    "statsz",
+	"GET /metrics":                   "metrics",
+	"GET /v1/models":                 "models_list",
+	"GET /v1/models/{name}":          "model_get",
+	"DELETE /v1/models/{name}":       "model_delete",
+	"POST /v1/models/{name}/predict": "predict",
+	"POST /v1/ingest":                "ingest",
+	"POST /v1/refresh":               "refresh",
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.httpReqs == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	endpoint, ok := endpointLabels[r.Pattern]
+	if !ok {
+		endpoint = "other"
+	}
+	s.httpReqs.With(endpoint, strconv.Itoa(rec.status)).Inc()
+	s.httpLat.With(endpoint).Observe(time.Since(start).Seconds())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) { api.WriteJSON(w, status, v) }
+
+// knownPaths are the routes the fallback distinguishes a wrong-method
+// hit (405) from an unknown route (404) on. Predict and model paths are
+// matched by prefix.
+var knownPaths = map[string]bool{
+	"/healthz": true, "/readyz": true, "/statsz": true, "/metrics": true,
+	"/v1/models": true, "/v1/ingest": true, "/v1/refresh": true,
+}
+
+// handleFallback unifies the mux's built-in plain-text 404/405 responses
+// into the structured envelope: a known path hit with an unregistered
+// method answers 405 method_not_allowed, anything else 404 not_found.
+func (s *Server) handleFallback(w http.ResponseWriter, r *http.Request) {
+	if knownPaths[r.URL.Path] || strings.HasPrefix(r.URL.Path, "/v1/models/") {
+		api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+			"method %s is not allowed for %s", r.Method, r.URL.Path)
+		return
+	}
+	api.WriteError(w, http.StatusNotFound, api.CodeNotFound, "no route %s %s", r.Method, r.URL.Path)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
+		"ready":          s.ready.Load(),
 		"models":         s.reg.Len(),
 		"dimensions":     s.eng.DimensionTables(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeNotReady,
+			"server is loading models; not ready to serve")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "models": s.reg.Len()})
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
@@ -135,7 +316,7 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	info, ok := s.reg.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no model %q", name)
+		api.WriteError(w, http.StatusNotFound, api.CodeModelNotFound, "no model %q", name)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -144,11 +325,11 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := s.reg.Delete(name); err != nil {
-		status := http.StatusInternalServerError
 		if IsUnknownModel(err) {
-			status = http.StatusNotFound
+			api.WriteError(w, http.StatusNotFound, api.CodeModelNotFound, "%v", err)
+			return
 		}
-		writeError(w, status, "%v", err)
+		api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
@@ -165,12 +346,14 @@ type predictRowJSON struct {
 }
 
 // predictionJSON is one row's result. Value fields are pointers so the
-// response carries exactly the fields meaningful for the model kind.
+// response carries exactly the fields meaningful for the model kind;
+// a failed row carries the structured error (code + message) while the
+// rest of the batch proceeds.
 type predictionJSON struct {
-	Output  *float64 `json:"output,omitempty"`
-	LogProb *float64 `json:"log_prob,omitempty"`
-	Cluster *int     `json:"cluster,omitempty"`
-	Err     string   `json:"error,omitempty"`
+	Output  *float64   `json:"output,omitempty"`
+	LogProb *float64   `json:"log_prob,omitempty"`
+	Cluster *int       `json:"cluster,omitempty"`
+	Err     *api.Error `json:"error,omitempty"`
 }
 
 type predictResponse struct {
@@ -180,17 +363,44 @@ type predictResponse struct {
 	Predictions []predictionJSON `json:"predictions"`
 }
 
+// rejectOverloaded answers a 429 with the configured Retry-After hint
+// and counts the rejection.
+func (s *Server) rejectOverloaded(w http.ResponseWriter, endpoint, code string, details map[string]any, format string, args ...any) {
+	if s.rejections != nil {
+		s.rejections.With(endpoint, code).Inc()
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(s.limits.retryAfter()))
+	api.WriteErrorDetails(w, http.StatusTooManyRequests, code, details, format, args...)
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	// Admission first, before a byte of the body is read: overload is
+	// rejected with zero work admitted, never mid-batch.
+	if lim := s.predictLims.get(name); lim != nil {
+		if !lim.TryAcquire() {
+			s.rejectOverloaded(w, "predict", api.CodePredictOverloaded,
+				map[string]any{"model": name, "max_in_flight": s.limits.MaxInFlightPerModel},
+				"model %q has %d predict requests in flight; retry later", name, s.limits.MaxInFlightPerModel)
+			return
+		}
+		defer lim.Release()
+	}
 	var req predictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			api.WriteErrorDetails(w, http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge,
+				map[string]any{"limit_bytes": tooBig.Limit}, "request body over %d bytes", tooBig.Limit)
+			return
+		}
+		api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, "decoding request: %v", err)
 		return
 	}
 	if len(req.Rows) == 0 {
-		writeError(w, http.StatusBadRequest, "request has no rows")
+		api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, "request has no rows")
 		return
 	}
 	rows := make([]Row, len(req.Rows))
@@ -199,11 +409,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	preds, info, err := s.eng.Predict(name, rows)
 	if err != nil {
-		status := http.StatusBadRequest
-		if IsUnknownModel(err) {
-			status = http.StatusNotFound
+		switch {
+		case IsUnknownModel(err):
+			api.WriteError(w, http.StatusNotFound, api.CodeModelNotFound, "%v", err)
+		case IsIncompatibleModel(err):
+			api.WriteError(w, http.StatusBadRequest, api.CodeModelIncompatible, "%v", err)
+		default:
+			api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 		}
-		writeError(w, status, "%v", err)
 		return
 	}
 	resp := predictResponse{
@@ -213,7 +426,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for i := range preds {
 		p := &preds[i]
 		if p.Err != "" {
-			resp.Predictions[i].Err = p.Err
+			resp.Predictions[i].Err = &api.Error{Code: p.Code, Message: p.Err, Details: map[string]any{"row": i}}
 			continue
 		}
 		switch info.Kind {
@@ -225,4 +438,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// BootingHandler answers for a server that is still constructing its
+// real handler (loading the registry, pinning dimension tables,
+// attaching models): /healthz reports alive-but-not-ready, and
+// everything else answers 503 not_ready with Retry-After — so a process
+// can open its listener before the (potentially long) boot completes
+// and load balancers see an honest readiness signal instead of refused
+// connections.
+func BootingHandler() http.Handler {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, http.StatusOK, map[string]any{
+			"status":         "booting",
+			"ready":          false,
+			"uptime_seconds": time.Since(start).Seconds(),
+		})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeNotReady,
+			"server is loading models; not ready to serve")
+	})
+	return mux
 }

@@ -12,11 +12,16 @@ import (
 	"factorml/internal/serve"
 )
 
+type httpPredictionError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 type httpPrediction struct {
-	Output  *float64 `json:"output"`
-	LogProb *float64 `json:"log_prob"`
-	Cluster *int     `json:"cluster"`
-	Err     string   `json:"error"`
+	Output  *float64             `json:"output"`
+	LogProb *float64             `json:"log_prob"`
+	Cluster *int                 `json:"cluster"`
+	Err     *httpPredictionError `json:"error"`
 }
 
 type httpPredictResponse struct {
@@ -199,8 +204,11 @@ func TestServerEndToEnd(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("per-row error status %d", resp.StatusCode)
 	}
-	if bgot.Predictions[0].Err != "" || bgot.Predictions[1].Err == "" {
+	if bgot.Predictions[0].Err != nil || bgot.Predictions[1].Err == nil {
 		t.Fatalf("per-row errors = %+v", bgot.Predictions)
+	}
+	if code := bgot.Predictions[1].Err.Code; code != "unknown_foreign_key" {
+		t.Fatalf("per-row error code = %q, want unknown_foreign_key", code)
 	}
 
 	// DELETE unregisters.

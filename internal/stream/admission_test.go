@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestIngestAdmissionControl pins the bounded ingest queue: with every
+// queue slot held (as admitted in-flight batches would), a new batch is
+// rejected with a structured 429 ingest_overloaded + Retry-After before
+// its body is read, and releasing a slot re-admits the next batch with
+// no partial effects from the rejected one.
+func TestIngestAdmissionControl(t *testing.T) {
+	db, spec, _ := genStar(t, 200, []int{10}, 3, []int{2}, 11)
+	defer db.Close()
+
+	s, err := New(db, spec, Options{Policy: Policy{NumWorkers: 1}, MaxQueuedIngest: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	batch := deltaBatch(t, spec, s.idxs, 5, 33)
+	payload, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate the queue deterministically.
+	if !s.ingestLim.TryAcquire() {
+		t.Fatal("fresh ingest queue refused a slot")
+	}
+	resp, err := http.Post(ts.URL, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		Error struct {
+			Code    string         `json:"code"`
+			Message string         `json:"message"`
+			Details map[string]any `json:"details"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated ingest status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if envelope.Error.Code != "ingest_overloaded" {
+		t.Fatalf("429 code = %q, want ingest_overloaded", envelope.Error.Code)
+	}
+	if got, ok := envelope.Error.Details["max_queued"].(float64); !ok || got != 1 {
+		t.Fatalf("429 details = %v, want max_queued 1", envelope.Error.Details)
+	}
+
+	// Rejection happened before any work: nothing was applied, and the
+	// rejection is counted.
+	c := s.Counters()
+	if c.Batches != 0 || c.FactsIngested != 0 {
+		t.Fatalf("rejected batch left effects: %+v", c)
+	}
+	if c.IngestRejections != 1 {
+		t.Fatalf("IngestRejections = %d, want 1", c.IngestRejections)
+	}
+	if c.IngestQueueDepth != 1 {
+		t.Fatalf("IngestQueueDepth = %d, want 1 (held slot)", c.IngestQueueDepth)
+	}
+
+	// Releasing the slot re-admits; the same batch applies cleanly.
+	s.ingestLim.Release()
+	resp, err = http.Post(ts.URL, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res IngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || res.Facts != 5 {
+		t.Fatalf("post-release ingest: status %d result %+v", resp.StatusCode, res)
+	}
+	if c := s.Counters(); c.IngestQueueDepth != 0 {
+		t.Fatalf("queue depth after completion = %d, want 0", c.IngestQueueDepth)
+	}
+
+	// Validation failures still answer the envelope (ingest_invalid), and
+	// an unbounded stream (MaxQueuedIngest 0) never rejects.
+	resp, err = http.Post(ts.URL, "application/json", strings.NewReader(`{"facts":[],"dims":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestIngestUnbounded confirms the zero value keeps the pre-limits
+// behavior: no queue bound, nothing rejected.
+func TestIngestUnbounded(t *testing.T) {
+	db, spec, _ := genStar(t, 150, []int{8}, 3, []int{2}, 13)
+	defer db.Close()
+	s, err := New(db, spec, Options{Policy: Policy{NumWorkers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ingestLim != nil {
+		t.Fatal("MaxQueuedIngest 0 should leave the limiter nil (unlimited)")
+	}
+	if c := s.Counters(); c.IngestQueueDepth != 0 || c.IngestRejections != 0 {
+		t.Fatalf("unbounded counters: %+v", c)
+	}
+}

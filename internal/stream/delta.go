@@ -131,4 +131,10 @@ type Counters struct {
 	Rebaselines    uint64 `json:"rebaselines"`
 	PendingRows    int64  `json:"pending_rows"`
 	AttachedModels int    `json:"attached_models"`
+	// IngestQueueDepth is the number of admitted-but-unfinished HTTP
+	// ingest batches (see Options.MaxQueuedIngest).
+	IngestQueueDepth int `json:"ingest_queue_depth"`
+	// IngestRejections counts batches the bounded ingest queue rejected
+	// with 429 before any work was admitted.
+	IngestRejections uint64 `json:"ingest_rejections"`
 }

@@ -2,8 +2,11 @@ package stream
 
 import (
 	"encoding/json"
-	"fmt"
+	"errors"
 	"net/http"
+
+	"factorml/internal/api"
+	"factorml/internal/metrics"
 )
 
 // maxIngestBody bounds an ingest request body (32 MiB).
@@ -17,24 +20,48 @@ const maxIngestBody = 32 << 20
 //	 "dims":  [{"table": "items", "rid": 3, "features": [0.7, 0.8, 0.9]}]}
 //
 // The response is the IngestResult, including whether the batch tripped
-// an automatic refresh. Validation failures answer 400 with no partial
-// effects; server-side failures (storage I/O, a failing triggered
-// refresh) answer 500 and may have applied the batch.
+// an automatic refresh. Admission control runs first: when the bounded
+// ingest queue (Options.MaxQueuedIngest) is full, the batch is rejected
+// with 429 ingest_overloaded before its body is read — no partial
+// effects, safe to retry after the Retry-After hint. Validation failures
+// answer 400 ingest_invalid with no partial effects; server-side
+// failures (storage I/O, a failing triggered refresh) answer 500
+// internal and may have applied the batch.
 func (s *Stream) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
-			httpError(w, http.StatusMethodNotAllowed, "ingest takes POST, got %s", r.Method)
+			api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+				"ingest takes POST, got %s", r.Method)
 			return
 		}
+		// The queue bound counts admitted-but-unfinished batches: every
+		// admitted batch proceeds to completion (rejection happens only
+		// here, before any byte of the body is read), so overload turns
+		// into fast 429s instead of an unbounded pile-up on the stream
+		// mutex.
+		if !s.ingestLim.TryAcquire() {
+			s.ingestRejections.Add(1)
+			api.WriteErrorDetails(w, http.StatusTooManyRequests, api.CodeIngestOverloaded,
+				map[string]any{"max_queued": s.maxQueued},
+				"ingest queue is full (%d batches queued); retry later", s.maxQueued)
+			return
+		}
+		defer s.ingestLim.Release()
 		var b Batch
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&b); err != nil {
-			httpError(w, http.StatusBadRequest, "decoding batch: %v", err)
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				api.WriteErrorDetails(w, http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge,
+					map[string]any{"limit_bytes": tooBig.Limit}, "batch body over %d bytes", tooBig.Limit)
+				return
+			}
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, "decoding batch: %v", err)
 			return
 		}
 		if len(b.Facts) == 0 && len(b.Dims) == 0 {
-			httpError(w, http.StatusBadRequest, "batch has no facts and no dims")
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, "batch has no facts and no dims")
 			return
 		}
 		res, err := s.Ingest(b)
@@ -44,13 +71,33 @@ func (s *Stream) Handler() http.Handler {
 			// have landed after rows were applied — tell the client not
 			// to blindly retry.
 			if IsValidationError(err) {
-				httpError(w, http.StatusBadRequest, "%v", err)
+				api.WriteError(w, http.StatusBadRequest, api.CodeIngestInvalid, "%v", err)
 			} else {
-				httpError(w, http.StatusInternalServerError, "%v", err)
+				api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 			}
 			return
 		}
-		httpJSON(w, http.StatusOK, res)
+		api.WriteJSON(w, http.StatusOK, res)
+	})
+}
+
+// RefreshHandler returns the on-demand refresh handler, meant to be
+// mounted at POST /v1/refresh by serve.Server.SetRefreshHandler: it
+// folds everything ingested so far into every attached model and
+// responds with the RefreshResult.
+func (s *Stream) RefreshHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+				"refresh takes POST, got %s", r.Method)
+			return
+		}
+		res, err := s.Refresh()
+		if err != nil {
+			api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
+			return
+		}
+		api.WriteJSON(w, http.StatusOK, res)
 	})
 }
 
@@ -65,14 +112,40 @@ func (s *Stream) PlannerProvider() func() any {
 	return func() any { return s.PlannerDecisions() }
 }
 
-func httpJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	httpJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// MetricsCollector adapts the stream's counters — including the bounded
+// ingest queue's depth and rejection count — and the per-model planner
+// decisions into Prometheus samples at scrape time. Like the engine
+// collector it reads snapshot state only, adding no locks to the ingest
+// path.
+func (s *Stream) MetricsCollector() metrics.Collector {
+	return func(emit func(metrics.Sample)) {
+		c := s.Counters()
+		gauge := func(name, help string, v float64) {
+			emit(metrics.Sample{Name: name, Help: help, Value: v})
+		}
+		counter := func(name, help string, v float64) {
+			emit(metrics.Sample{Name: name, Help: help, Type: "counter", Value: v})
+		}
+		counter("factorml_stream_batches_total", "Ingest batches applied.", float64(c.Batches))
+		counter("factorml_stream_facts_total", "Fact rows ingested.", float64(c.FactsIngested))
+		counter("factorml_stream_dim_inserts_total", "Dimension tuples inserted.", float64(c.DimInserts))
+		counter("factorml_stream_dim_updates_total", "Dimension tuples updated in place.", float64(c.DimUpdates))
+		counter("factorml_stream_refreshes_total", "Model refreshes run.", float64(c.Refreshes))
+		counter("factorml_stream_auto_refreshes_total", "Refreshes triggered by the refresh-rows policy.", float64(c.AutoRefreshes))
+		counter("factorml_stream_rebaselines_total", "GMM statistics rebuilds from scratch.", float64(c.Rebaselines))
+		counter("factorml_stream_ingest_rejections_total", "Batches rejected by the bounded ingest queue.", float64(c.IngestRejections))
+		gauge("factorml_stream_pending_rows", "Fact rows ingested since the last refresh.", float64(c.PendingRows))
+		gauge("factorml_stream_ingest_queue_depth", "Admitted-but-unfinished ingest batches.", float64(c.IngestQueueDepth))
+		gauge("factorml_stream_attached_models", "Models under incremental maintenance.", float64(c.AttachedModels))
+		for _, d := range s.PlannerDecisions() {
+			emit(metrics.Sample{
+				Name: "factorml_planner_strategy",
+				Help: "Cost-based strategy decision each attached model's next refresh reuses (value is always 1; the decision is in the labels).",
+				Labels: [][2]string{
+					{"model", d.Model}, {"kind", d.Kind}, {"strategy", d.Strategy},
+				},
+				Value: 1,
+			})
+		}
+	}
 }

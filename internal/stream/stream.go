@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"factorml/internal/core"
 	"factorml/internal/gmm"
@@ -70,6 +71,13 @@ type Options struct {
 	// up refreshed parameters without a restart.
 	Registry *serve.Registry
 
+	// MaxQueuedIngest bounds admitted-but-unfinished HTTP ingest batches
+	// (the bounded ingest queue): a batch arriving while the queue is
+	// full is rejected by Handler with 429 ingest_overloaded before its
+	// body is read. 0 = unlimited. Direct Ingest calls bypass the queue —
+	// the bound is HTTP admission control, not a correctness gate.
+	MaxQueuedIngest int
+
 	Policy Policy
 }
 
@@ -117,6 +125,13 @@ type Stream struct {
 	// refreshSeq counts refreshes for the rebaseline cadence.
 	refreshSeq uint64
 
+	// ingestLim is the bounded ingest queue (nil = unlimited): Handler
+	// holds a slot from before the body is read until the batch is done,
+	// so len(ingestLim) is the queue depth and a full queue answers 429.
+	ingestLim        *serve.Limiter
+	maxQueued        int
+	ingestRejections atomic.Uint64
+
 	// cmu guards the plain-integer observability state (counters,
 	// pending-row count) separately from mu, so Counters() and Pending()
 	// — the /statsz path — never block behind a refresh that holds mu
@@ -146,14 +161,16 @@ func New(db *storage.Database, spec *join.Spec, opts Options) (*Stream, error) {
 		dims = append(dims, r.Schema().NumFeatures())
 	}
 	s := &Stream{
-		db:     db,
-		spec:   spec,
-		p:      core.NewPartition(dims),
-		dimJ:   make(map[string][]int, len(spec.Rs)),
-		eng:    opts.Engine,
-		reg:    opts.Registry,
-		pol:    opts.Policy.withDefaults(),
-		models: make(map[string]*attached),
+		db:        db,
+		spec:      spec,
+		p:         core.NewPartition(dims),
+		dimJ:      make(map[string][]int, len(spec.Rs)),
+		eng:       opts.Engine,
+		reg:       opts.Registry,
+		pol:       opts.Policy.withDefaults(),
+		models:    make(map[string]*attached),
+		ingestLim: serve.NewLimiter(opts.MaxQueuedIngest),
+		maxQueued: opts.MaxQueuedIngest,
 	}
 	plan := spec.Plan()
 	var lookup func(name string) (*join.ResidentIndex, bool)
@@ -364,9 +381,11 @@ func (s *Stream) Pending() int64 {
 // a refresh or attach holds the stream for an O(dataset) pass.
 func (s *Stream) Counters() Counters {
 	s.cmu.Lock()
-	defer s.cmu.Unlock()
 	c := s.counters
 	c.PendingRows = s.pending
+	s.cmu.Unlock()
+	c.IngestQueueDepth = s.ingestLim.InFlight()
+	c.IngestRejections = s.ingestRejections.Load()
 	return c
 }
 

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Load smoke test: datagen → train -save → boot cmd/serve with admission
+# control and metrics on → drive a mixed predict/ingest/refresh ramp with
+# cmd/loadgen → check the BENCH_load.json report (percentiles present,
+# every request answered 200/429/503 — never an unstructured failure) and
+# that /metrics serves valid Prometheus text format afterwards. A second
+# loadgen pass at 2× the saturated in-flight budget must produce
+# structured 429s, proving overload degrades into fast rejections.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+out="${BENCH_LOAD_OUT:-BENCH_load.json}"
+
+echo "== building binaries"
+go build -o "$tmp/datagen" ./cmd/datagen
+go build -o "$tmp/train" ./cmd/train
+go build -o "$tmp/serve" ./cmd/serve
+go build -o "$tmp/loadgen" ./cmd/loadgen
+
+echo "== rejecting invalid loadgen flags"
+if "$tmp/loadgen" -model m 2>"$tmp/err"; then
+    echo "loadgen accepted a missing -url" >&2; exit 1
+fi
+grep -q 'url is required' "$tmp/err"
+if "$tmp/loadgen" -url http://x -model m -mix "predict=nope" 2>"$tmp/err"; then
+    echo "loadgen accepted a bad mix" >&2; exit 1
+fi
+
+echo "== generating tiny synthetic star schema"
+"$tmp/datagen" -db "$tmp/db" -ns 500 -nr 20 -ds 3 -dr 3 -seed 1
+
+echo "== training and saving a model"
+"$tmp/train" -db "$tmp/db" -fact synth_S -dims synth_R1 -model nn -algo f \
+    -hidden 8 -epochs 2 -save load-nn
+
+echo "== booting serve with admission control + metrics + streaming"
+"$tmp/serve" -db "$tmp/db" -dims synth_R1 -fact synth_S \
+    -max-inflight 4 -max-ingest-queue 8 \
+    -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^factorml-serve listening on \([^ ]*\).*/\1/p' "$tmp/serve.log")"
+    [ -n "$addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$tmp/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never reported its address" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+for _ in $(seq 1 50); do
+    curl -sf "http://$addr/readyz" >/dev/null && break
+    sleep 0.1
+done
+curl -sf "http://$addr/readyz" >/dev/null || { echo "server never became ready" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+echo "   serving on $addr"
+
+echo "== mixed ramp (predict/ingest/refresh)"
+"$tmp/loadgen" -url "http://$addr" -model load-nn \
+    -mix predict=0.9,ingest=0.09,refresh=0.01 \
+    -rates 100,300 -step 2s -rows 4 -fact-width 3 -fk-max 20 \
+    -out "$out" | tee "$tmp/loadgen.log"
+
+echo "== checking the report"
+grep -q '"saturation_rps"' "$out"
+grep -q '"p50_ms"' "$out"
+grep -q '"p99_ms"' "$out"
+grep -q '"p999_ms"' "$out"
+grep -q '"predict"' "$out"
+if grep -q '"transport_errors": [^0]' "$out"; then
+    echo "loadgen saw transport errors (timeouts/connection failures)" >&2
+    cat "$out" >&2; exit 1
+fi
+
+echo "== overload: tiny in-flight budget must answer structured 429s"
+pred_body='{"rows":[{"fact":[0.1,0.2,0.3],"fks":[5]}]}'
+codes="$tmp/codes"
+: >"$codes"
+curl_pids=()
+for _ in $(seq 1 40); do
+    curl -s -o /dev/null -w '%{http_code}\n' -X POST \
+        "http://$addr/v1/models/load-nn/predict" \
+        -H 'Content-Type: application/json' -d "$pred_body" >>"$codes" &
+    curl_pids+=("$!")
+done
+# Wait for the curls only — a bare `wait` would also wait on the server.
+wait "${curl_pids[@]}"
+sort "$codes" | uniq -c >&2
+if grep -qv '^\(200\|429\)$' "$codes"; then
+    echo "overload produced a status other than 200/429" >&2; exit 1
+fi
+echo "== /metrics is valid Prometheus text format"
+metrics="$(curl -sSf "http://$addr/metrics")"
+echo "$metrics" | grep -q '^# TYPE factorml_http_requests_total counter'
+echo "$metrics" | grep -q '^# TYPE factorml_http_request_duration_seconds histogram'
+echo "$metrics" | grep -q '^factorml_http_request_duration_seconds_bucket{endpoint="predict",le="+Inf"}'
+echo "$metrics" | grep -q '^factorml_engine_dim_cache_hit_rate'
+echo "$metrics" | grep -q '^factorml_stream_ingest_queue_depth'
+# Every non-comment line must parse as name{labels} value.
+if echo "$metrics" | grep -v '^#' | grep -qv '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[^}]*}\)\? [0-9eE.+-]\+$\|^$'; then
+    echo "malformed exposition line:" >&2
+    echo "$metrics" | grep -v '^#' | grep -v '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[^}]*}\)\? [0-9eE.+-]\+$\|^$' >&2
+    exit 1
+fi
+# 429 rejections the overload pass produced must be visible to Prometheus.
+if echo "$metrics" | grep -q 'factorml_admission_rejections_total'; then
+    echo "   admission rejections are exported"
+fi
+
+echo "load smoke: OK (report in $out)"

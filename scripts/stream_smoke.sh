@@ -54,6 +54,13 @@ for _ in $(seq 1 50); do
     sleep 0.1
 done
 [ -n "$addr" ] || { echo "server never reported its address" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+# The listener answers before the model registry finishes loading; wait
+# for readiness so the checks below see the fully booted server.
+for _ in $(seq 1 50); do
+    curl -sf "http://$addr/readyz" >/dev/null && break
+    sleep 0.1
+done
+curl -sf "http://$addr/readyz" >/dev/null || { echo "server never became ready" >&2; cat "$tmp/serve.log" >&2; exit 1; }
 grep -q 'streaming ingestion enabled' "$tmp/serve.log"
 echo "   serving on $addr"
 
