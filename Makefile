@@ -24,10 +24,12 @@ race:
 # parallel sweep writes BENCH_parallel.json (ns/op per algorithm x workers),
 # the serving sweep writes BENCH_serve.json (rows/sec per model x workers),
 # the streaming sweep writes BENCH_stream.json (incremental vs full
-# refresh cost x workers) and the planner sweep writes BENCH_plan.json
-# (estimated vs measured cost per strategy on three schema shapes).
+# refresh cost x workers), the planner sweep writes BENCH_plan.json
+# (estimated vs measured cost per strategy on three schema shapes) and
+# the trace sweep writes BENCH_trace.json (span overhead with allocs/op;
+# the untraced span path fails the run if it allocates at all).
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' .
 
 # Serving smoke: datagen a tiny star schema, train -save both model kinds,
 # boot cmd/serve and curl /healthz + predictions + /statsz.

@@ -59,6 +59,7 @@ func TestMain(m *testing.M) {
 	flushStreamBench()    // see bench_stream_test.go
 	flushSnowflakeBench() // see bench_snowflake_test.go
 	flushPlanBench()      // see bench_plan_test.go
+	flushTraceBench()     // see bench_trace_test.go
 	os.Exit(code)
 }
 

@@ -96,8 +96,17 @@ func parseRates(s string) ([]float64, error) {
 
 // endpointStats accumulates one endpoint's completions within a step.
 type endpointStats struct {
-	count     int
-	durations []float64 // milliseconds
+	count   int
+	samples []sample
+}
+
+// sample is one completed request: its latency and the X-Request-Id the
+// server stamped on the response, so the report can name the exact
+// requests behind the tail percentiles (look them up in the server's
+// /debug/traces/slow flight recorder).
+type sample struct {
+	ms float64
+	id string
 }
 
 // stepResult is one ramp step's report.
@@ -118,34 +127,40 @@ type latencyReport struct {
 	P99Ms  float64 `json:"p99_ms"`
 	P999Ms float64 `json:"p999_ms"`
 	MaxMs  float64 `json:"max_ms"`
+	// The X-Request-Id of the requests at the p999 and max latencies —
+	// the handles for chasing this endpoint's tail through the server's
+	// slow-trace flight recorder.
+	P999RequestID string `json:"p999_request_id,omitempty"`
+	MaxRequestID  string `json:"max_request_id,omitempty"`
 }
 
-func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(q*float64(len(sorted))+0.5) - 1
+func pctIndex(n int, q float64) int {
+	idx := int(q*float64(n)+0.5) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= n {
+		idx = n - 1
 	}
-	return sorted[idx]
+	return idx
 }
 
-func report(durations []float64) *latencyReport {
-	if len(durations) == 0 {
+func report(samples []sample) *latencyReport {
+	if len(samples) == 0 {
 		return &latencyReport{}
 	}
-	sorted := append([]float64{}, durations...)
-	sort.Float64s(sorted)
+	sorted := append([]sample{}, samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ms < sorted[j].ms })
+	p999 := sorted[pctIndex(len(sorted), 0.999)]
+	worst := sorted[len(sorted)-1]
 	return &latencyReport{
-		Count:  len(sorted),
-		P50Ms:  percentile(sorted, 0.50),
-		P99Ms:  percentile(sorted, 0.99),
-		P999Ms: percentile(sorted, 0.999),
-		MaxMs:  sorted[len(sorted)-1],
+		Count:         len(sorted),
+		P50Ms:         sorted[pctIndex(len(sorted), 0.50)].ms,
+		P99Ms:         sorted[pctIndex(len(sorted), 0.99)].ms,
+		P999Ms:        p999.ms,
+		MaxMs:         worst.ms,
+		P999RequestID: p999.id,
+		MaxRequestID:  worst.id,
 	}
 }
 
@@ -215,12 +230,22 @@ func (g *generator) ingestBody() []byte {
 	return []byte(sb.String())
 }
 
+// traceparent synthesizes a sampled W3C traceparent header (version 00,
+// flags 01) from the seeded rng, so trace-carrying requests are as
+// reproducible as the rest of the schedule. The low bit is forced so the
+// ids can never be the all-zero invalid values.
+func (g *generator) traceparent() string {
+	return fmt.Sprintf("00-%016x%016x-%016x-01",
+		g.rng.Uint64()|1, g.rng.Uint64()|1, g.rng.Uint64()|1)
+}
+
 // arrival is one scheduled request, prepared on the scheduler goroutine
 // so the workers never share the rng.
 type arrival struct {
-	endpoint string
-	path     string
-	body     []byte
+	endpoint    string
+	path        string
+	body        []byte
+	traceparent string // non-empty on the -trace-fraction sample
 }
 
 func main() {
@@ -236,6 +261,7 @@ func main() {
 	sidStart := flag.Int64("sid-start", 1<<40, "first synthetic fact id for ingest batches")
 	seed := flag.Int64("seed", 1, "rng seed for schedules and bodies")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	traceFraction := flag.Float64("trace-fraction", 0.1, "fraction of requests carrying a sampled W3C traceparent header, forcing the server to record their span tree (0 disables)")
 	out := flag.String("out", "BENCH_load.json", "report output path")
 	flag.Parse()
 
@@ -261,6 +287,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "loadgen: -rows, -fact-width, -ingest-facts must be >= 1 and -step > 0")
 		os.Exit(2)
 	}
+	if *traceFraction < 0 || *traceFraction > 1 {
+		fmt.Fprintf(os.Stderr, "loadgen: -trace-fraction must be in [0, 1], got %g\n", *traceFraction)
+		os.Exit(2)
+	}
 	var fkMax []int64
 	for _, part := range strings.Split(*fkMaxFlag, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
@@ -282,30 +312,35 @@ func main() {
 
 	total := mix.predict + mix.ingest + mix.refresh
 	pick := func() arrival {
+		var a arrival
 		r := gen.rng.Float64() * total
 		switch {
 		case r < mix.predict:
-			return arrival{"predict", "/v1/models/" + gen.model + "/predict", gen.predictBody()}
+			a = arrival{endpoint: "predict", path: "/v1/models/" + gen.model + "/predict", body: gen.predictBody()}
 		case r < mix.predict+mix.ingest:
-			return arrival{"ingest", "/v1/ingest", gen.ingestBody()}
+			a = arrival{endpoint: "ingest", path: "/v1/ingest", body: gen.ingestBody()}
 		default:
-			return arrival{"refresh", "/v1/refresh", nil}
+			a = arrival{endpoint: "refresh", path: "/v1/refresh"}
 		}
+		if *traceFraction > 0 && gen.rng.Float64() < *traceFraction {
+			a.traceparent = gen.traceparent()
+		}
+		return a
 	}
 
 	var steps []stepResult
-	allDurations := map[string][]float64{}
+	allSamples := map[string][]sample{}
 	for _, rate := range rates {
 		fmt.Printf("loadgen: step %.0f req/s for %s\n", rate, *step)
 		res := runStep(client, base, rate, *step, pick)
 		for ep, s := range res.stats {
-			allDurations[ep] = append(allDurations[ep], s.durations...)
+			allSamples[ep] = append(allSamples[ep], s.samples...)
 		}
 		steps = append(steps, res.report())
 	}
 
 	overall := map[string]*latencyReport{}
-	for ep, ds := range allDurations {
+	for ep, ds := range allSamples {
 		overall[ep] = report(ds)
 	}
 	saturation := 0.0
@@ -320,6 +355,7 @@ func main() {
 			"url": base, "model": *model, "mix": *mixFlag, "rates": rates,
 			"step_s": step.Seconds(), "rows": *rows, "fact_width": *factWidth,
 			"fk_max": fkMax, "ingest_facts": *ingestRows, "seed": *seed,
+			"trace_fraction": *traceFraction,
 		},
 		"steps":          steps,
 		"overall":        overall,
@@ -358,7 +394,7 @@ func (r *stepRun) report() stepResult {
 	eps := map[string]*latencyReport{}
 	for ep, s := range r.stats {
 		completed += s.count
-		eps[ep] = report(s.durations)
+		eps[ep] = report(s.samples)
 	}
 	achieved := 0.0
 	if r.elapsed > 0 {
@@ -399,8 +435,19 @@ func runStep(client *http.Client, base string, rate float64, duration time.Durat
 			} else {
 				body = bytes.NewReader(nil)
 			}
+			req, err := http.NewRequest(http.MethodPost, base+a.path, body)
+			if err != nil {
+				mu.Lock()
+				run.failed++
+				mu.Unlock()
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if a.traceparent != "" {
+				req.Header.Set("traceparent", a.traceparent)
+			}
 			t0 := time.Now()
-			resp, err := client.Post(base+a.path, "application/json", body)
+			resp, err := client.Do(req)
 			ms := float64(time.Since(t0)) / float64(time.Millisecond)
 			mu.Lock()
 			defer mu.Unlock()
@@ -408,6 +455,7 @@ func runStep(client *http.Client, base string, rate float64, duration time.Durat
 				run.failed++
 				return
 			}
+			reqID := resp.Header.Get("X-Request-Id")
 			resp.Body.Close()
 			run.statuses[strconv.Itoa(resp.StatusCode)]++
 			s := run.stats[a.endpoint]
@@ -416,7 +464,7 @@ func runStep(client *http.Client, base string, rate float64, duration time.Durat
 				run.stats[a.endpoint] = s
 			}
 			s.count++
-			s.durations = append(s.durations, ms)
+			s.samples = append(s.samples, sample{ms: ms, id: reqID})
 		}(a)
 	}
 	wg.Wait()

@@ -60,27 +60,20 @@ func TestParseRates(t *testing.T) {
 	}
 }
 
-func TestPercentile(t *testing.T) {
-	if got := percentile(nil, 0.5); got != 0 {
-		t.Fatalf("empty percentile = %v", got)
-	}
-	sorted := make([]float64, 100)
-	for i := range sorted {
-		sorted[i] = float64(i + 1) // 1..100
-	}
+func TestPctIndex(t *testing.T) {
 	cases := []struct {
 		q    float64
-		want float64
+		want int
 	}{
-		{0.50, 50},
-		{0.99, 99},
-		{0.999, 100},
-		{1.0, 100},
-		{0.001, 1}, // clamps at the low end
+		{0.50, 49},
+		{0.99, 98},
+		{0.999, 99},
+		{1.0, 99},
+		{0.001, 0}, // clamps at the low end
 	}
 	for _, c := range cases {
-		if got := percentile(sorted, c.q); got != c.want {
-			t.Errorf("percentile(q=%v) = %v, want %v", c.q, got, c.want)
+		if got := pctIndex(100, c.q); got != c.want {
+			t.Errorf("pctIndex(100, q=%v) = %v, want %v", c.q, got, c.want)
 		}
 	}
 }
@@ -90,14 +83,30 @@ func TestReport(t *testing.T) {
 	if r.Count != 0 || r.MaxMs != 0 {
 		t.Fatalf("empty report = %+v", r)
 	}
-	// Unsorted input: report must sort a copy without mutating the input.
-	in := []float64{5, 1, 3, 2, 4}
+	// Unsorted input: report must sort a copy without mutating the input,
+	// and the tail entries must carry the request ids of the exact
+	// requests at the p999 and max latencies.
+	in := []sample{{5, "e"}, {1, "a"}, {3, "c"}, {2, "b"}, {4, "d"}}
 	r = report(in)
 	if r.Count != 5 || r.MaxMs != 5 || r.P50Ms != 3 {
 		t.Fatalf("report = %+v", r)
 	}
-	if in[0] != 5 {
+	if r.MaxRequestID != "e" || r.P999RequestID != "e" {
+		t.Fatalf("tail request ids = %q/%q, want e/e", r.P999RequestID, r.MaxRequestID)
+	}
+	if in[0].ms != 5 {
 		t.Fatalf("report mutated its input: %v", in)
+	}
+}
+
+func TestGeneratorTraceparent(t *testing.T) {
+	g := &generator{rng: rand.New(rand.NewSource(7))}
+	h := g.traceparent()
+	if len(h) != 55 || h[:3] != "00-" || h[len(h)-3:] != "-01" {
+		t.Fatalf("traceparent = %q", h)
+	}
+	if h2 := g.traceparent(); h2 == h {
+		t.Fatalf("consecutive traceparents identical: %q", h)
 	}
 }
 
@@ -170,8 +179,8 @@ func TestStepRunReport(t *testing.T) {
 		sent: 10, failed: 1,
 		statuses: map[string]int{"200": 8, "429": 1},
 		stats: map[string]*endpointStats{
-			"predict": {count: 7, durations: []float64{1, 2, 3, 4, 5, 6, 7}},
-			"ingest":  {count: 2, durations: []float64{10, 20}},
+			"predict": {count: 7, samples: []sample{{1, ""}, {2, ""}, {3, ""}, {4, ""}, {5, ""}, {6, ""}, {7, ""}}},
+			"ingest":  {count: 2, samples: []sample{{10, ""}, {20, ""}}},
 		},
 		elapsed: 3 * time.Second,
 	}
@@ -212,9 +221,9 @@ func TestRunStepOpenLoop(t *testing.T) {
 	pick := func() arrival {
 		calls++
 		if calls%3 == 0 {
-			return arrival{"refresh", "/v1/refresh", nil}
+			return arrival{endpoint: "refresh", path: "/v1/refresh"}
 		}
-		return arrival{"predict", "/v1/models/m/predict", []byte(`{}`)}
+		return arrival{endpoint: "predict", path: "/v1/models/m/predict", body: []byte(`{}`)}
 	}
 	client := &http.Client{Timeout: 2 * time.Second}
 	run := runStep(client, srv.URL, 200, 200*time.Millisecond, pick)
@@ -231,8 +240,8 @@ func TestRunStepOpenLoop(t *testing.T) {
 	completed := 0
 	for _, s := range run.stats {
 		completed += s.count
-		if len(s.durations) != s.count {
-			t.Fatalf("duration count mismatch: %d vs %d", len(s.durations), s.count)
+		if len(s.samples) != s.count {
+			t.Fatalf("sample count mismatch: %d vs %d", len(s.samples), s.count)
 		}
 	}
 	if completed != run.sent {

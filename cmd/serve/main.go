@@ -28,6 +28,17 @@
 //	POST /v1/models/{name}/predict      {"rows":[{"fact":[…],"fks":[…]}]}
 //	POST /v1/ingest                     {"facts":[…],"dims":[…]} (with -fact)
 //	POST /v1/refresh                    fold ingested deltas into models (with -fact)
+//	GET  /debug/traces                  recent request traces (disable: -trace=false)
+//	GET  /debug/traces/slow             slowest/errored request traces
+//
+// Every response carries an X-Request-Id header; sampled requests
+// (-trace-sample) record a span tree — admission, engine micro-batch
+// fan-out, per-dimension cache lookups, ingest/refresh phases — kept in
+// a bounded in-memory flight recorder. Incoming W3C traceparent headers
+// are honored. With -debug-addr a side listener additionally serves
+// net/http/pprof under /debug/pprof/ plus the same trace endpoints, and
+// -log-level emits one JSON log line per request, stamped with the
+// trace ID.
 //
 // The listener binds before the model registry loads: during boot the
 // server answers /healthz (alive, not ready) and 503 not_ready
@@ -49,6 +60,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -75,6 +87,11 @@ func main() {
 	maxIngestQueue := flag.Int("max-ingest-queue", 0, "bounded ingest queue: admitted-but-unfinished batches; excess answers 429 ingest_overloaded (0 = unlimited)")
 	retryAfter := flag.Int("retry-after", 0, "Retry-After seconds on 429/503 rejections (0 = default 1)")
 	metricsOn := flag.Bool("metrics", true, "expose Prometheus text-format metrics at GET /metrics")
+	traceOn := flag.Bool("trace", true, "record request traces: X-Request-Id on every response, span trees for sampled requests, flight recorder at GET /debug/traces[/slow]")
+	traceSample := flag.Float64("trace-sample", 1.0, "fraction of requests that record spans (0 < f <= 1; incoming sampled traceparent headers always record)")
+	traceSlowMS := flag.Int("trace-slow-ms", 0, "requests at or over this duration are kept in the slow-trace list regardless of recency (0 = default 100)")
+	logLevel := flag.String("log-level", "", "request logging to stderr as JSON lines at this level: debug, info, warn, error (empty = no request log)")
+	debugAddr := flag.String("debug-addr", "", "side listener for operational debugging: net/http/pprof under /debug/pprof/ plus the trace flight recorder at /debug/traces[/slow] (empty = disabled; port 0 picks a free port)")
 	flag.Parse()
 
 	if *dbDir == "" || *dims == "" {
@@ -101,6 +118,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "serve: -max-inflight, -max-ingest-queue and -retry-after must be >= 0")
 		os.Exit(2)
 	}
+	if *traceSample <= 0 || *traceSample > 1 {
+		fmt.Fprintf(os.Stderr, "serve: -trace-sample must be in (0, 1], got %g\n", *traceSample)
+		os.Exit(2)
+	}
+	if *traceSlowMS < 0 {
+		fmt.Fprintf(os.Stderr, "serve: -trace-slow-ms must be >= 0, got %d\n", *traceSlowMS)
+		os.Exit(2)
+	}
+	var logger *factorml.Logger
+	if *logLevel != "" {
+		level, err := factorml.ParseLogLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(2)
+		}
+		logger = factorml.NewLogger(os.Stderr, level)
+	}
 	cfg := serveFlags{
 		dbDir: *dbDir, dims: *dims, addr: *addr, fact: *fact,
 		workers: *workers, cacheEntries: *cacheEntries, batchRows: *batchRows,
@@ -108,6 +142,8 @@ func main() {
 		refreshEpochs: *refreshEpochs, refreshLR: *refreshLR,
 		maxInflight: *maxInflight, maxIngestQueue: *maxIngestQueue,
 		retryAfter: *retryAfter, metrics: *metricsOn,
+		trace: *traceOn, traceSample: *traceSample, traceSlowMS: *traceSlowMS,
+		debugAddr: *debugAddr, logger: logger,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -122,6 +158,11 @@ type serveFlags struct {
 	refreshLR                               float64
 	maxInflight, maxIngestQueue, retryAfter int
 	metrics                                 bool
+	trace                                   bool
+	traceSample                             float64
+	traceSlowMS                             int
+	debugAddr                               string
+	logger                                  *factorml.Logger
 }
 
 func run(cfg serveFlags) error {
@@ -172,6 +213,15 @@ func run(cfg serveFlags) error {
 	if cfg.metrics {
 		opts = append(opts, factorml.WithMetrics())
 	}
+	if cfg.trace {
+		opts = append(opts, factorml.WithTracing(factorml.TraceConfig{
+			SampleFraction: cfg.traceSample,
+			SlowThreshold:  time.Duration(cfg.traceSlowMS) * time.Millisecond,
+		}))
+	}
+	if cfg.logger != nil {
+		opts = append(opts, factorml.WithServerLogger(cfg.logger))
+	}
 	if cfg.fact != "" {
 		opts = append(opts, factorml.WithStream(cfg.fact, factorml.StreamPolicy{
 			RefreshRows:     cfg.refreshRows,
@@ -199,6 +249,31 @@ func run(cfg serveFlags) error {
 	if cfg.maxInflight > 0 || cfg.maxIngestQueue > 0 {
 		fmt.Printf("admission control: max-inflight=%d max-ingest-queue=%d\n", cfg.maxInflight, cfg.maxIngestQueue)
 	}
+	// The debug side listener carries the profiling and trace-export
+	// surface away from the serving port: pprof endpoints plus the same
+	// flight-recorder handler the main mux mounts. Its address is printed
+	// like the serving address so scripts can bind port 0 and parse it.
+	if cfg.debugAddr != "" {
+		dln, err := net.Listen("tcp", cfg.debugAddr)
+		if err != nil {
+			return err
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if th := server.TraceHandler(); th != nil {
+			dmux.Handle("/debug/traces", th)
+			dmux.Handle("/debug/traces/slow", th)
+		}
+		dsrv := &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() { _ = dsrv.Serve(dln) }()
+		defer dsrv.Close()
+		fmt.Printf("factorml-serve debug listening on %s\n", dln.Addr())
+	}
+
 	handler.Store(handlerBox{server})
 	fmt.Printf("factorml-serve ready on %s (%d models, dims %s)\n", ln.Addr(), len(models), cfg.dims)
 

@@ -49,6 +49,7 @@ func main() {
 	workers := flag.Int("workers", 0, "training worker pool size (0 = all CPUs, 1 = sequential); the result is bit-identical for every value")
 	save := flag.String("save", "", "save the trained model in the database's model registry under this name (for the serve command)")
 	explain := flag.Bool("explain", false, "print the planner's per-strategy cost table for this dataset and configuration, then exit without training")
+	tracePath := flag.String("trace", "", "write the per-pass phase-timing breakdown (scan, cache fill, fold, ordered merge) as JSON to this file and print the table after training")
 	flag.Parse()
 
 	if *dbDir == "" || *fact == "" || *dims == "" {
@@ -59,7 +60,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(2)
 	}
-	if err := run(*dbDir, *fact, *dims, *model, *algo, *k, *iters, *tol, *hidden, *act, *epochs, *lr, *seed, *workers, *save, *explain); err != nil {
+	if err := run(*dbDir, *fact, *dims, *model, *algo, *k, *iters, *tol, *hidden, *act, *epochs, *lr, *seed, *workers, *save, *explain, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
@@ -122,7 +123,22 @@ func parseHidden(hidden string) ([]int, error) {
 }
 
 func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
-	hidden, act string, epochs int, lr float64, seed int64, workers int, save string, explain bool) error {
+	hidden, act string, epochs int, lr float64, seed int64, workers int, save string, explain bool, tracePath string) error {
+
+	// -trace observes every pass the training makes (factor.SetObserver /
+	// parallel.SetWorkerObserver) and, on the way out, writes the
+	// aggregated phase-timing artifact keyed by the strategy that actually
+	// ran (after auto resolution — the deferred closure reads the final
+	// algo value).
+	if tracePath != "" {
+		pt := newPassTracer()
+		defer func() {
+			pt.stop()
+			if werr := pt.write(tracePath, model, algo, parallelWorkers(workers)); werr != nil {
+				fmt.Fprintln(os.Stderr, "train: writing -trace artifact:", werr)
+			}
+		}()
+	}
 
 	db, err := storage.Open(dbDir, storage.Options{PoolPages: -1})
 	if err != nil {

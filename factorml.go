@@ -56,6 +56,7 @@ package factorml
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 
@@ -68,6 +69,8 @@ import (
 	"factorml/internal/serve"
 	"factorml/internal/storage"
 	"factorml/internal/stream"
+	"factorml/internal/trace"
+	"factorml/internal/xlog"
 )
 
 // Algorithm selects the execution strategy for training.
@@ -173,7 +176,39 @@ type (
 	// planner prices strategies from (rows, pages, width, distinct foreign
 	// keys; collected at append/flush, persisted in the catalog).
 	TableStats = storage.TableStats
+	// TraceConfig tunes the request tracer a Server builds WithTracing:
+	// sampling fraction, slow-trace threshold, flight-recorder capacities
+	// and the per-trace span cap. The zero value selects the defaults
+	// (sample everything, 100 ms slow threshold, 128 recent / 64 slow
+	// traces, 512 spans).
+	TraceConfig = trace.Config
+	// TraceStats is the tracer's cumulative counter snapshot (requests
+	// seen, sampled, errored, slow, recorded), embedded in /statsz.
+	TraceStats = trace.Stats
+	// Logger is the leveled JSON line logger a Server accepts through
+	// WithServerLogger; build one with NewLogger. Request log lines carry
+	// the trace ID of sampled requests.
+	Logger = xlog.Logger
+	// LogLevel is a Logger severity threshold (see ParseLogLevel).
+	LogLevel = xlog.Level
 )
+
+// Logger severity levels, most to least verbose.
+const (
+	LogDebug = xlog.LevelDebug
+	LogInfo  = xlog.LevelInfo
+	LogWarn  = xlog.LevelWarn
+	LogError = xlog.LevelError
+)
+
+// NewLogger builds a leveled JSON line logger writing to w (one object
+// per line; keys ts/level/msg/trace_id lead). A nil *Logger is silent
+// everywhere it is accepted.
+func NewLogger(w io.Writer, min LogLevel) *Logger { return xlog.New(w, min) }
+
+// ParseLogLevel parses "debug", "info", "warn"/"warning" or "error"
+// (case-insensitive) into a LogLevel.
+func ParseLogLevel(s string) (LogLevel, error) { return xlog.ParseLevel(s) }
 
 // Registered model kinds.
 const (
@@ -722,6 +757,9 @@ type serverOptions struct {
 	fact        string
 	pol         StreamPolicy
 	withMetrics bool
+	withTracing bool
+	traceCfg    TraceConfig
+	logger      *Logger
 }
 
 // ServerOption configures NewServer.
@@ -762,6 +800,28 @@ func WithLimits(l Limits) ServerOption {
 	return func(o *serverOptions) { o.limits = l }
 }
 
+// WithTracing switches on end-to-end request tracing: every response
+// carries an X-Request-Id header, a sampled fraction of requests
+// (TraceConfig.SampleFraction) records a span tree covering admission,
+// engine micro-batch fan-out, per-dimension cache lookups and — with
+// WithStream — ingest/refresh phases, and a bounded in-memory flight
+// recorder keeps the most recent and the slowest traces for export at
+// GET /debug/traces and /debug/traces/slow. Incoming W3C traceparent
+// headers are honored (the trace ID is adopted and sampling is forced),
+// and sampled responses echo a traceparent header. Unsampled requests
+// skip all span work — the predict hot path allocates nothing extra.
+func WithTracing(cfg TraceConfig) ServerOption {
+	return func(o *serverOptions) { o.withTracing = true; o.traceCfg = cfg }
+}
+
+// WithServerLogger attaches a request logger: one JSON line per request
+// (endpoint, method, status, duration) stamped with the trace ID of
+// sampled requests, at Error level for 5xx responses. Build the logger
+// with NewLogger; nil disables logging.
+func WithServerLogger(l *Logger) ServerOption {
+	return func(o *serverOptions) { o.logger = l }
+}
+
 // WithMetrics switches on the Prometheus endpoint: GET /metrics serves
 // the text exposition format (0.0.4) with per-endpoint request counts
 // and latency histograms, engine cache hit-rate gauges, and — when
@@ -792,6 +852,19 @@ func (s *Server) Stream() *Stream { return s.st }
 // WithMetrics. Callers may register additional application metrics on
 // it; they render in the same exposition.
 func (s *Server) Metrics() *MetricsRegistry { return s.srv.Metrics() }
+
+// TraceHandler returns the flight-recorder export handler (the one the
+// server itself mounts at GET /debug/traces and /debug/traces/slow), or
+// nil without WithTracing. Mount it on a side debug listener to scrape
+// traces without going through the serving port — cmd/serve -debug-addr
+// does exactly that, next to net/http/pprof.
+func (s *Server) TraceHandler() http.Handler {
+	tr := s.srv.Tracer()
+	if tr == nil {
+		return nil
+	}
+	return tr.DebugHandler()
+}
 
 // SetReady flips the /readyz readiness signal (liveness at /healthz is
 // unaffected). Servers start ready; an operator draining the process
@@ -837,6 +910,12 @@ func NewServer(d *DB, dimTables []string, opts ...ServerOption) (*Server, error)
 	sopts := []serve.Option{serve.WithLimits(o.limits)}
 	if o.withMetrics {
 		sopts = append(sopts, serve.WithMetrics(metrics.NewRegistry()))
+	}
+	if o.withTracing {
+		sopts = append(sopts, serve.WithTracer(trace.New(o.traceCfg)))
+	}
+	if o.logger != nil {
+		sopts = append(sopts, serve.WithLogger(o.logger))
 	}
 	// serve.NewServer already wires the engine collector when metrics
 	// are on; the stream collector is added below once the stream exists.

@@ -224,7 +224,7 @@ func TestRunRowPassDeterministicAcrossWorkers(t *testing.T) {
 			s     float64
 			start int
 		}
-		err := RunRowPass(workers, d, scan, PassHooks{
+		err := RunRowPass("test.rowpass", workers, d, scan, PassHooks{
 			NewAcc: func() any { return &acc{start: -1} },
 			Fold: func(a any, start int, rows, ys []float64, nr int) error {
 				ac := a.(*acc)
@@ -294,7 +294,7 @@ func TestRunSGDPassGroupBarriers(t *testing.T) {
 	for _, w := range []int{1, 3} {
 		var log []string
 		seen := 0.0
-		err := RunSGDPass(w, d, scan, true,
+		err := RunSGDPass("test.sgd", w, d, scan, true,
 			func() error { log = append(log, fmt.Sprintf("step@%g", seen)); return nil },
 			PassHooks{
 				NewAcc: func() any { s := 0.0; return &s },

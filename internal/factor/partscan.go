@@ -1,6 +1,9 @@
 package factor
 
 import (
+	"sync/atomic"
+	"time"
+
 	"factorml/internal/core"
 	"factorml/internal/join"
 	"factorml/internal/parallel"
@@ -16,6 +19,11 @@ import (
 type PartScan struct {
 	Runner *join.Runner
 	P      core.Partition
+
+	// Pass labels events emitted to the installed pass Observer (see
+	// SetObserver): trainers set it before each pass ("fgmm.estep",
+	// "fnn.sgd", ...). Unused with no observer installed.
+	Pass string
 }
 
 // NewPartScan prepares the runner and partition for a spec. blockPages
@@ -47,19 +55,86 @@ func (ps *PartScan) Resident(j int) []*storage.Tuple { return ps.Runner.Resident
 // pass a factorized trainer shares with the dense strategies, so every
 // strategy starts from the identical model.
 func (ps *PartScan) Scan(onRow RowFn) error {
+	obs := loadObserver()
+	if obs == nil {
+		return ps.scan(onRow)
+	}
+	var rows int64
+	start := time.Now()
+	err := ps.scan(func(x []float64, y float64) error {
+		rows++
+		return onRow(x, y)
+	})
+	obs(PassEvent{Pass: ps.Pass, Phase: "scan", Workers: 1, Rows: rows,
+		Wall: time.Since(start), Err: err != nil})
+	return err
+}
+
+func (ps *PartScan) scan(onRow RowFn) error {
 	return join.StreamWith(ps.Runner, func(_ int64, x []float64, y float64) error {
 		return onRow(x, y)
 	})
 }
 
 // Run streams one sequential pass over the join.
-func (ps *PartScan) Run(cb join.Callbacks) error { return ps.Runner.Run(cb) }
+func (ps *PartScan) Run(cb join.Callbacks) error {
+	obs := loadObserver()
+	if obs == nil || cb.OnMatch == nil {
+		return ps.Runner.Run(cb)
+	}
+	var rows int64
+	innerMatch := cb.OnMatch
+	cb.OnMatch = func(s *storage.Tuple, r1Idx int, resIdx []int) error {
+		rows++
+		return innerMatch(s, r1Idx, resIdx)
+	}
+	start := time.Now()
+	err := ps.Runner.Run(cb)
+	obs(PassEvent{Pass: ps.Pass, Phase: "fold", Workers: 1, Rows: rows,
+		Wall: time.Since(start), Err: err != nil})
+	return err
+}
 
 // RunChunks streams one pass with the matches cut into fixed-size chunks
 // worked on the pool and merged in chunk order (see join.Runner.RunParallel
 // for the determinism contract).
 func (ps *PartScan) RunChunks(workers int, cb join.ParallelCallbacks) error {
-	return ps.Runner.RunParallel(workers, join.ParallelChunkRows, cb)
+	obs := loadObserver()
+	if obs == nil || cb.OnMatchChunk == nil {
+		return ps.Runner.RunParallel(workers, join.ParallelChunkRows, cb)
+	}
+	var rows, chunks, foldNs, mergeNs int64
+	innerChunk, innerMerged := cb.OnMatchChunk, cb.OnChunkMerged
+	cb.OnMatchChunk = func(state any, matches []join.Match) error {
+		t0 := time.Now()
+		err := innerChunk(state, matches)
+		atomic.AddInt64(&foldNs, int64(time.Since(t0)))
+		atomic.AddInt64(&rows, int64(len(matches)))
+		atomic.AddInt64(&chunks, 1)
+		return err
+	}
+	if innerMerged != nil {
+		cb.OnChunkMerged = func(state any) error {
+			t0 := time.Now()
+			err := innerMerged(state)
+			atomic.AddInt64(&mergeNs, int64(time.Since(t0)))
+			return err
+		}
+	}
+	start := time.Now()
+	err := ps.Runner.RunParallel(workers, join.ParallelChunkRows, cb)
+	obs(PassEvent{
+		Pass:    ps.Pass,
+		Phase:   "fold",
+		Workers: workers,
+		Rows:    atomic.LoadInt64(&rows),
+		Chunks:  atomic.LoadInt64(&chunks),
+		Wall:    time.Since(start),
+		Fold:    time.Duration(atomic.LoadInt64(&foldNs)),
+		Merge:   time.Duration(atomic.LoadInt64(&mergeNs)),
+		Err:     err != nil,
+	})
+	return err
 }
 
 // FillCaches fills one per-tuple cache slot for every tuple on the worker
@@ -69,7 +144,12 @@ func (ps *PartScan) RunChunks(workers int, cb join.ParallelCallbacks) error {
 // every worker count.
 func (ps *PartScan) FillCaches(workers int, tuples []*storage.Tuple, total *core.Ops,
 	fill func(i int, tp *storage.Tuple, ops *core.Ops) error) error {
-	return parallel.RunRange(workers, len(tuples), func(s, e int, ops *core.Ops) error {
+	obs := loadObserver()
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
+	err := parallel.RunRange(workers, len(tuples), func(s, e int, ops *core.Ops) error {
 		for i := s; i < e; i++ {
 			if err := fill(i, tuples[i], ops); err != nil {
 				return err
@@ -77,4 +157,9 @@ func (ps *PartScan) FillCaches(workers int, tuples []*storage.Tuple, total *core
 		}
 		return nil
 	}, total)
+	if obs != nil {
+		obs(PassEvent{Pass: ps.Pass, Phase: "cache_fill", Workers: workers,
+			Rows: int64(len(tuples)), Wall: time.Since(start), Err: err != nil})
+	}
+	return err
 }

@@ -1,6 +1,9 @@
 package factor
 
 import (
+	"sync/atomic"
+	"time"
+
 	"factorml/internal/parallel"
 )
 
@@ -22,10 +25,11 @@ type PassHooks struct {
 // pass. With workers <= 1 no chunks are materialized at all: each streamed
 // row folds directly into the current accumulator (n = 1 per Fold call),
 // with merges at the same fixed chunk boundaries, which reproduces the
-// identical reduction without the copy.
-func RunRowPass(workers, d int, scan func(onRow RowFn) error, hooks PassHooks) error {
+// identical reduction without the copy. name labels the pass for the
+// installed Observer (see SetObserver); with no observer it is unused.
+func RunRowPass(name string, workers, d int, scan func(onRow RowFn) error, hooks PassHooks) error {
 	grouped := func(onRow RowFn, _ func() error) error { return scan(onRow) }
-	return runPass(workers, d, false, grouped, false, nil, hooks)
+	return runPass(name, workers, d, false, grouped, false, nil, hooks)
 }
 
 // RunSGDPass executes one chunked-parallel pass over a grouped scan,
@@ -34,12 +38,54 @@ func RunRowPass(workers, d int, scan func(onRow RowFn) error, hooks PassHooks) e
 // a full barrier (no worker holds stale parameters across it) — the
 // Block-mode gradient step. With cutAtGroups unset the group boundaries are
 // ignored and chunks cut only at the fixed chunk size.
-func RunSGDPass(workers, d int, scan GroupedScan, cutAtGroups bool, onGroup func() error, hooks PassHooks) error {
-	return runPass(workers, d, true, scan, cutAtGroups, onGroup, hooks)
+func RunSGDPass(name string, workers, d int, scan GroupedScan, cutAtGroups bool, onGroup func() error, hooks PassHooks) error {
+	return runPass(name, workers, d, true, scan, cutAtGroups, onGroup, hooks)
 }
 
-// runPass is the shared engine of RunRowPass and RunSGDPass.
-func runPass(workers, d int, withY bool, scan GroupedScan, cutAtGroups bool, onGroup func() error, hooks PassHooks) error {
+// runPass dispatches to the shared pass engine, wrapping the hooks with
+// observer accounting when a pass observer is installed: Fold and Merge
+// times accumulate through atomics (Fold runs concurrently on workers,
+// Merge on the single merger goroutine), and one PassEvent is emitted
+// after the pass completes. With no observer the hooks run untouched.
+func runPass(name string, workers, d int, withY bool, scan GroupedScan, cutAtGroups bool, onGroup func() error, hooks PassHooks) error {
+	obs := loadObserver()
+	if obs == nil {
+		return runPassInner(workers, d, withY, scan, cutAtGroups, onGroup, hooks)
+	}
+	var rows, chunks, foldNs, mergeNs int64
+	inner := hooks
+	hooks.Fold = func(acc any, start int, rs, ys []float64, n int) error {
+		t0 := time.Now()
+		err := inner.Fold(acc, start, rs, ys, n)
+		atomic.AddInt64(&foldNs, int64(time.Since(t0)))
+		atomic.AddInt64(&rows, int64(n))
+		return err
+	}
+	hooks.Merge = func(acc any) error {
+		t0 := time.Now()
+		err := inner.Merge(acc)
+		atomic.AddInt64(&mergeNs, int64(time.Since(t0)))
+		atomic.AddInt64(&chunks, 1)
+		return err
+	}
+	start := time.Now()
+	err := runPassInner(workers, d, withY, scan, cutAtGroups, onGroup, hooks)
+	obs(PassEvent{
+		Pass:    name,
+		Phase:   "fold",
+		Workers: workers,
+		Rows:    atomic.LoadInt64(&rows),
+		Chunks:  atomic.LoadInt64(&chunks),
+		Wall:    time.Since(start),
+		Fold:    time.Duration(atomic.LoadInt64(&foldNs)),
+		Merge:   time.Duration(atomic.LoadInt64(&mergeNs)),
+		Err:     err != nil,
+	})
+	return err
+}
+
+// runPassInner is the shared engine of RunRowPass and RunSGDPass.
+func runPassInner(workers, d int, withY bool, scan GroupedScan, cutAtGroups bool, onGroup func() error, hooks PassHooks) error {
 	if workers <= 1 {
 		var acc any
 		inChunk := 0

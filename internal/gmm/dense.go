@@ -84,7 +84,7 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 		// Workers write γ rows at disjoint indices; the per-chunk
 		// log-likelihood partials merge in chunk order.
 		ll := 0.0
-		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+		err = factor.RunRowPass("gmm.estep", nw, d, scan, factor.PassHooks{
 			NewAcc: func() any {
 				a := ePool.Get().(*eAcc)
 				a.ll, a.ops = 0, core.Ops{}
@@ -126,7 +126,7 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 			nk[c] = 0
 			linalg.VecZero(sumMu[c])
 		}
-		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+		err = factor.RunRowPass("gmm.mstep_means", nw, d, scan, factor.PassHooks{
 			NewAcc: func() any {
 				a := m1Pool.Get().(*m1Acc)
 				a.ops = core.Ops{}
@@ -168,7 +168,7 @@ func emDense(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) erro
 		for c := 0; c < k; c++ {
 			sumCov[c].Zero()
 		}
-		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+		err = factor.RunRowPass("gmm.mstep_cov", nw, d, scan, factor.PassHooks{
 			NewAcc: func() any {
 				a := m2Pool.Get().(*m2Acc)
 				a.ops = core.Ops{}

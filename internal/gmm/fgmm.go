@@ -35,6 +35,7 @@ func TrainF(db *storage.Database, spec *join.Spec, cfg Config) (*Result, error) 
 
 	// Initialization streams concatenated vectors in the same order as the
 	// other algorithms, so all trainers start from the identical model.
+	ps.Pass = "fgmm.init"
 	pass := func(fn func(x []float64) error) error {
 		return ps.Scan(func(x []float64, _ float64) error { return fn(x) })
 	}
@@ -131,6 +132,7 @@ func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *S
 		// ------------------------------------------------------------------
 		// Resident caches are filled once per iteration (parallel fill,
 		// disjoint (tuple, component) slots).
+		ps.Pass = "fgmm.estep"
 		resCache := make([][]core.QuadCache, q-1)
 		for j := 0; j < q-1; j++ {
 			tuples := ps.Resident(j)
@@ -221,6 +223,7 @@ func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *S
 			wRes[j] = make([]float64, len(ps.Resident(j))*k)
 		}
 		idx = 0
+		ps.Pass = "fgmm.mstep_means"
 		err = ps.Run(join.Callbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k
@@ -308,6 +311,7 @@ func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *S
 		}
 
 		idx = 0
+		ps.Pass = "fgmm.mstep_cov"
 		err = ps.Run(join.Callbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k

@@ -117,7 +117,7 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 
 		// E pass.
 		ll := 0.0
-		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+		err = factor.RunRowPass("igmm.estep", nw, d, scan, factor.PassHooks{
 			NewAcc: func() any {
 				a := ePool.Get().(*eAcc)
 				a.ll, a.ops = 0, core.Ops{}
@@ -157,7 +157,7 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 			nk[c] = 0
 			linalg.VecZero(sumMu[c])
 		}
-		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+		err = factor.RunRowPass("igmm.mstep_means", nw, d, scan, factor.PassHooks{
 			NewAcc: getMAcc,
 			Fold: func(acc any, start int, rows, _ []float64, nr int) error {
 				a := acc.(*mAcc)
@@ -191,7 +191,7 @@ func emDenseDiag(pass passFn, d, n int, cfg Config, model *Model, stats *Stats) 
 		for c := 0; c < k; c++ {
 			linalg.VecZero(sumVar[c])
 		}
-		err = factor.RunRowPass(nw, d, scan, factor.PassHooks{
+		err = factor.RunRowPass("igmm.mstep_var", nw, d, scan, factor.PassHooks{
 			NewAcc: getMAcc,
 			Fold: func(acc any, start int, rows, _ []float64, nr int) error {
 				a := acc.(*mAcc)
@@ -303,6 +303,7 @@ func emFactorizedDiag(ps *factor.PartScan, n int, cfg Config, model *Model, stat
 
 		// Resident caches: partial quads per (tuple, component), filled on
 		// the pool over disjoint slots.
+		ps.Pass = "igmm.estep"
 		qRes := make([][]float64, q-1)
 		for j := 0; j < q-1; j++ {
 			tuples := ps.Resident(j)
@@ -396,6 +397,7 @@ func emFactorizedDiag(ps *factor.PartScan, n int, cfg Config, model *Model, stat
 			wRes[j] = make([]float64, len(ps.Resident(j))*k)
 		}
 		idx = 0
+		ps.Pass = "igmm.mstep_means"
 		err = ps.Run(join.Callbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k
@@ -461,6 +463,7 @@ func emFactorizedDiag(ps *factor.PartScan, n int, cfg Config, model *Model, stat
 			wRes2[j] = make([]float64, len(ps.Resident(j))*k)
 		}
 		idx = 0
+		ps.Pass = "igmm.mstep_var"
 		err = ps.Run(join.Callbacks{
 			OnBlockStart: func(block []*storage.Tuple) error {
 				need := len(block) * k

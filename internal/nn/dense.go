@@ -83,7 +83,7 @@ func trainDense(pass factor.GroupedScan, n int, cfg Config, net *Network, stats 
 			batchN = 0
 			return nil
 		}
-		err := factor.RunSGDPass(nw, d, pass, cfg.Mode == Block, step, factor.PassHooks{
+		err := factor.RunSGDPass("nn.sgd_epoch", nw, d, pass, cfg.Mode == Block, step, factor.PassHooks{
 			NewAcc: func() any {
 				a := accPool.Get().(*gradAcc)
 				a.reset()

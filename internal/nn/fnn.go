@@ -157,6 +157,7 @@ func trainFactorized(ps *factor.PartScan, cfg Config, net *Network, stats *Stats
 // parameter trajectory is bit-identical for every cfg.NumWorkers value.
 // Cache refills and Block-mode gradient steps happen at full barriers.
 func trainFactorizedPar(ps *factor.PartScan, cfg Config, net *Network, stats *Stats) error {
+	ps.Pass = "fnn.sgd"
 	p := ps.P
 	nw := parallel.Workers(cfg.NumWorkers)
 	w := newWorkspace(net, &stats.Ops)
@@ -301,6 +302,7 @@ func trainFactorizedPar(ps *factor.PartScan, cfg Config, net *Network, stats *St
 // GroupedGradient extension whose per-group gradient accumulators are not
 // chunked.
 func trainFactorizedSeq(ps *factor.PartScan, cfg Config, net *Network, stats *Stats) error {
+	ps.Pass = "fnn.sgd"
 	p := ps.P
 	w := newWorkspace(net, &stats.Ops)
 	q := p.Parts() - 1

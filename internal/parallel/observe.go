@@ -1,0 +1,40 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// WorkerEvent reports one pool worker's share of a completed Run: how
+// many chunks it worked and how long it spent inside the work callback.
+// Comparing Busy across workers of one pass diagnoses worker skew (one
+// slow worker stalling the in-order merge window).
+type WorkerEvent struct {
+	Worker int
+	Chunks int64
+	Busy   time.Duration
+}
+
+// WorkerObserver receives one event per worker when a parallel Run
+// drains. Events from concurrent runs interleave, so implementations
+// must be goroutine-safe.
+type WorkerObserver func(WorkerEvent)
+
+var workerObserver atomic.Pointer[WorkerObserver]
+
+// SetWorkerObserver installs the process-wide worker observer (nil
+// removes it). With no observer installed workers skip all timing.
+func SetWorkerObserver(o WorkerObserver) {
+	if o == nil {
+		workerObserver.Store(nil)
+		return
+	}
+	workerObserver.Store(&o)
+}
+
+func loadWorkerObserver() WorkerObserver {
+	if p := workerObserver.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWorkerObserverAccountsAllChunks: a parallel Run with a worker
+// observer installed emits one event per worker, and the per-worker
+// chunk counts sum to the number of emitted chunks.
+func TestWorkerObserverAccountsAllChunks(t *testing.T) {
+	const workers, chunks = 4, 64
+	var mu sync.Mutex
+	var events []WorkerEvent
+	SetWorkerObserver(func(ev WorkerEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	defer SetWorkerObserver(nil)
+
+	total := 0
+	err := Run(workers,
+		func(f *Feed[int]) error {
+			for i := 0; i < chunks; i++ {
+				if err := f.Emit(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(c int) (int, error) { return c, nil },
+		func(r int) error { total += r; return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := chunks * (chunks - 1) / 2; total != want {
+		t.Fatalf("merge total = %d, want %d", total, want)
+	}
+	if len(events) != workers {
+		t.Fatalf("got %d worker events, want %d", len(events), workers)
+	}
+	var sum int64
+	seen := map[int]bool{}
+	for _, ev := range events {
+		if seen[ev.Worker] {
+			t.Fatalf("worker %d reported twice", ev.Worker)
+		}
+		seen[ev.Worker] = true
+		sum += ev.Chunks
+	}
+	if sum != chunks {
+		t.Fatalf("worker chunk counts sum to %d, want %d", sum, chunks)
+	}
+}

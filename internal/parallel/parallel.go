@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"factorml/internal/core"
 )
@@ -205,10 +206,26 @@ func Run[C, R any](workers int, produce func(f *Feed[C]) error, work func(c C) (
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(id int) {
 			defer wg.Done()
+			// The observer is sampled once per worker lifetime; when none is
+			// installed the loop carries no timing at all.
+			wobs := loadWorkerObserver()
+			var chunks int64
+			var busy time.Duration
+			if wobs != nil {
+				defer func() { wobs(WorkerEvent{Worker: id, Chunks: chunks, Busy: busy}) }()
+			}
 			for jb := range jobs {
+				var t0 time.Time
+				if wobs != nil {
+					t0 = time.Now()
+				}
 				r, err := work(jb.c)
+				if wobs != nil {
+					busy += time.Since(t0)
+					chunks++
+				}
 				if err != nil {
 					fail(err)
 					return
@@ -219,7 +236,7 @@ func Run[C, R any](workers int, produce func(f *Feed[C]) error, work func(c C) (
 					return
 				}
 			}
-		}()
+		}(i)
 	}
 
 	mergerDone := make(chan struct{})

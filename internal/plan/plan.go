@@ -9,6 +9,7 @@
 package plan
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"factorml/internal/core"
 	"factorml/internal/join"
 	"factorml/internal/storage"
+	"factorml/internal/trace"
 )
 
 // Strategy identifies one execution strategy. The values mirror the
@@ -252,4 +254,23 @@ func Choose(ss *SchemaStats, m ModelSpec, opt Options) (*Plan, error) {
 		Estimates: ests,
 		Stats:     ss,
 	}, nil
+}
+
+// ChooseCtx is Choose with planner-decision tracing: when ctx carries a
+// sampled request trace (internal/trace), the decision records a
+// "plan.choose" span carrying the model family and chosen strategy, so
+// a slow refresh can be attributed to the strategy the planner picked.
+func ChooseCtx(ctx context.Context, ss *SchemaStats, m ModelSpec, opt Options) (*Plan, error) {
+	_, sp := trace.Start(ctx, "plan.choose")
+	p, err := Choose(ss, m, opt)
+	if sp.Active() {
+		sp.SetAttr("family", m.Family.String())
+		if err != nil {
+			sp.Fail(err.Error())
+		} else {
+			sp.SetAttr("strategy", p.Chosen.String())
+		}
+	}
+	sp.End()
+	return p, err
 }

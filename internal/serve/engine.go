@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"factorml/internal/join"
 	"factorml/internal/nn"
 	"factorml/internal/parallel"
+	"factorml/internal/trace"
 )
 
 // errIncompatibleModel marks a registered model whose shape cannot be
@@ -315,12 +317,24 @@ func (e *Engine) state(name string) (*modelState, error) {
 // the cache as its freshness token (see dimCache): an entry computed from
 // a since-replaced feature slice — including one racing a streaming
 // dimension update — is never served.
-func (e *Engine) dimPartial(st *modelState, sc *predScratch, j int, fk int64) (any, error) {
+// A traced request additionally records one "cache.lookup" span per
+// probe (table + hit/miss), the deepest level of the request trace; the
+// zero Span passed on the untraced path makes every span call a no-op.
+func (e *Engine) dimPartial(st *modelState, sc *predScratch, j int, fk int64, psp trace.Span) (any, error) {
+	var lsp trace.Span
+	if psp.Active() {
+		lsp = psp.Child("cache.lookup")
+		lsp.SetAttr("table", e.idxs[j].Name())
+	}
 	feats, ok := e.idxs[j].Lookup(fk)
 	if !ok {
+		lsp.Fail("unknown foreign key")
+		lsp.End()
 		return nil, fmt.Errorf("unknown foreign key %d for dimension table %q", fk, e.idxs[j].Name())
 	}
 	if v, ok := st.caches[j].get(fk, feats); ok {
+		lsp.SetBool("hit", true)
+		lsp.End()
 		return v, nil
 	}
 	var v any
@@ -334,12 +348,14 @@ func (e *Engine) dimPartial(st *modelState, sc *predScratch, j int, fk int64) (a
 		v = qc
 	}
 	st.caches[j].put(fk, v, feats)
+	lsp.SetBool("hit", false)
+	lsp.End()
 	return v, nil
 }
 
 // scoreRow fills out for one row. Row-level failures land in out.Err with
 // a stable machine-readable code in out.Code.
-func (e *Engine) scoreRow(st *modelState, sc *predScratch, row *Row, out *Prediction) {
+func (e *Engine) scoreRow(st *modelState, sc *predScratch, row *Row, out *Prediction, sp trace.Span) {
 	if len(row.Fact) != st.p.Dims[0] {
 		out.Err = fmt.Sprintf("row has %d fact features, model %q wants %d", len(row.Fact), st.info.Name, st.p.Dims[0])
 		out.Code = api.CodeRowWidthMismatch
@@ -356,7 +372,7 @@ func (e *Engine) scoreRow(st *modelState, sc *predScratch, row *Row, out *Predic
 		return
 	}
 	for j, fk := range sc.pks {
-		v, err := e.dimPartial(st, sc, j, fk)
+		v, err := e.dimPartial(st, sc, j, fk, sp)
 		if err != nil {
 			out.Err = err.Error()
 			out.Code = api.CodeUnknownForeignKey
@@ -383,6 +399,15 @@ func (e *Engine) scoreRow(st *modelState, sc *predScratch, row *Row, out *Predic
 // reported in Prediction.Err without failing the batch; batch-level
 // failures (unknown model, model/table shape mismatch) return an error.
 func (e *Engine) Predict(name string, rows []Row) ([]Prediction, ModelInfo, error) {
+	return e.PredictCtx(context.Background(), name, rows)
+}
+
+// PredictCtx is Predict with request-trace propagation: when ctx
+// carries a sampled trace (internal/trace), the batch records an
+// "engine.predict" span, one "engine.chunk" span per worker chunk and
+// one "cache.lookup" span per dimension probe. On an untraced context
+// the span calls are no-ops and the hot path allocates nothing extra.
+func (e *Engine) PredictCtx(ctx context.Context, name string, rows []Row) ([]Prediction, ModelInfo, error) {
 	start := time.Now()
 	st, err := e.state(name)
 	if err != nil {
@@ -394,6 +419,14 @@ func (e *Engine) Predict(name string, rows []Row) ([]Prediction, ModelInfo, erro
 	nw := parallel.Workers(e.cfg.NumWorkers)
 	if nw > chunks {
 		nw = chunks // tiny batches run inline; geometry is unchanged
+	}
+	_, esp := trace.Start(ctx, "engine.predict")
+	if esp.Active() {
+		esp.SetAttr("model", name)
+		esp.SetInt("rows", int64(len(rows)))
+		esp.SetInt("chunks", int64(chunks))
+		esp.SetInt("workers", int64(nw))
+		esp.SetInt("batch_rows", int64(batch))
 	}
 	err = parallel.Run(nw,
 		func(f *parallel.Feed[[2]int]) error {
@@ -409,17 +442,26 @@ func (e *Engine) Predict(name string, rows []Row) ([]Prediction, ModelInfo, erro
 			return nil
 		},
 		func(rg [2]int) (struct{}, error) {
+			csp := esp.Child("engine.chunk")
+			if csp.Active() {
+				csp.SetInt("row_start", int64(rg[0]))
+				csp.SetInt("rows", int64(rg[1]-rg[0]))
+			}
 			sc := st.scratch.Get().(*predScratch)
 			for i := rg[0]; i < rg[1]; i++ {
-				e.scoreRow(st, sc, &rows[i], &out[i])
+				e.scoreRow(st, sc, &rows[i], &out[i], csp)
 			}
 			st.scratch.Put(sc)
+			csp.End()
 			return struct{}{}, nil
 		},
 		nil)
 	if err != nil {
+		esp.Fail(err.Error())
+		esp.End()
 		return nil, ModelInfo{}, err
 	}
+	esp.End()
 	e.requests.Add(1)
 	e.rows.Add(uint64(len(rows)))
 	e.predictNs.Add(uint64(time.Since(start).Nanoseconds()))

@@ -12,6 +12,8 @@ import (
 
 	"factorml/internal/api"
 	"factorml/internal/metrics"
+	"factorml/internal/trace"
+	"factorml/internal/xlog"
 )
 
 // maxPredictBody bounds a predict request body (32 MiB).
@@ -53,6 +55,11 @@ type Server struct {
 	httpLat    *metrics.HistogramVec // {endpoint}
 	rejections *metrics.CounterVec   // {endpoint, reason}
 
+	// tracer assembles per-request traces (nil without WithTracer);
+	// logger writes structured access/error logs (nil without WithLogger).
+	tracer *trace.Tracer
+	logger *xlog.Logger
+
 	ingestMu     sync.RWMutex
 	ingest       http.Handler // nil until SetIngestHandler
 	refresh      http.Handler // nil until SetRefreshHandler
@@ -68,6 +75,21 @@ type Option func(*Server)
 // one Limits value configures the whole surface.
 func WithLimits(l Limits) Option {
 	return func(s *Server) { s.limits = l }
+}
+
+// WithTracer installs a request tracer: every response gains an
+// X-Request-Id (and traceparent) header, sampled requests assemble a
+// span tree across handler → admission → engine fan-out → cache
+// lookups, and the flight recorder is exported at GET /debug/traces
+// and GET /debug/traces/slow.
+func WithTracer(t *trace.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
+}
+
+// WithLogger installs a leveled JSON access logger; request lines carry
+// the same trace ID as the X-Request-Id header and /debug/traces.
+func WithLogger(l *xlog.Logger) Option {
+	return func(s *Server) { s.logger = l }
 }
 
 // WithMetrics mounts reg's Prometheus exposition at GET /metrics,
@@ -109,9 +131,20 @@ func NewServer(eng *Engine, opts ...Option) *Server {
 		s.rejections = s.mreg.CounterVec("factorml_admission_rejections_total",
 			"Requests rejected by admission control before any work was admitted.", "endpoint", "reason")
 		s.mreg.Collect(EngineCollector(s.eng))
+		s.mreg.Collect(BuildInfoCollector(s.start))
+	}
+	if s.tracer != nil {
+		h := s.tracer.DebugHandler()
+		s.mux.Handle("GET /debug/traces", h)
+		s.mux.Handle("GET /debug/traces/slow", h)
 	}
 	return s
 }
+
+// Tracer returns the request tracer installed by WithTracer (nil
+// without one), so a debug listener can mount the same flight recorder
+// off the data-plane port.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 // EngineCollector adapts the engine's /statsz counters into Prometheus
 // samples at scrape time — the snapshot path already synchronizes, so
@@ -229,23 +262,55 @@ var endpointLabels = map[string]string{
 	"POST /v1/models/{name}/predict": "predict",
 	"POST /v1/ingest":                "ingest",
 	"POST /v1/refresh":               "refresh",
+	"GET /debug/traces":              "debug_traces",
+	"GET /debug/traces/slow":         "debug_traces_slow",
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. With a tracer installed, every
+// request is assigned an X-Request-Id (the trace ID, adopted from an
+// incoming W3C traceparent when present); sampled requests assemble a
+// trace whose root span is renamed to the stable endpoint label once
+// routing has resolved it, and land in the flight recorder at Finish.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.httpReqs == nil {
+	if s.httpReqs == nil && s.tracer == nil && s.logger == nil {
 		s.mux.ServeHTTP(w, r)
 		return
 	}
 	rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 	start := time.Now()
+	var tr *trace.Trace
+	if s.tracer != nil {
+		ctx, t, reqID := s.tracer.StartRequest(r.Context(), r.Method+" "+r.URL.Path, r.Header.Get("traceparent"))
+		tr = t
+		w.Header().Set("X-Request-Id", reqID)
+		if tr != nil {
+			w.Header().Set("traceparent", tr.Traceparent())
+		}
+		r = r.WithContext(ctx)
+	}
 	s.mux.ServeHTTP(rec, r)
+	elapsed := time.Since(start)
 	endpoint, ok := endpointLabels[r.Pattern]
 	if !ok {
 		endpoint = "other"
 	}
-	s.httpReqs.With(endpoint, strconv.Itoa(rec.status)).Inc()
-	s.httpLat.With(endpoint).Observe(time.Since(start).Seconds())
+	if s.httpReqs != nil {
+		s.httpReqs.With(endpoint, strconv.Itoa(rec.status)).Inc()
+		s.httpLat.With(endpoint).Observe(elapsed.Seconds())
+	}
+	if tr != nil {
+		tr.SetName(endpoint)
+		tr.Finish(rec.status)
+	}
+	if s.logger != nil {
+		lvl := s.logger.Info
+		if rec.status >= 500 {
+			lvl = s.logger.Error
+		}
+		lvl(r.Context(), "http_request",
+			"endpoint", endpoint, "method", r.Method, "path", r.URL.Path,
+			"status", rec.status, "duration_ms", float64(elapsed.Microseconds())/1e3)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) { api.WriteJSON(w, status, v) }
@@ -296,9 +361,19 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.ingestMu.RUnlock()
 	payload := struct {
 		Stats
-		Stream  any `json:"stream,omitempty"`
-		Planner any `json:"planner,omitempty"`
-	}{Stats: s.eng.Stats()}
+		UptimeSeconds float64   `json:"uptime_seconds"`
+		Build         BuildInfo `json:"build"`
+		Trace         any       `json:"trace,omitempty"`
+		Stream        any       `json:"stream,omitempty"`
+		Planner       any       `json:"planner,omitempty"`
+	}{
+		Stats:         s.eng.Stats(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         CurrentBuild(),
+	}
+	if s.tracer != nil {
+		payload.Trace = s.tracer.Stats()
+	}
 	if streamStats != nil {
 		payload.Stream = streamStats()
 	}
@@ -376,9 +451,16 @@ func (s *Server) rejectOverloaded(w http.ResponseWriter, endpoint, code string, 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	// Admission first, before a byte of the body is read: overload is
-	// rejected with zero work admitted, never mid-batch.
+	// rejected with zero work admitted, never mid-batch. The admission
+	// decision is a root-level span so a traced rejection (always kept by
+	// the flight recorder's error retention) shows where the request died.
+	_, asp := trace.Start(r.Context(), "admission")
+	asp.SetAttr("model", name)
 	if lim := s.predictLims.get(name); lim != nil {
 		if !lim.TryAcquire() {
+			asp.SetBool("admitted", false)
+			asp.Fail(api.CodePredictOverloaded)
+			asp.End()
 			s.rejectOverloaded(w, "predict", api.CodePredictOverloaded,
 				map[string]any{"model": name, "max_in_flight": s.limits.MaxInFlightPerModel},
 				"model %q has %d predict requests in flight; retry later", name, s.limits.MaxInFlightPerModel)
@@ -386,6 +468,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		defer lim.Release()
 	}
+	asp.SetBool("admitted", true)
+	asp.End()
 	var req predictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBody))
 	dec.DisallowUnknownFields()
@@ -407,7 +491,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for i, rr := range req.Rows {
 		rows[i] = Row{Fact: rr.Fact, FKs: rr.FKs}
 	}
-	preds, info, err := s.eng.Predict(name, rows)
+	preds, info, err := s.eng.PredictCtx(r.Context(), name, rows)
 	if err != nil {
 		switch {
 		case IsUnknownModel(err):

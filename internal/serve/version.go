@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"runtime"
+	"time"
+
+	"factorml/internal/metrics"
+)
+
+// Version identifies the serving build in /statsz, /healthz and the
+// factorml_build_info metric, so a fleet replica can report what it is
+// running. Bump alongside releases.
+const Version = "0.7.0"
+
+// BuildInfo is the build identity block embedded in /statsz.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+}
+
+// CurrentBuild returns this binary's build identity.
+func CurrentBuild() BuildInfo {
+	return BuildInfo{Version: Version, GoVersion: runtime.Version()}
+}
+
+// BuildInfoCollector emits the standard fleet-debugging gauges: a
+// constant factorml_build_info{version,go_version} 1 and the process
+// uptime measured from start.
+func BuildInfoCollector(start time.Time) metrics.Collector {
+	return func(emit func(metrics.Sample)) {
+		b := CurrentBuild()
+		emit(metrics.Sample{
+			Name: "factorml_build_info",
+			Help: "Build identity; the value is always 1, the labels carry the versions.",
+			Labels: [][2]string{
+				{"version", b.Version},
+				{"go_version", b.GoVersion},
+			},
+			Value: 1,
+		})
+		emit(metrics.Sample{
+			Name:  "factorml_uptime_seconds",
+			Help:  "Seconds since the server was constructed.",
+			Value: time.Since(start).Seconds(),
+		})
+	}
+}

@@ -64,7 +64,7 @@ func (s *Stream) Handler() http.Handler {
 			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, "batch has no facts and no dims")
 			return
 		}
-		res, err := s.Ingest(b)
+		res, err := s.IngestCtx(r.Context(), b)
 		if err != nil {
 			// Validation rejections are the client's fault and applied
 			// nothing; anything else is a server-side failure that may
@@ -92,7 +92,7 @@ func (s *Stream) RefreshHandler() http.Handler {
 				"refresh takes POST, got %s", r.Method)
 			return
 		}
-		res, err := s.Refresh()
+		res, err := s.RefreshCtx(r.Context())
 		if err != nil {
 			api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 			return

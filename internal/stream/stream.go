@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"factorml/internal/plan"
 	"factorml/internal/serve"
 	"factorml/internal/storage"
+	"factorml/internal/trace"
 )
 
 // Policy tunes when and how refreshes run.
@@ -247,7 +249,7 @@ func (s *Stream) AttachNN(name string, net *nn.Network) error {
 		return fmt.Errorf("stream: model %q already attached", name)
 	}
 	m := &attached{name: name, kind: serve.KindNN, net: net.Clone()}
-	m.plan = s.planNN(m.net) // the strategy every refresh reuses
+	m.plan = s.planNN(context.Background(), m.net) // the strategy every refresh reuses
 	s.models[name] = m
 	s.cmu.Lock()
 	s.counters.AttachedModels = len(s.models)
@@ -260,14 +262,14 @@ func (s *Stream) AttachNN(name string, net *nn.Network) error {
 // refresh: Policy.NNEpochs warm-start epochs over the current catalog
 // statistics. A nil return (degenerate architecture, statistics
 // unavailable) falls back to the factorized trainer.
-func (s *Stream) planNN(net *nn.Network) *plan.Plan {
+func (s *Stream) planNN(ctx context.Context, net *nn.Network) *plan.Plan {
 	hidden := net.Sizes[1 : len(net.Sizes)-1]
 	ss, err := plan.Collect(s.spec)
 	if err != nil {
 		return nil
 	}
 	pol := s.pol
-	p, err := plan.Choose(ss, plan.ModelSpec{
+	p, err := plan.ChooseCtx(ctx, ss, plan.ModelSpec{
 		Family: plan.FamilyNN,
 		Hidden: hidden,
 		Epochs: pol.NNEpochs,
@@ -395,14 +397,31 @@ func (s *Stream) Counters() Counters {
 // Nothing is applied when any row fails validation. When the pending-row
 // count reaches Policy.RefreshRows, a refresh runs before Ingest returns.
 func (s *Stream) Ingest(b Batch) (IngestResult, error) {
+	return s.IngestCtx(context.Background(), b)
+}
+
+// IngestCtx is Ingest with request-trace propagation: a sampled trace
+// records phase spans for validation, dimension application, fact
+// appends and (when the threshold fires) the auto-refresh, so a slow
+// ingest can be attributed to the phase that ate the time.
+func (s *Stream) IngestCtx(ctx context.Context, b Batch) (IngestResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ctx, isp := trace.Start(ctx, "stream.ingest")
+	defer isp.End()
+	if isp.Active() {
+		isp.SetInt("dims", int64(len(b.Dims)))
+		isp.SetInt("facts", int64(len(b.Facts)))
+	}
 	var res IngestResult
 
 	// Validate the whole batch up front — atomicity of rejection. Every
 	// failure here is a ValidationError: nothing has been applied. New rids
 	// are collected per table first, so a mid-level tuple may reference a
-	// sub-dimension tuple inserted anywhere in the same batch.
+	// sub-dimension tuple inserted anywhere in the same batch. (A span
+	// left open by an early validation return is closed by the trace's
+	// Finish with the request's end time, which is also when it failed.)
+	_, vsp := trace.Start(ctx, "stream.validate")
 	newRids := make(map[string]map[int64]bool)
 	for _, du := range b.Dims {
 		js, ok := s.dimJ[du.Table]
@@ -468,7 +487,10 @@ func (s *Stream) Ingest(b Batch) (IngestResult, error) {
 		}
 	}
 
+	vsp.End()
+
 	// Apply dimension changes.
+	_, dsp := trace.Start(ctx, "stream.apply_dims")
 	touchedDims := make(map[int]bool)
 	anyDimUpdate := false
 	for _, du := range b.Dims {
@@ -521,8 +543,14 @@ func (s *Stream) Ingest(b Batch) (IngestResult, error) {
 	s.counters.DimUpdates += uint64(res.DimUpdates)
 	s.counters.DimInserts += uint64(res.DimInserts)
 	s.cmu.Unlock()
+	if dsp.Active() {
+		dsp.SetInt("inserts", int64(res.DimInserts))
+		dsp.SetInt("updates", int64(res.DimUpdates))
+	}
+	dsp.End()
 
 	// Append fact rows.
+	_, fsp := trace.Start(ctx, "stream.append_facts")
 	for i := range b.Facts {
 		fr := &b.Facts[i]
 		keys := make([]int64, 1+len(fr.FKs))
@@ -545,9 +573,13 @@ func (s *Stream) Ingest(b Batch) (IngestResult, error) {
 	pending := s.pending
 	s.cmu.Unlock()
 	res.PendingRows = pending
+	if fsp.Active() {
+		fsp.SetInt("facts", int64(res.Facts))
+	}
+	fsp.End()
 
 	if s.pol.RefreshRows > 0 && pending >= int64(s.pol.RefreshRows) {
-		if _, err := s.refreshLocked(true); err != nil {
+		if _, err := s.refreshLocked(ctx, true); err != nil {
 			return res, err
 		}
 		res.RefreshTriggered = true
@@ -561,12 +593,22 @@ func (s *Stream) Ingest(b Batch) (IngestResult, error) {
 // Policy.NNEpochs warm-start epochs per NN — and publishes the refreshed
 // models to the registry (version bump) when one is attached.
 func (s *Stream) Refresh() (RefreshResult, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.refreshLocked(false)
+	return s.RefreshCtx(context.Background())
 }
 
-func (s *Stream) refreshLocked(auto bool) (RefreshResult, error) {
+// RefreshCtx is Refresh with request-trace propagation: a sampled trace
+// records one span per refreshed model, keyed by the strategy the
+// planner picked and the rows absorbed.
+func (s *Stream) RefreshCtx(ctx context.Context) (RefreshResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refreshLocked(ctx, false)
+}
+
+func (s *Stream) refreshLocked(ctx context.Context, auto bool) (RefreshResult, error) {
+	ctx, rsp := trace.Start(ctx, "stream.refresh")
+	defer rsp.End()
+	rsp.SetBool("auto", auto)
 	var res RefreshResult
 	s.refreshSeq++
 	names := make([]string, 0, len(s.models))
@@ -577,6 +619,11 @@ func (s *Stream) refreshLocked(auto bool) (RefreshResult, error) {
 	for _, name := range names {
 		m := s.models[name]
 		mr := ModelRefresh{Name: name, Kind: string(m.kind)}
+		_, msp := trace.Start(ctx, "stream.refresh.model")
+		if msp.Active() {
+			msp.SetAttr("model", name)
+			msp.SetAttr("kind", string(m.kind))
+		}
 		switch m.kind {
 		case serve.KindGMM:
 			mr.Strategy = "incremental" // O(delta) sufficient-statistics maintenance
@@ -594,6 +641,7 @@ func (s *Stream) refreshLocked(auto bool) (RefreshResult, error) {
 			}
 			mr.RowsAbsorbed = m.stats.Rows() - before
 			if m.stats.Rows() == 0 {
+				msp.End()
 				continue // nothing to refresh from yet
 			}
 			if mr.RowsAbsorbed == 0 && !rebase {
@@ -601,6 +649,7 @@ func (s *Stream) refreshLocked(auto bool) (RefreshResult, error) {
 				// M-step and the registry version bump, which would
 				// republish identical parameters and needlessly flush
 				// the serving engine's warm per-dimension caches.
+				msp.End()
 				continue
 			}
 			model, err := m.stats.Step(m.gmdl, s.idxs, s.pol.GMMRegEps)
@@ -621,12 +670,13 @@ func (s *Stream) refreshLocked(auto bool) (RefreshResult, error) {
 				// No new rows and no dimension change: more warm-start
 				// epochs would silently drift the network with no new
 				// information.
+				msp.End()
 				continue
 			}
 			if m.dirty || m.plan == nil {
 				// Dimension updates shift the statistics the attach-time
 				// plan was priced on; replan once, then keep reusing it.
-				m.plan = s.planNN(m.net)
+				m.plan = s.planNN(ctx, m.net)
 			}
 			// The refresh reuses the plan, restricted to non-materializing
 			// strategies: writing a join table into a live serving database
@@ -662,6 +712,11 @@ func (s *Stream) refreshLocked(auto bool) (RefreshResult, error) {
 				}
 			}
 		}
+		if msp.Active() {
+			msp.SetAttr("strategy", mr.Strategy)
+			msp.SetInt("rows_absorbed", mr.RowsAbsorbed)
+		}
+		msp.End()
 		res.Models = append(res.Models, mr)
 	}
 	s.cmu.Lock()

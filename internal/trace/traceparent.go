@@ -1,0 +1,85 @@
+package trace
+
+import "math/rand/v2"
+
+// W3C Trace Context (traceparent) support: version 00 headers of the
+// form 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>. Only the
+// sampled flag (bit 0) is interpreted.
+
+const hexDigits = "0123456789abcdef"
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseTraceparent parses a W3C traceparent header. ok is false for
+// malformed headers, unknown versions and all-zero IDs (the spec's
+// invalid values), in which case the caller mints a fresh trace ID.
+func ParseTraceparent(h string) (traceID, parentSpan string, sampled, ok bool) {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", "", false, false
+	}
+	ver, tid, pid, flags := h[0:2], h[3:35], h[36:52], h[53:55]
+	if ver != "00" || !isHex(tid) || !isHex(pid) || !isHex(flags) {
+		return "", "", false, false
+	}
+	if allZero(tid) || allZero(pid) {
+		return "", "", false, false
+	}
+	sampledFlag := (hexVal(flags[1]) & 1) == 1
+	return tid, pid, sampledFlag, true
+}
+
+func hexVal(c byte) int {
+	if c >= 'a' {
+		return int(c-'a') + 10
+	}
+	return int(c - '0')
+}
+
+// FormatTraceparent renders a version-00 traceparent header.
+func FormatTraceparent(traceID, spanID string, sampled bool) string {
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + traceID + "-" + spanID + "-" + flags
+}
+
+func hex16(v uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+func randNonZero() uint64 {
+	for {
+		if v := rand.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// newTraceID mints a random 32-hex-character (128-bit) trace ID.
+func newTraceID() string { return hex16(randNonZero()) + hex16(rand.Uint64()) }
+
+// newSpanID mints a random 16-hex-character (64-bit) span ID.
+func newSpanID() string { return hex16(randNonZero()) }

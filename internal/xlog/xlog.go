@@ -1,0 +1,192 @@
+// Package xlog is a dependency-free leveled JSON logger for the serving
+// stack. Every line is one JSON object with ts/level/msg plus the
+// caller's key-value pairs, and — when the context passed in carries a
+// request trace (internal/trace) — the request's trace_id, so a log
+// line joins against /debug/traces and the X-Request-Id header without
+// any correlation machinery.
+//
+// A nil *Logger is valid and silent, mirroring the nil-safe discipline
+// of the trace package: call sites never need a conditional.
+package xlog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"factorml/internal/trace"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// ParseLevel maps "debug"/"info"/"warn"/"error" (case-insensitive) to a
+// Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("xlog: unknown level %q (want debug|info|warn|error)", s)
+}
+
+// Logger writes one JSON object per line. Safe for concurrent use; the
+// zero-value-adjacent nil Logger drops everything.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+}
+
+// New builds a logger writing to w at the given minimum level.
+func New(w io.Writer, min Level) *Logger {
+	l := &Logger{w: w}
+	l.min.Store(int32(min))
+	return l
+}
+
+// SetLevel changes the minimum level at runtime.
+func (l *Logger) SetLevel(min Level) {
+	if l != nil {
+		l.min.Store(int32(min))
+	}
+}
+
+// Enabled reports whether a line at lvl would be written — callers can
+// skip expensive field construction.
+func (l *Logger) Enabled(lvl Level) bool {
+	return l != nil && lvl >= Level(l.min.Load())
+}
+
+// Debug logs at debug level. kv alternates keys and values.
+func (l *Logger) Debug(ctx trace.Context, msg string, kv ...any) { l.log(ctx, LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(ctx trace.Context, msg string, kv ...any) { l.log(ctx, LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(ctx trace.Context, msg string, kv ...any) { l.log(ctx, LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(ctx trace.Context, msg string, kv ...any) { l.log(ctx, LevelError, msg, kv) }
+
+func (l *Logger) log(ctx trace.Context, lvl Level, msg string, kv []any) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	m := make(map[string]any, len(kv)/2+5)
+	m["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	m["level"] = lvl.String()
+	m["msg"] = msg
+	if ctx != nil {
+		if id := trace.RequestID(ctx); id != "" {
+			m["trace_id"] = id
+		}
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = fmt.Sprint(kv[i])
+		}
+		m[k] = jsonable(kv[i+1])
+	}
+	if len(kv)%2 == 1 {
+		m["arg"] = jsonable(kv[len(kv)-1])
+	}
+	line := render(m)
+	l.mu.Lock()
+	_, _ = l.w.Write(line)
+	l.mu.Unlock()
+}
+
+// jsonable coerces values json.Marshal would reject (error, fmt.Stringer
+// fallbacks) into strings so a bad field never drops the whole line.
+func jsonable(v any) any {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case error:
+		return x.Error()
+	case time.Duration:
+		return x.String()
+	}
+	if _, err := json.Marshal(v); err != nil {
+		return fmt.Sprint(v)
+	}
+	return v
+}
+
+// render marshals with ts/level/msg/trace_id first and the remaining
+// keys sorted, so lines are stable and grep-friendly.
+func render(m map[string]any) []byte {
+	head := []string{"ts", "level", "msg", "trace_id"}
+	var rest []string
+	seen := map[string]bool{"ts": true, "level": true, "msg": true, "trace_id": true}
+	for k := range m {
+		if !seen[k] {
+			rest = append(rest, k)
+		}
+	}
+	sort.Strings(rest)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	writeKV := func(k string) {
+		v, ok := m[k]
+		if !ok {
+			return
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		kb, _ := json.Marshal(k)
+		vb, err := json.Marshal(v)
+		if err != nil {
+			vb, _ = json.Marshal(fmt.Sprint(v))
+		}
+		b.Write(kb)
+		b.WriteByte(':')
+		b.Write(vb)
+	}
+	for _, k := range head {
+		writeKV(k)
+	}
+	for _, k := range rest {
+		writeKV(k)
+	}
+	b.WriteString("}\n")
+	return []byte(b.String())
+}

@@ -1,0 +1,138 @@
+package xlog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"factorml/internal/trace"
+)
+
+func decodeLine(t *testing.T, line []byte) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatalf("line %q is not JSON: %v", line, err)
+	}
+	return m
+}
+
+func TestLevelsAndFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelWarn)
+	ctx := context.Background()
+	l.Debug(ctx, "d")
+	l.Info(ctx, "i")
+	l.Warn(ctx, "w")
+	l.Error(ctx, "e")
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2: %s", len(lines), buf.String())
+	}
+	if m := decodeLine(t, lines[0]); m["level"] != "warn" || m["msg"] != "w" {
+		t.Fatalf("bad first line: %v", m)
+	}
+	if m := decodeLine(t, lines[1]); m["level"] != "error" {
+		t.Fatalf("bad second line: %v", m)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Fatal("Enabled disagrees with the configured level")
+	}
+	l.SetLevel(LevelDebug)
+	buf.Reset()
+	l.Debug(ctx, "now visible")
+	if buf.Len() == 0 {
+		t.Fatal("SetLevel(debug) must enable debug lines")
+	}
+}
+
+func TestTraceIDStamping(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	tr := trace.New(trace.Config{SlowThreshold: time.Hour})
+	ctx, trc, reqID := tr.StartRequest(context.Background(), "r", "")
+	l.Info(ctx, "handling", "endpoint", "predict")
+	trc.Finish(200)
+	m := decodeLine(t, bytes.TrimSpace(buf.Bytes()))
+	if m["trace_id"] != reqID {
+		t.Fatalf("trace_id %v, want %v", m["trace_id"], reqID)
+	}
+	if m["endpoint"] != "predict" {
+		t.Fatalf("endpoint %v", m["endpoint"])
+	}
+	// Key order: ts, level, msg, trace_id lead the line.
+	s := buf.String()
+	if !strings.HasPrefix(s, `{"ts":`) || strings.Index(s, `"trace_id"`) > strings.Index(s, `"endpoint"`) {
+		t.Fatalf("unexpected key order: %s", s)
+	}
+}
+
+func TestAwkwardValuesNeverDropALine(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	l.Info(context.Background(), "m",
+		"err", errors.New("boom"),
+		"dur", 1500*time.Millisecond,
+		"fn", func() {}, // unmarshalable
+		"odd-trailing")
+	m := decodeLine(t, bytes.TrimSpace(buf.Bytes()))
+	if m["err"] != "boom" || m["dur"] != "1.5s" {
+		t.Fatalf("bad coercion: %v", m)
+	}
+	if _, ok := m["fn"]; !ok {
+		t.Fatal("unmarshalable value must be stringified, not dropped")
+	}
+	if m["arg"] != "odd-trailing" {
+		t.Fatalf("odd trailing value lost: %v", m)
+	}
+}
+
+func TestNilLoggerIsSilent(t *testing.T) {
+	var l *Logger
+	l.Info(context.Background(), "dropped")
+	l.Error(nil, "dropped")
+	l.SetLevel(LevelDebug)
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger must report disabled")
+	}
+}
+
+func TestConcurrentWritesStayLineAtomic(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Info(context.Background(), "tick", "g", g, "i", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, ln := range lines {
+		decodeLine(t, ln)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "INFO": LevelInfo, "Warning": LevelWarn, " error ": LevelError} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel must reject unknown levels")
+	}
+}

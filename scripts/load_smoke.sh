@@ -19,6 +19,7 @@ cleanup() {
 trap cleanup EXIT
 
 out="${BENCH_LOAD_OUT:-BENCH_load.json}"
+slow_out="${TRACE_SLOW_OUT:-TRACE_slow.json}"
 
 echo "== building binaries"
 go build -o "$tmp/datagen" ./cmd/datagen
@@ -42,9 +43,10 @@ echo "== training and saving a model"
 "$tmp/train" -db "$tmp/db" -fact synth_S -dims synth_R1 -model nn -algo f \
     -hidden 8 -epochs 2 -save load-nn
 
-echo "== booting serve with admission control + metrics + streaming"
+echo "== booting serve with admission control + metrics + streaming + debug listener"
 "$tmp/serve" -db "$tmp/db" -dims synth_R1 -fact synth_S \
     -max-inflight 4 -max-ingest-queue 8 \
+    -trace-slow-ms 1 -debug-addr 127.0.0.1:0 \
     -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
 server_pid=$!
 
@@ -56,6 +58,8 @@ for _ in $(seq 1 50); do
     sleep 0.1
 done
 [ -n "$addr" ] || { echo "server never reported its address" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+debug_addr="$(sed -n 's/^factorml-serve debug listening on \([^ ]*\).*/\1/p' "$tmp/serve.log")"
+[ -n "$debug_addr" ] || { echo "server never reported its debug address" >&2; cat "$tmp/serve.log" >&2; exit 1; }
 for _ in $(seq 1 50); do
     curl -sf "http://$addr/readyz" >/dev/null && break
     sleep 0.1
@@ -63,10 +67,11 @@ done
 curl -sf "http://$addr/readyz" >/dev/null || { echo "server never became ready" >&2; cat "$tmp/serve.log" >&2; exit 1; }
 echo "   serving on $addr"
 
-echo "== mixed ramp (predict/ingest/refresh)"
+echo "== mixed ramp (predict/ingest/refresh) with traceparent propagation"
 "$tmp/loadgen" -url "http://$addr" -model load-nn \
     -mix predict=0.9,ingest=0.09,refresh=0.01 \
     -rates 100,300 -step 2s -rows 4 -fact-width 3 -fk-max 20 \
+    -trace-fraction 0.5 \
     -out "$out" | tee "$tmp/loadgen.log"
 
 echo "== checking the report"
@@ -79,6 +84,74 @@ if grep -q '"transport_errors": [^0]' "$out"; then
     echo "loadgen saw transport errors (timeouts/connection failures)" >&2
     cat "$out" >&2; exit 1
 fi
+grep -q '"p999_request_id"' "$out"
+grep -q '"max_request_id"' "$out"
+
+# Predicts are fast enough (sub-millisecond) that the ramp alone may fill
+# the slowest-N list with ingests; one deliberately heavy batch exercises
+# the "chase a slow predict by its X-Request-Id" workflow for real.
+echo "== heavy predict batch to land in the slow list"
+heavy_id="$(python3 - "$addr" <<'EOF'
+import json, sys, urllib.request
+rows = [{"fact": [0.1, 0.2, 0.3], "fks": [k % 20]} for k in range(4000)]
+req = urllib.request.Request(
+    "http://%s/v1/models/load-nn/predict" % sys.argv[1],
+    data=json.dumps({"rows": rows}).encode(),
+    headers={"Content-Type": "application/json"})
+with urllib.request.urlopen(req) as resp:
+    resp.read()
+    print(resp.headers.get("X-Request-Id", ""))
+EOF
+)"
+[ -n "$heavy_id" ] || { echo "heavy predict returned no X-Request-Id" >&2; exit 1; }
+echo "   X-Request-Id $heavy_id"
+
+echo "== flight recorder: slow traces are well-formed and join against the report"
+curl -sSf "http://$debug_addr/debug/traces/slow" >"$slow_out"
+curl -sf "http://$debug_addr/debug/pprof/cmdline" >/dev/null || {
+    echo "pprof is not served on the debug listener" >&2; exit 1
+}
+python3 - "$slow_out" "$out" "$heavy_id" <<'EOF'
+import json, sys
+
+slow = json.load(open(sys.argv[1]))
+report = json.load(open(sys.argv[2]))
+heavy_id = sys.argv[3]
+
+assert slow["stats"]["recorded"] > 0, "flight recorder recorded no traces"
+traces = slow["traces"]
+assert traces, "/debug/traces/slow returned no traces"
+for tr in traces:
+    assert tr["trace_id"] == tr["request_id"], f"trace_id != request_id in {tr['trace_id']}"
+    assert tr["spans"], f"trace {tr['trace_id']} has no spans"
+
+# The heavy predict must be retrievable by the X-Request-Id its response
+# carried, and its span tree must cover every instrumented level:
+# admission -> engine batch -> per-worker chunk -> dimension cache lookup.
+covered = next((tr for tr in traces if tr["request_id"] == heavy_id), None)
+assert covered, f"heavy predict {heavy_id} is not in the slow list"
+assert covered["name"] == "predict", f"trace {heavy_id} routed as {covered['name']!r}"
+want = {"admission", "engine.predict", "engine.chunk", "cache.lookup"}
+names = {s["name"] for s in covered["spans"]}
+assert want <= names, f"trace {heavy_id} missing span levels {sorted(want - names)}"
+print(f"   predict trace {covered['request_id']}: {len(covered['spans'])} spans, "
+      f"{covered['duration_ms']:.2f} ms")
+
+# The report's tail request ids are handles into the flight recorder:
+# the worst request of the run must be retrievable by its X-Request-Id.
+tail_ids = {
+    v
+    for step in report.get("steps", [])
+    for ep in step.get("endpoints", {}).values()
+    for v in (ep.get("p999_request_id"), ep.get("max_request_id"))
+    if v
+}
+assert tail_ids, "report carries no tail request ids"
+recorded = {tr["request_id"] for tr in traces}
+joined = tail_ids & recorded
+assert joined, "no tail request id from the report is present in the slow traces"
+print(f"   {len(joined)}/{len(tail_ids)} tail request ids resolved in /debug/traces/slow")
+EOF
 
 echo "== overload: tiny in-flight budget must answer structured 429s"
 pred_body='{"rows":[{"fact":[0.1,0.2,0.3],"fks":[5]}]}'
