@@ -4,10 +4,10 @@
 GO ?= go
 
 # Total-statement-coverage floor enforced by `make cover` (see
-# scripts/check_coverage.sh; recorded from the snowflake PR's 71.9%).
-COVERAGE_BASELINE ?= 70.0
+# scripts/check_coverage.sh; raised with the monitoring PR).
+COVERAGE_BASELINE ?= 71.0
 
-.PHONY: all build test race bench cover serve-smoke stream-smoke snowflake-smoke load-smoke fmt vet ci
+.PHONY: all build test race bench cover serve-smoke stream-smoke snowflake-smoke load-smoke drift-smoke fmt vet ci
 
 all: build
 
@@ -25,9 +25,11 @@ race:
 # the serving sweep writes BENCH_serve.json (rows/sec per model x workers),
 # the streaming sweep writes BENCH_stream.json (incremental vs full
 # refresh cost x workers), the planner sweep writes BENCH_plan.json
-# (estimated vs measured cost per strategy on three schema shapes) and
-# the trace sweep writes BENCH_trace.json (span overhead with allocs/op;
-# the untraced span path fails the run if it allocates at all).
+# (estimated vs measured cost per strategy on three schema shapes), the
+# trace sweep writes BENCH_trace.json (span overhead with allocs/op;
+# the untraced span path fails the run if it allocates at all) and the
+# monitor sweep writes BENCH_monitor.json (sketch-maintenance overhead;
+# the disabled observation path fails the run if it allocates at all).
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' .
 
@@ -49,6 +51,13 @@ stream-smoke:
 # Prometheus text format. CI uploads BENCH_load.json as an artifact.
 load-smoke:
 	./scripts/load_smoke.sh
+
+# Drift smoke: train -save captures a baseline into the model's lineage,
+# cmd/serve boots with health monitoring, a shifted delta ingested over
+# HTTP flips GET /v1/models/{name}/health to "drifting" with the PSI
+# gauges visible in /metrics, and a refresh restores "fresh".
+drift-smoke:
+	./scripts/drift_smoke.sh
 
 # Snowflake smoke: the runnable multi-hop hierarchy example — builds
 # orders ⋈ items ⋈ categories ⋈ suppliers through the public API, trains
@@ -74,4 +83,4 @@ vet:
 
 # cover runs before bench so the BENCH_*.json files the benchmarks write
 # (with ns/op filled in) are the ones left on disk.
-ci: fmt vet build race cover bench serve-smoke stream-smoke snowflake-smoke load-smoke
+ci: fmt vet build race cover bench serve-smoke stream-smoke snowflake-smoke load-smoke drift-smoke

@@ -1,0 +1,225 @@
+package factorml
+
+// Monitoring-overhead benchmarks: the observation primitives are timed
+// with monitoring disabled (a nil *Monitor — the exact shape of every
+// hook on the ingest and predict hot paths, which must add zero
+// allocations) and enabled, and a full stream ingest is timed both
+// ways. Measurements land in BENCH_monitor.json (see TestMain) with
+// allocs/op alongside ns/op so an allocation regression on the
+// disabled path fails loudly in CI.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"factorml/internal/data"
+	"factorml/internal/gmm"
+	"factorml/internal/join"
+	"factorml/internal/monitor"
+	"factorml/internal/serve"
+	"factorml/internal/stream"
+)
+
+// monitorBenchRecord is one overhead measurement in BENCH_monitor.json.
+type monitorBenchRecord struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+var monitorBenchRecorder struct {
+	mu      sync.Mutex
+	order   []string
+	records map[string]monitorBenchRecord
+}
+
+func recordMonitorBench(rec monitorBenchRecord) {
+	monitorBenchRecorder.mu.Lock()
+	defer monitorBenchRecorder.mu.Unlock()
+	if monitorBenchRecorder.records == nil {
+		monitorBenchRecorder.records = make(map[string]monitorBenchRecord)
+	}
+	if _, seen := monitorBenchRecorder.records[rec.Name]; !seen {
+		monitorBenchRecorder.order = append(monitorBenchRecorder.order, rec.Name)
+	}
+	monitorBenchRecorder.records[rec.Name] = rec
+}
+
+// flushMonitorBench writes the overhead measurements to
+// BENCH_monitor.json (called from TestMain).
+func flushMonitorBench() {
+	monitorBenchRecorder.mu.Lock()
+	records := make([]monitorBenchRecord, 0, len(monitorBenchRecorder.order))
+	for _, key := range monitorBenchRecorder.order {
+		records = append(records, monitorBenchRecorder.records[key])
+	}
+	monitorBenchRecorder.mu.Unlock()
+	if len(records) == 0 {
+		return
+	}
+	out := struct {
+		Unit    string               `json:"unit"`
+		NumCPU  int                  `json:"num_cpu"`
+		Results []monitorBenchRecord `json:"results"`
+	}{Unit: "ns/op", NumCPU: runtime.NumCPU(), Results: records}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_monitor.json", append(blob, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: writing BENCH_monitor.json: %v\n", err)
+	}
+}
+
+// BenchmarkMonitorObserve times the per-row observation hooks on a nil
+// *Monitor (monitoring off — the shape compiled into the ingest and
+// predict hot paths) and on a live monitor with one attached model.
+// Both paths must not allocate: the benchmark fails outright if either
+// does.
+func BenchmarkMonitorObserve(b *testing.B) {
+	x := make([]float64, 12)
+	for i := range x {
+		x[i] = float64(i) * 0.25
+	}
+
+	b.Run("disabled", func(b *testing.B) {
+		var m *monitor.Monitor
+		op := func() {
+			m.ObserveJoined(x)
+			if m.SampleQuality("g") {
+				m.ObserveQuality("g", 1)
+			}
+			m.CheckAll()
+		}
+		if allocs := benchAllocs(op); allocs != 0 {
+			b.Fatalf("disabled monitoring path allocates %.0f objects/op, want 0", allocs)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+		recordMonitorBench(monitorBenchRecord{
+			Name:    "monitor_observe/disabled",
+			NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		})
+	})
+
+	b.Run("enabled", func(b *testing.B) {
+		base := &monitor.Baseline{Rows: 1}
+		for i := range x {
+			cb := monitor.ColumnBaseline{Table: "t", Name: fmt.Sprintf("c%d", i)}
+			cb.Sketch = *monitor.NewSketch(-10, 10, 0)
+			cb.Sketch.Observe(0)
+			base.Columns = append(base.Columns, cb)
+		}
+		m := monitor.New(monitor.Config{})
+		m.Attach("g", "gmm", 1, &monitor.Lineage{TrainingRows: 1, Baseline: base})
+		op := func() { m.ObserveJoined(x) }
+		if allocs := benchAllocs(op); allocs != 0 {
+			b.Fatalf("enabled observe path allocates %.0f objects/op, want 0", allocs)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+		recordMonitorBench(monitorBenchRecord{
+			Name:    "monitor_observe/enabled",
+			NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		})
+	})
+}
+
+// BenchmarkMonitorIngest times a full 16-row stream ingest with
+// monitoring off and on over the same star schema, pinning the end-to-
+// end overhead of sketch maintenance relative to the undisturbed
+// change-feed path.
+func BenchmarkMonitorIngest(b *testing.B) {
+	const rowsPerBatch = 16
+	for _, mode := range []string{"disabled", "enabled"} {
+		b.Run(mode, func(b *testing.B) {
+			db := benchDB(b)
+			spec, err := data.Generate(db, "mb", data.SynthConfig{
+				NS: 2000, NR: []int{50}, DS: 4, DR: []int{4},
+				Seed: 17, WithTarget: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gres, err := gmm.TrainF(db, spec, gmm.Config{K: 3, MaxIter: 2, Tol: 1e-300, NumWorkers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg, err := serve.NewRegistry(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var mon *monitor.Monitor
+			if mode == "enabled" {
+				base, err := monitor.CaptureBaseline(spec, 0,
+					func(x []float64, y float64) float64 { return gres.Model.LogProb(x) }, "log_likelihood")
+				if err != nil {
+					b.Fatal(err)
+				}
+				lin := &monitor.Lineage{TrainedAtUnix: base.CapturedAtUnix, TrainingRows: base.Rows, Baseline: base}
+				if err := reg.SaveGMMLineage("bench-mon", gres.Model, lin); err != nil {
+					b.Fatal(err)
+				}
+				mon = monitor.New(monitor.Config{})
+			} else if err := reg.SaveGMM("bench-mon", gres.Model); err != nil {
+				b.Fatal(err)
+			}
+			st, err := stream.New(db, spec, stream.Options{
+				Registry: reg,
+				Monitor:  mon,
+				Policy:   stream.Policy{NumWorkers: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := st.AttachGMM("bench-mon", gres.Model); err != nil {
+				b.Fatal(err)
+			}
+			var idx *join.ResidentIndex
+			if idx, err = join.BuildResidentIndex(spec.Rs[0]); err != nil {
+				b.Fatal(err)
+			}
+			next := spec.S.NumTuples()
+			batch := func() stream.Batch {
+				var bt stream.Batch
+				for i := 0; i < rowsPerBatch; i++ {
+					pk, _ := idx.At(i % idx.Len())
+					bt.Facts = append(bt.Facts, stream.FactRow{
+						SID: next, FKs: []int64{pk},
+						Features: []float64{0.1, 0.2, 0.3, 0.4},
+						Target:   1,
+					})
+					next++
+				}
+				return bt
+			}
+			allocs := testing.AllocsPerRun(1, func() {
+				if _, err := st.Ingest(batch()); err != nil {
+					b.Fatal(err)
+				}
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Ingest(batch()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			recordMonitorBench(monitorBenchRecord{
+				Name:        fmt.Sprintf("ingest_%drows/%s", rowsPerBatch, mode),
+				NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				AllocsPerOp: allocs,
+			})
+		})
+	}
+}

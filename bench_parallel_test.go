@@ -60,6 +60,7 @@ func TestMain(m *testing.M) {
 	flushSnowflakeBench() // see bench_snowflake_test.go
 	flushPlanBench()      // see bench_plan_test.go
 	flushTraceBench()     // see bench_trace_test.go
+	flushMonitorBench()   // see bench_monitor_test.go
 	os.Exit(code)
 }
 

@@ -24,7 +24,8 @@
 //	GET  /readyz                        readiness (503 not_ready while booting)
 //	GET  /statsz                        cache hit rate, latency, stream counters
 //	GET  /metrics                       Prometheus text format (disable: -metrics=false)
-//	GET  /v1/models                     registered models
+//	GET  /v1/models                     registered models (+ training lineage)
+//	GET  /v1/models/{name}/health       drift/staleness verdict with per-column reasons (disable: -monitor=false)
 //	POST /v1/models/{name}/predict      {"rows":[{"fact":[…],"fks":[…]}]}
 //	POST /v1/ingest                     {"facts":[…],"dims":[…]} (with -fact)
 //	POST /v1/refresh                    fold ingested deltas into models (with -fact)
@@ -92,6 +93,11 @@ func main() {
 	traceSlowMS := flag.Int("trace-slow-ms", 0, "requests at or over this duration are kept in the slow-trace list regardless of recency (0 = default 100)")
 	logLevel := flag.String("log-level", "", "request logging to stderr as JSON lines at this level: debug, info, warn, error (empty = no request log)")
 	debugAddr := flag.String("debug-addr", "", "side listener for operational debugging: net/http/pprof under /debug/pprof/ plus the trace flight recorder at /debug/traces[/slow] (empty = disabled; port 0 picks a free port)")
+	monitorOn := flag.Bool("monitor", true, "model and data health monitoring: drift/staleness verdicts at GET /v1/models/{name}/health, gauges in /metrics, a health section in /statsz")
+	driftWarn := flag.Float64("drift-warn", 0.1, "per-column PSI at or above this marks the column \"warn\" (needs -monitor)")
+	driftPSI := flag.Float64("drift-psi", 0.25, "per-column PSI at or above this marks the column \"drift\" and the model verdict \"drifting\" (needs -monitor)")
+	stalenessMaxRows := flag.Int64("staleness-max-rows", 0, "verdict flips to \"stale\" once this many fact rows were ingested since the model's last refresh (0 = staleness by rows disabled; needs -monitor)")
+	healthSample := flag.Float64("health-sample", 1.0, "fraction of predict requests whose outputs feed the prediction-quality sketch (0 < f <= 1; needs -monitor)")
 	flag.Parse()
 
 	if *dbDir == "" || *dims == "" {
@@ -126,6 +132,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serve: -trace-slow-ms must be >= 0, got %d\n", *traceSlowMS)
 		os.Exit(2)
 	}
+	if *driftWarn <= 0 || *driftPSI <= 0 || *driftWarn > *driftPSI {
+		fmt.Fprintf(os.Stderr, "serve: -drift-warn and -drift-psi must be > 0 with -drift-warn <= -drift-psi, got %g / %g\n", *driftWarn, *driftPSI)
+		os.Exit(2)
+	}
+	if *stalenessMaxRows < 0 {
+		fmt.Fprintf(os.Stderr, "serve: -staleness-max-rows must be >= 0, got %d\n", *stalenessMaxRows)
+		os.Exit(2)
+	}
+	if *healthSample <= 0 || *healthSample > 1 {
+		fmt.Fprintf(os.Stderr, "serve: -health-sample must be in (0, 1], got %g\n", *healthSample)
+		os.Exit(2)
+	}
 	var logger *factorml.Logger
 	if *logLevel != "" {
 		level, err := factorml.ParseLogLevel(*logLevel)
@@ -144,6 +162,8 @@ func main() {
 		retryAfter: *retryAfter, metrics: *metricsOn,
 		trace: *traceOn, traceSample: *traceSample, traceSlowMS: *traceSlowMS,
 		debugAddr: *debugAddr, logger: logger,
+		monitor: *monitorOn, driftWarn: *driftWarn, driftPSI: *driftPSI,
+		stalenessMaxRows: *stalenessMaxRows, healthSample: *healthSample,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -163,6 +183,10 @@ type serveFlags struct {
 	traceSlowMS                             int
 	debugAddr                               string
 	logger                                  *factorml.Logger
+	monitor                                 bool
+	driftWarn, driftPSI                     float64
+	stalenessMaxRows                        int64
+	healthSample                            float64
 }
 
 func run(cfg serveFlags) error {
@@ -222,6 +246,14 @@ func run(cfg serveFlags) error {
 	if cfg.logger != nil {
 		opts = append(opts, factorml.WithServerLogger(cfg.logger))
 	}
+	if cfg.monitor {
+		opts = append(opts, factorml.WithMonitoring(factorml.MonitorConfig{
+			DriftWarnPSI:     cfg.driftWarn,
+			DriftPSI:         cfg.driftPSI,
+			StalenessMaxRows: cfg.stalenessMaxRows,
+			SampleFraction:   cfg.healthSample,
+		}))
+	}
 	if cfg.fact != "" {
 		opts = append(opts, factorml.WithStream(cfg.fact, factorml.StreamPolicy{
 			RefreshRows:     cfg.refreshRows,
@@ -248,6 +280,10 @@ func run(cfg serveFlags) error {
 	}
 	if cfg.maxInflight > 0 || cfg.maxIngestQueue > 0 {
 		fmt.Printf("admission control: max-inflight=%d max-ingest-queue=%d\n", cfg.maxInflight, cfg.maxIngestQueue)
+	}
+	if cfg.monitor {
+		fmt.Printf("health monitoring: drift-warn=%g drift-psi=%g staleness-max-rows=%d health-sample=%g\n",
+			cfg.driftWarn, cfg.driftPSI, cfg.stalenessMaxRows, cfg.healthSample)
 	}
 	// The debug side listener carries the profiling and trace-export
 	// surface away from the serving port: pprof endpoints plus the same

@@ -12,7 +12,10 @@
 // It prints training time, page I/O, multiplication counts and the model's
 // final log-likelihood (GMM) or loss (NN). With -save the trained model is
 // persisted in the database's model registry under the given name, ready
-// for the serve command. With -explain the planner's per-strategy cost
+// for the serve command, together with its training lineage — trained-at
+// time, row count, resolved strategy and the training-time baseline
+// statistics the serve command's health monitor scores drift against.
+// With -explain the planner's per-strategy cost
 // table (estimated flops, page I/O and combined score from the catalog's
 // table statistics) is printed and nothing is trained.
 package main
@@ -26,6 +29,7 @@ import (
 
 	"factorml/internal/gmm"
 	"factorml/internal/join"
+	"factorml/internal/monitor"
 	"factorml/internal/nn"
 	"factorml/internal/plan"
 	"factorml/internal/serve"
@@ -194,6 +198,24 @@ func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
 			pl.Chosen, float64(best.Ops.Total())/1e6, best.Pages, best.Score)
 	}
 
+	// A saved model carries training lineage: one extra streaming pass
+	// over the join captures the per-column baseline statistics (plus a
+	// per-row quality baseline) that the serve command's health monitor
+	// scores live drift against.
+	strategyName := map[string]string{"m": "materialized", "s": "streaming", "f": "factorized"}
+	captureLineage := func(score func(x []float64, y float64) float64, metric string) (*monitor.Lineage, error) {
+		base, err := monitor.CaptureBaseline(spec, 0, score, metric)
+		if err != nil {
+			return nil, fmt.Errorf("capturing training baseline: %w", err)
+		}
+		return &monitor.Lineage{
+			TrainedAtUnix: base.CapturedAtUnix,
+			TrainingRows:  base.Rows,
+			Strategy:      strategyName[algo],
+			Baseline:      base,
+		}, nil
+	}
+
 	saveModel := func(kind string, doSave func(*serve.Registry) error) error {
 		if save == "" {
 			return nil
@@ -238,7 +260,13 @@ func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
 		fmt.Printf("  train time:     %v\n", res.Stats.TrainTime)
 		fmt.Printf("  multiplies:     %d\n", res.Stats.Ops.Mul)
 		fmt.Printf("  page IO:        %v\n", res.Stats.IO)
-		return saveModel("gmm", func(reg *serve.Registry) error { return reg.SaveGMM(save, res.Model) })
+		return saveModel("gmm", func(reg *serve.Registry) error {
+			lin, err := captureLineage(func(x []float64, y float64) float64 { return res.Model.LogProb(x) }, "log_likelihood")
+			if err != nil {
+				return err
+			}
+			return reg.SaveGMMLineage(save, res.Model, lin)
+		})
 
 	case "nn":
 		sizes, err := parseHidden(hidden)
@@ -279,7 +307,13 @@ func run(dbDir, fact, dims, model, algo string, k, iters int, tol float64,
 		fmt.Printf("  train time:  %v\n", res.Stats.TrainTime)
 		fmt.Printf("  multiplies:  %d\n", res.Stats.Ops.Mul)
 		fmt.Printf("  page IO:     %v\n", res.Stats.IO)
-		return saveModel("nn", func(reg *serve.Registry) error { return reg.SaveNN(save, res.Net) })
+		return saveModel("nn", func(reg *serve.Registry) error {
+			lin, err := captureLineage(func(x []float64, y float64) float64 { return res.Net.Predict(x) }, "output")
+			if err != nil {
+				return err
+			}
+			return reg.SaveNNLineage(save, res.Net, lin)
+		})
 
 	default:
 		return fmt.Errorf("unknown model %q (gmm or nn)", model)

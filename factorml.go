@@ -64,6 +64,7 @@ import (
 	"factorml/internal/gmm"
 	"factorml/internal/join"
 	"factorml/internal/metrics"
+	"factorml/internal/monitor"
 	"factorml/internal/nn"
 	"factorml/internal/plan"
 	"factorml/internal/serve"
@@ -176,6 +177,26 @@ type (
 	// planner prices strategies from (rows, pages, width, distinct foreign
 	// keys; collected at append/flush, persisted in the catalog).
 	TableStats = storage.TableStats
+	// MonitorConfig tunes the model-health monitor a Server builds
+	// WithMonitoring: PSI warn/drift thresholds, the staleness row
+	// budget, the prediction-quality sampling fraction and the live-
+	// window evidence floor. The zero value selects the defaults
+	// (0.1 / 0.25 PSI, staleness disabled, sample everything, 50 rows).
+	MonitorConfig = monitor.Config
+	// ModelHealth is one model's health evaluation: verdict, per-column
+	// drift scores, staleness counters and training lineage.
+	ModelHealth = monitor.Health
+	// ModelColumnHealth is one joined column's drift score inside a
+	// ModelHealth.
+	ModelColumnHealth = monitor.ColumnHealth
+	// ModelLineage is the training provenance persisted with a model
+	// version: when it was trained, over how many rows, with which
+	// strategy, and the training-time baseline statistics drift is
+	// scored against.
+	ModelLineage = monitor.Lineage
+	// ModelBaseline is the training-time per-column statistics snapshot
+	// inside a ModelLineage.
+	ModelBaseline = monitor.Baseline
 	// TraceConfig tunes the request tracer a Server builds WithTracing:
 	// sampling fraction, slow-trace threshold, flight-recorder capacities
 	// and the per-trace span cap. The zero value selects the defaults
@@ -214,6 +235,16 @@ func ParseLogLevel(s string) (LogLevel, error) { return xlog.ParseLevel(s) }
 const (
 	KindGMM = serve.KindGMM
 	KindNN  = serve.KindNN
+)
+
+// Model-health verdicts reported by ModelHealth.Verdict, strongest to
+// weakest: drifting beats stale beats fresh; unmonitored means the model
+// has no persisted baseline to score drift against.
+const (
+	VerdictFresh       = monitor.VerdictFresh
+	VerdictDrifting    = monitor.VerdictDrifting
+	VerdictStale       = monitor.VerdictStale
+	VerdictUnmonitored = monitor.VerdictUnmonitored
 )
 
 // Re-exported NN activation and batching constants.
@@ -639,6 +670,65 @@ func (d *DB) SaveNN(name string, n *NNNetwork) error {
 	return reg.SaveNN(name, n)
 }
 
+// GMMLineage captures training lineage for a mixture just trained over
+// the dataset: two streaming passes over the join snapshot per-column
+// distribution statistics plus a per-row log-likelihood baseline, the
+// reference every later drift and prediction-quality score compares
+// against. Pass the result to SaveGMMLineage (and a health monitor picks
+// it up from the registry).
+func GMMLineage(ds *Dataset, m *GMMModel, strategy string) (*ModelLineage, error) {
+	base, err := monitor.CaptureBaseline(ds.spec, 0,
+		func(x []float64, y float64) float64 { return m.LogProb(x) }, "log_likelihood")
+	if err != nil {
+		return nil, err
+	}
+	return &ModelLineage{
+		TrainedAtUnix: base.CapturedAtUnix,
+		TrainingRows:  base.Rows,
+		Strategy:      strategy,
+		Baseline:      base,
+	}, nil
+}
+
+// NNLineage captures training lineage for a network just trained over
+// the dataset; the quality baseline sketches the network's output
+// distribution. See GMMLineage.
+func NNLineage(ds *Dataset, n *NNNetwork, strategy string) (*ModelLineage, error) {
+	base, err := monitor.CaptureBaseline(ds.spec, 0,
+		func(x []float64, y float64) float64 { return n.Predict(x) }, "output")
+	if err != nil {
+		return nil, err
+	}
+	return &ModelLineage{
+		TrainedAtUnix: base.CapturedAtUnix,
+		TrainingRows:  base.Rows,
+		Strategy:      strategy,
+		Baseline:      base,
+	}, nil
+}
+
+// SaveGMMLineage is SaveGMM with training lineage persisted alongside
+// the model version (surfaced in GET /v1/models and the health
+// endpoint). A nil lineage behaves like SaveGMM: the previous version's
+// lineage, if any, is carried forward.
+func (d *DB) SaveGMMLineage(name string, m *GMMModel, lin *ModelLineage) error {
+	reg, err := d.registry()
+	if err != nil {
+		return err
+	}
+	return reg.SaveGMMLineage(name, m, lin)
+}
+
+// SaveNNLineage is SaveNN with training lineage persisted alongside the
+// model version; see SaveGMMLineage.
+func (d *DB) SaveNNLineage(name string, n *NNNetwork, lin *ModelLineage) error {
+	reg, err := d.registry()
+	if err != nil {
+		return err
+	}
+	return reg.SaveNNLineage(name, n, lin)
+}
+
 // LoadGMM returns the named mixture model from the registry. The model is
 // shared with the registry: treat it as read-only.
 func (d *DB) LoadGMM(name string) (*GMMModel, error) {
@@ -760,6 +850,8 @@ type serverOptions struct {
 	withTracing bool
 	traceCfg    TraceConfig
 	logger      *Logger
+	withMonitor bool
+	monCfg      MonitorConfig
 }
 
 // ServerOption configures NewServer.
@@ -822,6 +914,23 @@ func WithServerLogger(l *Logger) ServerOption {
 	return func(o *serverOptions) { o.logger = l }
 }
 
+// WithMonitoring switches on model and data health monitoring: every
+// attached model's live input distribution is sketched incrementally
+// from the change feed (O(1) per ingested row — the same
+// no-rescan discipline the factorized trainers follow) and scored by
+// PSI against the training-time baseline persisted with the model's
+// lineage (SaveGMMLineage / SaveNNLineage, or cmd/train -save). A
+// sampled fraction of predictions additionally feeds a prediction-
+// quality sketch. GET /v1/models/{name}/health answers the verdict —
+// fresh, drifting or stale — with per-column reasons, /statsz gains a
+// "health" section, /metrics (WithMetrics) gains drift/staleness
+// gauges, and verdict transitions log through WithServerLogger.
+// Monitoring is passive: it never mutates models, and serving and
+// refresh results are bit-identical with it on or off.
+func WithMonitoring(cfg MonitorConfig) ServerOption {
+	return func(o *serverOptions) { o.withMonitor = true; o.monCfg = cfg }
+}
+
 // WithMetrics switches on the Prometheus endpoint: GET /metrics serves
 // the text exposition format (0.0.4) with per-endpoint request counts
 // and latency histograms, engine cache hit-rate gauges, and — when
@@ -852,6 +961,11 @@ func (s *Server) Stream() *Stream { return s.st }
 // WithMetrics. Callers may register additional application metrics on
 // it; they render in the same exposition.
 func (s *Server) Metrics() *MetricsRegistry { return s.srv.Metrics() }
+
+// ModelHealth evaluates every monitored model's current health, sorted
+// by model name — the same payload GET /v1/models/{name}/health serves
+// per model. Nil without WithMonitoring.
+func (s *Server) ModelHealth() []ModelHealth { return s.srv.Monitor().HealthAll() }
 
 // TraceHandler returns the flight-recorder export handler (the one the
 // server itself mounts at GET /debug/traces and /debug/traces/slow), or
@@ -911,6 +1025,14 @@ func NewServer(d *DB, dimTables []string, opts ...ServerOption) (*Server, error)
 	if o.withMetrics {
 		sopts = append(sopts, serve.WithMetrics(metrics.NewRegistry()))
 	}
+	var mon *monitor.Monitor
+	if o.withMonitor {
+		if o.monCfg.Logger == nil {
+			o.monCfg.Logger = o.logger
+		}
+		mon = monitor.New(o.monCfg)
+		sopts = append(sopts, serve.WithMonitor(mon))
+	}
 	if o.withTracing {
 		sopts = append(sopts, serve.WithTracer(trace.New(o.traceCfg)))
 	}
@@ -934,6 +1056,7 @@ func NewServer(d *DB, dimTables []string, opts ...ServerOption) (*Server, error)
 		Registry:        reg,
 		Policy:          o.pol,
 		MaxQueuedIngest: o.limits.MaxQueuedIngest,
+		Monitor:         mon,
 	})
 	if err != nil {
 		return nil, err

@@ -72,6 +72,9 @@ const (
 	// CodeStreamDisabled marks an ingest/refresh against a server booted
 	// without a streaming change feed.
 	CodeStreamDisabled = "stream_disabled"
+	// CodeMonitoringDisabled marks a model-health query against a server
+	// booted without the health monitor.
+	CodeMonitoringDisabled = "monitoring_disabled"
 	// CodeNotReady marks a server still loading its registry at boot.
 	CodeNotReady = "not_ready"
 	// CodeInternal marks a genuine server-side failure. For ingest the

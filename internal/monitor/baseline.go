@@ -1,0 +1,62 @@
+package monitor
+
+// ColumnBaseline is the training-time distribution snapshot of one
+// joined feature column, identified by the table it lives in and its
+// catalog column name.
+type ColumnBaseline struct {
+	Table  string `json:"table"`
+	Name   string `json:"name"`
+	Sketch Sketch `json:"sketch"`
+}
+
+// Baseline is the distribution snapshot a model version was trained
+// (or last refreshed) against: one sketch per joined feature column in
+// joined-vector order, plus an optional prediction-quality sketch
+// (per-row GMM log-likelihood or NN output over the training data).
+type Baseline struct {
+	CapturedAtUnix int64            `json:"captured_at_unix"`
+	Rows           int64            `json:"rows"`
+	Columns        []ColumnBaseline `json:"columns"`
+	Quality        *Sketch          `json:"quality,omitempty"`
+	QualityMetric  string           `json:"quality_metric,omitempty"` // "log_likelihood" or "output"
+}
+
+// Lineage is the per-version provenance record persisted with a model
+// in the registry: when it was trained, over how many rows, which
+// strategy the planner picked, and the baseline statistics drift
+// scoring compares against.
+type Lineage struct {
+	TrainedAtUnix int64     `json:"trained_at_unix"`
+	TrainingRows  int64     `json:"training_rows"`
+	Strategy      string    `json:"strategy,omitempty"`
+	Baseline      *Baseline `json:"baseline,omitempty"`
+}
+
+// Clone returns a deep copy, so a persisted lineage never aliases the
+// monitor's mutable state.
+func (l *Lineage) Clone() *Lineage {
+	if l == nil {
+		return nil
+	}
+	c := *l
+	c.Baseline = l.Baseline.clone()
+	return &c
+}
+
+func (b *Baseline) clone() *Baseline {
+	if b == nil {
+		return nil
+	}
+	c := *b
+	c.Columns = make([]ColumnBaseline, len(b.Columns))
+	for i, col := range b.Columns {
+		c.Columns[i] = col
+		c.Columns[i].Sketch.Bins = append([]int64(nil), col.Sketch.Bins...)
+	}
+	if b.Quality != nil {
+		q := *b.Quality
+		q.Bins = append([]int64(nil), b.Quality.Bins...)
+		c.Quality = &q
+	}
+	return &c
+}

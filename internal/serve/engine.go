@@ -11,6 +11,7 @@ import (
 	"factorml/internal/core"
 	"factorml/internal/gmm"
 	"factorml/internal/join"
+	"factorml/internal/monitor"
 	"factorml/internal/nn"
 	"factorml/internal/parallel"
 	"factorml/internal/trace"
@@ -144,6 +145,11 @@ type Engine struct {
 	mu     sync.Mutex
 	states map[string]*modelState
 
+	// mon, when set, receives sampled prediction-quality telemetry
+	// (atomic pointer: a nil load costs one branch and zero allocations,
+	// keeping the monitoring-off hot path untouched).
+	mon atomic.Pointer[monitor.Monitor]
+
 	requests         atomic.Uint64
 	rows             atomic.Uint64
 	predictNs        atomic.Uint64
@@ -186,6 +192,11 @@ func NewEngine(reg *Registry, plan *join.DimPlan, cfg EngineConfig) (*Engine, er
 
 // Registry returns the registry the engine serves from.
 func (e *Engine) Registry() *Registry { return e.reg }
+
+// SetMonitor installs (or, with nil, removes) the health monitor that
+// receives sampled prediction-quality values. Recording is passive:
+// predictions are bit-identical with and without a monitor.
+func (e *Engine) SetMonitor(m *monitor.Monitor) { e.mon.Store(m) }
 
 // DimensionTables returns the names of the engine's dimension tables in
 // join order.
@@ -465,6 +476,21 @@ func (e *Engine) PredictCtx(ctx context.Context, name string, rows []Row) ([]Pre
 	e.requests.Add(1)
 	e.rows.Add(uint64(len(rows)))
 	e.predictNs.Add(uint64(time.Since(start).Nanoseconds()))
+	// Sampled prediction-quality telemetry, after scoring: the scored
+	// values feed the model's live quality sketch (GMM per-row
+	// log-likelihood, NN output) without touching a single prediction.
+	if m := e.mon.Load(); m != nil && m.SampleQuality(name) {
+		for i := range out {
+			if out[i].Err != "" {
+				continue
+			}
+			if st.scorer != nil {
+				m.ObserveQuality(name, out[i].LogProb)
+			} else {
+				m.ObserveQuality(name, out[i].Output)
+			}
+		}
+	}
 	return out, st.info, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"factorml/internal/gmm"
+	"factorml/internal/monitor"
 	"factorml/internal/nn"
 	"factorml/internal/storage"
 )
@@ -38,6 +39,11 @@ type ModelInfo struct {
 	Dim int `json:"dim"`
 	// SavedAt is when this version was written.
 	SavedAt time.Time `json:"saved_at"`
+	// Lineage is the version's provenance — trained-at, training row
+	// count, planner decision, and the baseline statistics drift scoring
+	// compares against. Optional: models saved before lineage existed
+	// (or without monitoring) load with a nil Lineage.
+	Lineage *monitor.Lineage `json:"lineage,omitempty"`
 }
 
 // envelopeFormat versions the blob wrapper around the model payloads (the
@@ -48,12 +54,13 @@ const envelopeFormat = 1
 const modelBlobPrefix = "model."
 
 type envelope struct {
-	Format      int             `json:"format"`
-	Name        string          `json:"name"`
-	Kind        Kind            `json:"kind"`
-	Version     int             `json:"version"`
-	SavedAtUnix int64           `json:"saved_at_unix"`
-	Payload     json.RawMessage `json:"payload"`
+	Format      int              `json:"format"`
+	Name        string           `json:"name"`
+	Kind        Kind             `json:"kind"`
+	Version     int              `json:"version"`
+	SavedAtUnix int64            `json:"saved_at_unix"`
+	Lineage     *monitor.Lineage `json:"lineage,omitempty"`
+	Payload     json.RawMessage  `json:"payload"`
 }
 
 type entry struct {
@@ -120,6 +127,7 @@ func decodeEnvelope(blob []byte) (*entry, error) {
 	e := &entry{info: ModelInfo{
 		Name: env.Name, Kind: env.Kind, Version: env.Version,
 		SavedAt: time.Unix(env.SavedAtUnix, 0).UTC(),
+		Lineage: env.Lineage,
 	}}
 	switch env.Kind {
 	case KindGMM:
@@ -143,8 +151,10 @@ func decodeEnvelope(blob []byte) (*entry, error) {
 }
 
 // save persists a model under name, bumping its version. savePayload must
-// write the model's serialized form.
-func (r *Registry) save(name string, kind Kind, dim int, savePayload func(io.Writer) error, attach func(*entry)) error {
+// write the model's serialized form. lin, when non-nil, replaces the
+// version's lineage; a nil lin carries the previous version's lineage
+// forward, so a plain re-save never loses provenance.
+func (r *Registry) save(name string, kind Kind, dim int, lin *monitor.Lineage, savePayload func(io.Writer) error, attach func(*entry)) error {
 	if !ValidModelName(name) {
 		return fmt.Errorf("serve: invalid model name %q (want %s)", name, modelNameRE)
 	}
@@ -157,11 +167,14 @@ func (r *Registry) save(name string, kind Kind, dim int, savePayload func(io.Wri
 	version := 1
 	if prev, ok := r.models[name]; ok {
 		version = prev.info.Version + 1
+		if lin == nil && prev.info.Kind == kind {
+			lin = prev.info.Lineage
+		}
 	}
 	now := time.Now().UTC().Truncate(time.Second)
 	env := envelope{
 		Format: envelopeFormat, Name: name, Kind: kind, Version: version,
-		SavedAtUnix: now.Unix(), Payload: bytes.TrimSpace(payload.Bytes()),
+		SavedAtUnix: now.Unix(), Lineage: lin, Payload: bytes.TrimSpace(payload.Bytes()),
 	}
 	blob, err := json.MarshalIndent(&env, "", "  ")
 	if err != nil {
@@ -170,7 +183,7 @@ func (r *Registry) save(name string, kind Kind, dim int, savePayload func(io.Wri
 	if err := r.db.PutBlob(modelBlobPrefix+name, blob); err != nil {
 		return err
 	}
-	e := &entry{info: ModelInfo{Name: name, Kind: kind, Version: version, Dim: dim, SavedAt: now}}
+	e := &entry{info: ModelInfo{Name: name, Kind: kind, Version: version, Dim: dim, SavedAt: now, Lineage: lin}}
 	attach(e)
 	r.models[name] = e
 	return nil
@@ -178,21 +191,34 @@ func (r *Registry) save(name string, kind Kind, dim int, savePayload func(io.Wri
 
 // SaveGMM persists a mixture model under name (creating version 1, or
 // bumping the version of an existing model of any kind). The registry keeps
-// a reference to m; callers must not mutate it afterwards.
+// a reference to m; callers must not mutate it afterwards. Lineage of a
+// previous same-kind version carries forward unchanged.
 func (r *Registry) SaveGMM(name string, m *gmm.Model) error {
+	return r.SaveGMMLineage(name, m, nil)
+}
+
+// SaveGMMLineage is SaveGMM with fresh per-version lineage metadata
+// (trained-at, training rows, planner decision, baseline statistics).
+func (r *Registry) SaveGMMLineage(name string, m *gmm.Model, lin *monitor.Lineage) error {
 	if m == nil {
 		return fmt.Errorf("serve: nil GMM model")
 	}
-	return r.save(name, KindGMM, m.D, m.Save, func(e *entry) { e.gmm = m })
+	return r.save(name, KindGMM, m.D, lin, m.Save, func(e *entry) { e.gmm = m })
 }
 
 // SaveNN persists a network under name. The registry keeps a reference to
-// n; callers must not mutate it afterwards.
+// n; callers must not mutate it afterwards. Lineage of a previous
+// same-kind version carries forward unchanged.
 func (r *Registry) SaveNN(name string, n *nn.Network) error {
+	return r.SaveNNLineage(name, n, nil)
+}
+
+// SaveNNLineage is SaveNN with fresh per-version lineage metadata.
+func (r *Registry) SaveNNLineage(name string, n *nn.Network, lin *monitor.Lineage) error {
 	if n == nil {
 		return fmt.Errorf("serve: nil NN model")
 	}
-	return r.save(name, KindNN, n.InputDim(), n.Save, func(e *entry) { e.nn = n })
+	return r.save(name, KindNN, n.InputDim(), lin, n.Save, func(e *entry) { e.nn = n })
 }
 
 // errUnknownModel marks lookups of unregistered names (mapped to 404 by the

@@ -12,6 +12,7 @@ import (
 
 	"factorml/internal/api"
 	"factorml/internal/metrics"
+	"factorml/internal/monitor"
 	"factorml/internal/trace"
 	"factorml/internal/xlog"
 )
@@ -28,7 +29,8 @@ const maxPredictBody = 32 << 20
 //	GET    /statsz                   — engine counters (cache hit rate, latency)
 //	GET    /metrics                  — Prometheus text format (with WithMetrics)
 //	GET    /v1/models                — list registered models
-//	GET    /v1/models/{name}         — one model's metadata
+//	GET    /v1/models/{name}         — one model's metadata (incl. lineage)
+//	GET    /v1/models/{name}/health  — drift/staleness verdict (with WithMonitor)
 //	DELETE /v1/models/{name}         — unregister and delete a model
 //	POST   /v1/models/{name}/predict — score a batch of normalized rows
 //	POST   /v1/ingest                — streaming deltas (when enabled)
@@ -59,6 +61,9 @@ type Server struct {
 	// logger writes structured access/error logs (nil without WithLogger).
 	tracer *trace.Tracer
 	logger *xlog.Logger
+
+	// mon is the model-health monitor (nil without WithMonitor).
+	mon *monitor.Monitor
 
 	ingestMu     sync.RWMutex
 	ingest       http.Handler // nil until SetIngestHandler
@@ -92,6 +97,15 @@ func WithLogger(l *xlog.Logger) Option {
 	return func(s *Server) { s.logger = l }
 }
 
+// WithMonitor installs the model-health monitor: GET
+// /v1/models/{name}/health serves its verdicts, /statsz gains a
+// "health" section, and — with WithMetrics — drift/staleness gauges are
+// exported at scrape time. The monitor is also installed into the
+// engine for sampled prediction-quality telemetry.
+func WithMonitor(m *monitor.Monitor) Option {
+	return func(s *Server) { s.mon = m }
+}
+
 // WithMetrics mounts reg's Prometheus exposition at GET /metrics,
 // instruments every endpoint with request counters and latency
 // histograms, and registers a scrape-time collector over the engine's
@@ -117,6 +131,7 @@ func NewServer(eng *Engine, opts ...Option) *Server {
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /v1/models", s.handleListModels)
 	s.mux.HandleFunc("GET /v1/models/{name}", s.handleGetModel)
+	s.mux.HandleFunc("GET /v1/models/{name}/health", s.handleModelHealth)
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleDeleteModel)
 	s.mux.HandleFunc("POST /v1/models/{name}/predict", s.handlePredict)
 	s.mux.HandleFunc("POST /v1/ingest", s.handleIngest)
@@ -132,6 +147,12 @@ func NewServer(eng *Engine, opts ...Option) *Server {
 			"Requests rejected by admission control before any work was admitted.", "endpoint", "reason")
 		s.mreg.Collect(EngineCollector(s.eng))
 		s.mreg.Collect(BuildInfoCollector(s.start))
+		if s.mon != nil {
+			s.mreg.Collect(s.mon.MetricsCollector())
+		}
+	}
+	if s.mon != nil {
+		s.eng.SetMonitor(s.mon)
 	}
 	if s.tracer != nil {
 		h := s.tracer.DebugHandler()
@@ -215,6 +236,11 @@ func (s *Server) SetPlannerStats(fn func() any) {
 // internal/stream contributes queue depth and planner decisions.
 func (s *Server) Metrics() *metrics.Registry { return s.mreg }
 
+// Monitor returns the health monitor installed by WithMonitor (nil
+// without one), so the boot sequence can attach models and the
+// streaming subsystem can feed it the change feed.
+func (s *Server) Monitor() *monitor.Monitor { return s.mon }
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ingestMu.RLock()
 	h := s.ingest
@@ -258,6 +284,7 @@ var endpointLabels = map[string]string{
 	"GET /metrics":                   "metrics",
 	"GET /v1/models":                 "models_list",
 	"GET /v1/models/{name}":          "model_get",
+	"GET /v1/models/{name}/health":   "model_health",
 	"DELETE /v1/models/{name}":       "model_delete",
 	"POST /v1/models/{name}/predict": "predict",
 	"POST /v1/ingest":                "ingest",
@@ -366,6 +393,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Trace         any       `json:"trace,omitempty"`
 		Stream        any       `json:"stream,omitempty"`
 		Planner       any       `json:"planner,omitempty"`
+		Health        any       `json:"health,omitempty"`
 	}{
 		Stats:         s.eng.Stats(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -373,6 +401,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.tracer != nil {
 		payload.Trace = s.tracer.Stats()
+	}
+	if s.mon != nil {
+		payload.Health = s.mon.HealthAll()
 	}
 	if streamStats != nil {
 		payload.Stream = streamStats()
@@ -395,6 +426,33 @@ func (s *Server) handleGetModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleModelHealth serves the monitor's verdict for one model: 503
+// monitoring_disabled without a monitor, 404 for a model the registry
+// does not hold, and an "unmonitored" verdict for a registered model
+// the monitor has no baseline for.
+func (s *Server) handleModelHealth(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.mon == nil {
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeMonitoringDisabled,
+			"model health monitoring is not enabled on this server")
+		return
+	}
+	info, ok := s.reg.Get(name)
+	if !ok {
+		api.WriteError(w, http.StatusNotFound, api.CodeModelNotFound, "no model %q", name)
+		return
+	}
+	h, ok := s.mon.Health(name)
+	if !ok {
+		h = monitor.Health{
+			Model: name, Kind: string(info.Kind), Version: info.Version,
+			Verdict: monitor.VerdictUnmonitored,
+			Reasons: []string{"model is not attached to the health monitor"},
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) handleDeleteModel(w http.ResponseWriter, r *http.Request) {

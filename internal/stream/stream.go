@@ -10,6 +10,7 @@ import (
 	"factorml/internal/core"
 	"factorml/internal/gmm"
 	"factorml/internal/join"
+	"factorml/internal/monitor"
 	"factorml/internal/nn"
 	"factorml/internal/plan"
 	"factorml/internal/serve"
@@ -80,6 +81,14 @@ type Options struct {
 	// the bound is HTTP admission control, not a correctness gate.
 	MaxQueuedIngest int
 
+	// Monitor, when set, rides the change feed: every ingested fact row
+	// is resolved to its joined feature vector and folded into the
+	// per-model drift sketches (O(1) per row), dimension updates feed
+	// the affected columns, refreshes advance the persisted baselines,
+	// and attached models are registered with their lineage. Monitoring
+	// is passive — it never changes what the stream trains or saves.
+	Monitor *monitor.Monitor
+
 	Policy Policy
 }
 
@@ -122,6 +131,13 @@ type Stream struct {
 	eng    *serve.Engine
 	reg    *serve.Registry
 	pol    Policy
+	mon    *monitor.Monitor
+	// Monitor scratch (allocated once when a monitor is attached): the
+	// joined-row buffer and per-node resolution outputs, reused across
+	// every ingested fact row so the observe path allocates nothing.
+	monX   []float64
+	monPKs []int64
+	monPos []int
 
 	models map[string]*attached
 	// refreshSeq counts refreshes for the rebaseline cadence.
@@ -173,6 +189,7 @@ func New(db *storage.Database, spec *join.Spec, opts Options) (*Stream, error) {
 		models:    make(map[string]*attached),
 		ingestLim: serve.NewLimiter(opts.MaxQueuedIngest),
 		maxQueued: opts.MaxQueuedIngest,
+		mon:       opts.Monitor,
 	}
 	plan := spec.Plan()
 	var lookup func(name string) (*join.ResidentIndex, bool)
@@ -196,6 +213,11 @@ func New(db *storage.Database, spec *join.Spec, opts Options) (*Stream, error) {
 		return nil, err
 	}
 	s.rv = rv
+	if s.mon != nil {
+		s.monX = make([]float64, s.p.D)
+		s.monPKs = make([]int64, len(s.idxs))
+		s.monPos = make([]int, len(s.idxs))
+	}
 	return s, nil
 }
 
@@ -223,11 +245,30 @@ func (s *Stream) AttachGMM(name string, m *gmm.Model) error {
 		return err
 	}
 	s.models[name] = &attached{name: name, kind: serve.KindGMM, gmdl: m.Clone(), stats: st}
+	s.attachMonitorLocked(name, serve.KindGMM)
 	s.cmu.Lock()
 	s.counters.AttachedModels = len(s.models)
 	s.cmu.Unlock()
 	s.snapshotPlansLocked()
 	return nil
+}
+
+// attachMonitorLocked registers a just-attached model with the health
+// monitor, carrying the lineage (baseline statistics) its registry
+// version was persisted with.
+func (s *Stream) attachMonitorLocked(name string, kind serve.Kind) {
+	if s.mon == nil {
+		return
+	}
+	version := 0
+	var lin *monitor.Lineage
+	if s.reg != nil {
+		if info, ok := s.reg.Get(name); ok {
+			version = info.Version
+			lin = info.Lineage
+		}
+	}
+	s.mon.Attach(name, string(kind), version, lin)
 }
 
 // AttachNN puts a network under incremental maintenance: refreshes
@@ -251,6 +292,7 @@ func (s *Stream) AttachNN(name string, net *nn.Network) error {
 	m := &attached{name: name, kind: serve.KindNN, net: net.Clone()}
 	m.plan = s.planNN(context.Background(), m.net) // the strategy every refresh reuses
 	s.models[name] = m
+	s.attachMonitorLocked(name, serve.KindNN)
 	s.cmu.Lock()
 	s.counters.AttachedModels = len(s.models)
 	s.cmu.Unlock()
@@ -524,6 +566,7 @@ func (s *Stream) IngestCtx(ctx context.Context, b Batch) (IngestResult, error) {
 				return res, err
 			}
 		}
+		s.mon.ObserveDimUpdate(du.Table, du.Features)
 	}
 	for j := range touchedDims {
 		if err := s.spec.Rs[j].Flush(); err != nil {
@@ -559,6 +602,7 @@ func (s *Stream) IngestCtx(ctx context.Context, b Batch) (IngestResult, error) {
 		if err := s.spec.S.Append(&storage.Tuple{Keys: keys, Features: fr.Features, Target: fr.Target}); err != nil {
 			return res, err
 		}
+		s.observeFactLocked(fr)
 	}
 	if len(b.Facts) > 0 {
 		if err := s.spec.S.Flush(); err != nil {
@@ -585,7 +629,35 @@ func (s *Stream) IngestCtx(ctx context.Context, b Batch) (IngestResult, error) {
 		res.RefreshTriggered = true
 		res.PendingRows = s.Pending()
 	}
+	// Re-evaluate every model's health verdict so a drift or staleness
+	// transition fires with the batch that caused it, not at the next
+	// scrape.
+	s.mon.CheckAll()
 	return res, nil
+}
+
+// observeFactLocked resolves one just-validated fact row to its full
+// joined feature vector — through the same resident indexes serving
+// uses — and folds it into the monitor's live drift sketches. The
+// scratch buffers are reused under s.mu, so the observe path is O(1)
+// per row with zero allocations; without a monitor it is a single nil
+// check.
+func (s *Stream) observeFactLocked(fr *FactRow) {
+	if s.mon == nil {
+		return
+	}
+	if err := s.rv.Resolve(fr.FKs, s.monPKs, s.monPos); err != nil {
+		return // validated above; unreachable, but never fail an ingest for telemetry
+	}
+	copy(s.monX, fr.Features)
+	for j := range s.idxs {
+		feats, ok := s.idxs[j].Lookup(s.monPKs[j])
+		if !ok {
+			return
+		}
+		copy(s.monX[s.p.Offs[1+j]:], feats)
+	}
+	s.mon.ObserveJoined(s.monX)
 }
 
 // Refresh folds everything ingested so far into every attached model —
@@ -603,6 +675,26 @@ func (s *Stream) RefreshCtx(ctx context.Context) (RefreshResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.refreshLocked(ctx, false)
+}
+
+// refreshLineageLocked advances the monitor's baseline for a
+// just-refreshed model — folding the live window in with an exact
+// sketch merge, no rescan — and returns the lineage to persist with the
+// about-to-be-bumped registry version (nil without a monitor, which
+// makes the registry carry the previous lineage forward).
+func (s *Stream) refreshLineageLocked(name, strategy string, rows int64) *monitor.Lineage {
+	if s.mon == nil {
+		return nil
+	}
+	version := 1
+	if s.reg != nil {
+		if info, ok := s.reg.Get(name); ok {
+			version = info.Version + 1
+		}
+	} else {
+		version = 0 // no registry: keep the monitor's current version
+	}
+	return s.mon.NoteRefresh(name, version, strategy, rows)
 }
 
 func (s *Stream) refreshLocked(ctx context.Context, auto bool) (RefreshResult, error) {
@@ -659,8 +751,9 @@ func (s *Stream) refreshLocked(ctx context.Context, auto bool) (RefreshResult, e
 			m.gmdl = model
 			m.dirty = false
 			mr.LogLikelihood = m.stats.LogLikelihood()
+			lin := s.refreshLineageLocked(name, mr.Strategy, m.stats.Rows())
 			if s.reg != nil {
-				if err := s.reg.SaveGMM(name, model); err != nil {
+				if err := s.reg.SaveGMMLineage(name, model, lin); err != nil {
 					return res, err
 				}
 			}
@@ -706,8 +799,9 @@ func (s *Stream) refreshLocked(ctx context.Context, auto bool) (RefreshResult, e
 			m.dirty = false
 			m.lastRows = n
 			mr.RowsAbsorbed = n
+			lin := s.refreshLineageLocked(name, mr.Strategy, n)
 			if s.reg != nil {
-				if err := s.reg.SaveNN(name, tres.Net); err != nil {
+				if err := s.reg.SaveNNLineage(name, tres.Net, lin); err != nil {
 					return res, err
 				}
 			}

@@ -172,19 +172,19 @@ if grep -qv '^\(200\|429\)$' "$codes"; then
 fi
 echo "== /metrics is valid Prometheus text format"
 metrics="$(curl -sSf "http://$addr/metrics")"
-echo "$metrics" | grep -q '^# TYPE factorml_http_requests_total counter'
-echo "$metrics" | grep -q '^# TYPE factorml_http_request_duration_seconds histogram'
-echo "$metrics" | grep -q '^factorml_http_request_duration_seconds_bucket{endpoint="predict",le="+Inf"}'
-echo "$metrics" | grep -q '^factorml_engine_dim_cache_hit_rate'
-echo "$metrics" | grep -q '^factorml_stream_ingest_queue_depth'
+grep -q '^# TYPE factorml_http_requests_total counter' <<<"$metrics"
+grep -q '^# TYPE factorml_http_request_duration_seconds histogram' <<<"$metrics"
+grep -q '^factorml_http_request_duration_seconds_bucket{endpoint="predict",le="+Inf"}' <<<"$metrics"
+grep -q '^factorml_engine_dim_cache_hit_rate' <<<"$metrics"
+grep -q '^factorml_stream_ingest_queue_depth' <<<"$metrics"
 # Every non-comment line must parse as name{labels} value.
-if echo "$metrics" | grep -v '^#' | grep -qv '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[^}]*}\)\? [0-9eE.+-]\+$\|^$'; then
+if grep -v '^#' <<<"$metrics" | grep -qv '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[^}]*}\)\? [0-9eE.+-]\+$\|^$'; then
     echo "malformed exposition line:" >&2
-    echo "$metrics" | grep -v '^#' | grep -v '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[^}]*}\)\? [0-9eE.+-]\+$\|^$' >&2
+    grep -v '^#' <<<"$metrics" | grep -v '^[a-zA-Z_:][a-zA-Z0-9_:]*\({[^}]*}\)\? [0-9eE.+-]\+$\|^$' >&2
     exit 1
 fi
 # 429 rejections the overload pass produced must be visible to Prometheus.
-if echo "$metrics" | grep -q 'factorml_admission_rejections_total'; then
+if grep -q 'factorml_admission_rejections_total' <<<"$metrics"; then
     echo "   admission rejections are exported"
 fi
 

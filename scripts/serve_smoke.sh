@@ -60,16 +60,16 @@ curl_json() { curl -sSf "$@"; }
 echo "== /healthz"
 health="$(curl_json "http://$addr/healthz")"
 echo "   $health"
-echo "$health" | grep -q '"status": "ok"'
-echo "$health" | grep -q '"models": 2'
+grep -q '"status": "ok"' <<<"$health"
+grep -q '"models": 2' <<<"$health"
 
 echo "== predict (repeated fk so the dimension cache must hit)"
 pred="$(curl_json -X POST "http://$addr/v1/models/smoke-nn/predict" \
     -H 'Content-Type: application/json' \
     -d '{"rows":[{"fact":[0.1,0.2,0.3],"fks":[5]},{"fact":[1,1,1],"fks":[5]}]}')"
 echo "   $pred"
-echo "$pred" | grep -q '"output"'
-if echo "$pred" | grep -q '"error"'; then
+grep -q '"output"' <<<"$pred"
+if grep -q '"error"' <<<"$pred"; then
     echo "predict returned a row error" >&2; exit 1
 fi
 
@@ -77,14 +77,14 @@ gpred="$(curl_json -X POST "http://$addr/v1/models/smoke-gmm/predict" \
     -H 'Content-Type: application/json' \
     -d '{"rows":[{"fact":[0.1,0.2,0.3],"fks":[5]}]}')"
 echo "   $gpred"
-echo "$gpred" | grep -q '"log_prob"'
-echo "$gpred" | grep -q '"cluster"'
+grep -q '"log_prob"' <<<"$gpred"
+grep -q '"cluster"' <<<"$gpred"
 
 echo "== /statsz (hit rate must be non-zero)"
 stats="$(curl_json "http://$addr/statsz")"
 echo "   $stats"
-echo "$stats" | grep -q '"dim_cache_hits"'
-if echo "$stats" | grep -q '"dim_cache_hit_rate": 0,'; then
+grep -q '"dim_cache_hits"' <<<"$stats"
+if grep -q '"dim_cache_hit_rate": 0,' <<<"$stats"; then
     echo "dimension cache hit rate is zero" >&2; exit 1
 fi
 

@@ -78,7 +78,7 @@ predict_gmm() {
 echo "== baseline prediction (fk 5)"
 p1="$(predict_gmm)"
 echo "   $p1"
-echo "$p1" | grep -q '"version": 1'
+grep -q '"version": 1' <<<"$p1"
 
 echo "== dimension update reaches served predictions immediately"
 curl_json -X POST "http://$addr/v1/ingest" -H 'Content-Type: application/json' \
@@ -99,12 +99,12 @@ done
 ingest="$(curl_json -X POST "http://$addr/v1/ingest" -H 'Content-Type: application/json' \
     -d "{\"facts\":[$rows]}")"
 echo "   $ingest"
-echo "$ingest" | grep -q '"refresh_triggered": true'
+grep -q '"refresh_triggered": true' <<<"$ingest"
 
 echo "== refreshed model is served without a restart (version bump)"
 p3="$(predict_gmm)"
 echo "   $p3"
-echo "$p3" | grep -q '"version": 2'
+grep -q '"version": 2' <<<"$p3"
 
 echo "== invalid batches are rejected"
 code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/ingest" \
@@ -114,9 +114,9 @@ code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/v1/ingest" 
 echo "== /statsz carries the stream counters"
 stats="$(curl_json "http://$addr/statsz")"
 echo "   $stats"
-echo "$stats" | grep -q '"stream"'
-echo "$stats" | grep -q '"facts_ingested": 35'
-echo "$stats" | grep -q '"dim_updates": 1'
-echo "$stats" | grep -q '"auto_refreshes": 1'
+grep -q '"stream"' <<<"$stats"
+grep -q '"facts_ingested": 35' <<<"$stats"
+grep -q '"dim_updates": 1' <<<"$stats"
+grep -q '"auto_refreshes": 1' <<<"$stats"
 
 echo "stream smoke OK"
