@@ -7,7 +7,7 @@ GO ?= go
 # scripts/check_coverage.sh; raised with the monitoring PR).
 COVERAGE_BASELINE ?= 71.0
 
-.PHONY: all build test race bench cover serve-smoke stream-smoke snowflake-smoke load-smoke drift-smoke fmt vet ci
+.PHONY: all build test race bench cover serve-smoke stream-smoke snowflake-smoke load-smoke drift-smoke crash-smoke fmt vet ci
 
 all: build
 
@@ -29,7 +29,10 @@ race:
 # trace sweep writes BENCH_trace.json (span overhead with allocs/op;
 # the untraced span path fails the run if it allocates at all) and the
 # monitor sweep writes BENCH_monitor.json (sketch-maintenance overhead;
-# the disabled observation path fails the run if it allocates at all).
+# the disabled observation path fails the run if it allocates at all)
+# and the durability sweep writes BENCH_wal.json (group-commit fsync
+# batching at 1/8/64 writers, WAL-off vs WAL-on ingest; the WAL-disabled
+# hook path fails the run if it allocates at all).
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' .
 
@@ -59,6 +62,15 @@ load-smoke:
 drift-smoke:
 	./scripts/drift_smoke.sh
 
+# Crash smoke: boot cmd/serve with -wal-dir, drive ingest traffic with
+# cmd/loadgen plus explicit acked batches, kill -9 the server process
+# mid-traffic, reboot on the same directory, and assert /readyz returns,
+# the recovered LSN covers every acknowledged record (zero acked-row
+# loss), model health lineage is consistent, and the WAL telemetry is
+# live.
+crash-smoke:
+	./scripts/crash_smoke.sh
+
 # Snowflake smoke: the runnable multi-hop hierarchy example — builds
 # orders ⋈ items ⋈ categories ⋈ suppliers through the public API, trains
 # M/F over the flattened join and verifies the models agree.
@@ -83,4 +95,4 @@ vet:
 
 # cover runs before bench so the BENCH_*.json files the benchmarks write
 # (with ns/op filled in) are the ones left on disk.
-ci: fmt vet build race cover bench serve-smoke stream-smoke snowflake-smoke load-smoke drift-smoke
+ci: fmt vet build race cover bench serve-smoke stream-smoke snowflake-smoke load-smoke drift-smoke crash-smoke

@@ -61,6 +61,7 @@ func TestMain(m *testing.M) {
 	flushPlanBench()      // see bench_plan_test.go
 	flushTraceBench()     // see bench_trace_test.go
 	flushMonitorBench()   // see bench_monitor_test.go
+	flushWALBench()       // see bench_wal_test.go
 	os.Exit(code)
 }
 

@@ -1,0 +1,227 @@
+package factorml
+
+// Durability benchmarks: raw WAL append throughput under group commit
+// at 1/8/64 concurrent writers (fsyncs-per-append from Stats deltas
+// shows the batching effect), the end-to-end facade ingest path with
+// the WAL off and on, and the nil-*wal.Log hook shape compiled into
+// the WAL-disabled serving path — which must add zero allocations, in
+// the same discipline as the monitoring-off pin. Measurements land in
+// BENCH_wal.json (see TestMain).
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"factorml/internal/wal"
+)
+
+// walBenchRecord is one durability measurement in BENCH_wal.json.
+type walBenchRecord struct {
+	Name            string  `json:"name"`
+	Writers         int     `json:"writers,omitempty"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	FsyncsPerAppend float64 `json:"fsyncs_per_append,omitempty"`
+}
+
+var walBenchRecorder struct {
+	mu      sync.Mutex
+	order   []string
+	records map[string]walBenchRecord
+}
+
+func recordWALBench(rec walBenchRecord) {
+	walBenchRecorder.mu.Lock()
+	defer walBenchRecorder.mu.Unlock()
+	if walBenchRecorder.records == nil {
+		walBenchRecorder.records = make(map[string]walBenchRecord)
+	}
+	if _, seen := walBenchRecorder.records[rec.Name]; !seen {
+		walBenchRecorder.order = append(walBenchRecorder.order, rec.Name)
+	}
+	walBenchRecorder.records[rec.Name] = rec
+}
+
+// flushWALBench writes the durability measurements to BENCH_wal.json
+// (called from TestMain).
+func flushWALBench() {
+	walBenchRecorder.mu.Lock()
+	records := make([]walBenchRecord, 0, len(walBenchRecorder.order))
+	for _, key := range walBenchRecorder.order {
+		records = append(records, walBenchRecorder.records[key])
+	}
+	walBenchRecorder.mu.Unlock()
+	if len(records) == 0 {
+		return
+	}
+	out := struct {
+		Unit    string           `json:"unit"`
+		NumCPU  int              `json:"num_cpu"`
+		Results []walBenchRecord `json:"results"`
+	}{Unit: "ns/op", NumCPU: runtime.NumCPU(), Results: records}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err == nil {
+		err = os.WriteFile("BENCH_wal.json", append(blob, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: writing BENCH_wal.json: %v\n", err)
+	}
+}
+
+// BenchmarkWALAppend measures durable append latency at 1, 8, and 64
+// concurrent writers with real fsync. Group commit means the sync cost
+// amortizes across whoever is waiting: fsyncs/append (reported as a
+// metric and in the JSON) should fall well below 1 as writers grow.
+func BenchmarkWALAppend(b *testing.B) {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for _, writers := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			l, err := wal.Open(b.TempDir(), wal.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			before := l.Stats()
+			b.SetBytes(int64(len(payload)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			var firstErr atomic.Value
+			for wid := 0; wid < writers; wid++ {
+				n := b.N / writers
+				if wid < b.N%writers {
+					n++
+				}
+				wg.Add(1)
+				go func(n int) {
+					defer wg.Done()
+					for i := 0; i < n; i++ {
+						if _, err := l.Append(payload); err != nil {
+							firstErr.CompareAndSwap(nil, err)
+							return
+						}
+					}
+				}(n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if err, _ := firstErr.Load().(error); err != nil {
+				b.Fatal(err)
+			}
+			after := l.Stats()
+			fsyncs := float64(after.Fsyncs - before.Fsyncs)
+			perAppend := fsyncs / float64(b.N)
+			b.ReportMetric(perAppend, "fsyncs/append")
+			recordWALBench(walBenchRecord{
+				Name: fmt.Sprintf("wal_append/writers=%d", writers), Writers: writers,
+				NsPerOp:         float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				FsyncsPerAppend: perAppend,
+			})
+		})
+	}
+}
+
+// BenchmarkWALDisabledHooks times the nil-*wal.Log reads compiled into
+// the WAL-off serving path (the facade's Durable/WALStats probes and
+// the stream's enabled check). This path must not allocate: the
+// benchmark fails outright if it does.
+func BenchmarkWALDisabledHooks(b *testing.B) {
+	var l *wal.Log
+	var sink int64
+	op := func() {
+		if l.Enabled() {
+			b.Fatal("nil log reports enabled")
+		}
+		sink += l.LastLSN()
+		sink += l.Stats().Appends
+	}
+	if allocs := benchAllocs(op); allocs != 0 {
+		b.Fatalf("WAL-disabled hook path allocates %.0f objects/op, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op()
+	}
+	_ = sink
+	recordWALBench(walBenchRecord{
+		Name:    "wal_hooks/disabled",
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+	})
+}
+
+// BenchmarkIngestDurable times a full 8-row facade ingest with the WAL
+// off and on (fsync-per-ack): the gap is the total price of the
+// ack-implies-durable guarantee on the serving path.
+func BenchmarkIngestDurable(b *testing.B) {
+	const rowsPerBatch = 8
+	for _, mode := range []string{"wal-off", "wal-on"} {
+		b.Run(mode, func(b *testing.B) {
+			var extra []OpenOption
+			if mode == "wal-on" {
+				extra = append(extra, WithDurability(DurabilityConfig{
+					FsyncEvery: 1, SnapshotEvery: 0,
+				}))
+			}
+			db, err := Open(b.TempDir(), Options{NumWorkers: 1}, extra...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			items, err := db.CreateDimensionTable("items", []string{"price"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := int64(0); i < 8; i++ {
+				if err := items.Append(i, []float64{float64(i) * 0.5}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			orders, err := db.CreateFactTable("orders", []string{"amount"}, true, items)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st, err := db.NewStream(orders, StreamPolicy{RefreshRows: 1 << 30, NumWorkers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			next := int64(0)
+			batch := func() StreamBatch {
+				var bt StreamBatch
+				for i := 0; i < rowsPerBatch; i++ {
+					bt.Facts = append(bt.Facts, FactRow{
+						SID: next, FKs: []int64{next % 8},
+						Features: []float64{0.25}, Target: 1,
+					})
+					next++
+				}
+				return bt
+			}
+			allocs := testing.AllocsPerRun(1, func() {
+				if _, err := st.Ingest(batch()); err != nil {
+					b.Fatal(err)
+				}
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := st.Ingest(batch()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			recordWALBench(walBenchRecord{
+				Name:        fmt.Sprintf("ingest_%drows/%s", rowsPerBatch, mode),
+				NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				AllocsPerOp: allocs,
+			})
+		})
+	}
+}

@@ -54,10 +54,12 @@
 package factorml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"sync"
 
 	"factorml/internal/data"
@@ -71,6 +73,7 @@ import (
 	"factorml/internal/storage"
 	"factorml/internal/stream"
 	"factorml/internal/trace"
+	"factorml/internal/wal"
 	"factorml/internal/xlog"
 )
 
@@ -165,6 +168,9 @@ type (
 	RefreshResult = stream.RefreshResult
 	// StreamCounters is a snapshot of a stream's cumulative counters.
 	StreamCounters = stream.Counters
+	// WALStats is a snapshot of the write-ahead log's cumulative
+	// counters (LSN watermarks, segment/byte footprint, fsync totals).
+	WALStats = wal.Stats
 	// StrategyPlan is the cost-based planner's ranked decision: the chosen
 	// strategy plus one StrategyEstimate per strategy, ascending by score.
 	// Plan.Chosen's integer value matches the Algorithm constants.
@@ -282,26 +288,187 @@ type DB struct {
 	db   *storage.Database
 	opts Options
 
+	// Durability state (nil/zero unless opened WithDurability).
+	wal       *wal.Log
+	snapEvery int
+	walStream *stream.Stream
+	// pendingReplay marks a crash boot whose WAL tail has not been
+	// replayed yet: set when the directory was not closed cleanly and
+	// recovery work exists, cleared once a stream boot has recovered.
+	// While set, Close leaves the crash state untouched so a later boot
+	// can still recover it.
+	pendingReplay bool
+
 	regOnce sync.Once
 	reg     *serve.Registry
 	regErr  error
 }
 
+// DurabilityConfig switches on crash-safe streaming for a database: a
+// write-ahead log makes every acknowledged ingest batch durable before
+// the ack, and periodic atomic snapshots bound recovery time. After a
+// crash, the next Open restores the last committed snapshot and the
+// first NewStream/NewServer replays the WAL tail, rebuilding tables,
+// incremental statistics, and the model registry to the exact pre-crash
+// state — refreshed models are bit-identical to an unkilled run.
+type DurabilityConfig struct {
+	// Dir is the WAL directory. Empty selects "<dbdir>/wal". It may live
+	// on a different filesystem than the database directory.
+	Dir string
+
+	// FsyncEvery is the group-commit window: an fsync is issued at the
+	// latest after this many appended records, and every waiting append
+	// is acknowledged by the same fsync. 0 or 1 syncs every record;
+	// higher values amortize fsyncs across concurrent writers without
+	// weakening the guarantee (no append returns before its record is
+	// on disk).
+	FsyncEvery int
+
+	// SnapshotEvery triggers an automatic checkpoint after this many WAL
+	// records past the last snapshot. 0 disables automatic checkpoints
+	// (explicit Stream.Checkpoint and the boot/close checkpoints still
+	// run), which bounds neither WAL growth nor recovery time.
+	SnapshotEvery int
+
+	// SegmentBytes rotates WAL segment files at this size. 0 selects the
+	// default (4 MiB).
+	SegmentBytes int64
+
+	// NoSync skips fsync entirely (testing only: durability reduces to
+	// "whatever the OS flushed").
+	NoSync bool
+}
+
+// OpenOption is an optional setting for Open.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	dur *DurabilityConfig
+}
+
+// WithDurability opens the database with a write-ahead log and atomic
+// snapshots (see DurabilityConfig). A database previously opened without
+// durability can be upgraded by passing this option; dropping the option
+// later is safe only after a clean Close.
+func WithDurability(cfg DurabilityConfig) OpenOption {
+	return func(o *openConfig) {
+		c := cfg
+		o.dur = &c
+	}
+}
+
 // Open creates or opens a database directory.
-func Open(dir string, opts Options) (*DB, error) {
+//
+// With WithDurability, Open also inspects the WAL directory: after a
+// crash (no clean-shutdown marker) it first restores the database files
+// captured by the last committed snapshot, leaving the WAL tail to be
+// replayed by the first NewStream/NewServer on the returned DB.
+func Open(dir string, opts Options, extra ...OpenOption) (*DB, error) {
+	var oc openConfig
+	for _, o := range extra {
+		o(&oc)
+	}
 	pool := opts.PoolPages
 	if pool == 0 {
 		pool = -1 // facade default: enabled
 	}
+	var l *wal.Log
+	pending := false
+	if oc.dur != nil {
+		walDir := oc.dur.Dir
+		if walDir == "" {
+			walDir = filepath.Join(dir, "wal")
+		}
+		clean, err := wal.IsClean(walDir)
+		if err != nil {
+			return nil, fmt.Errorf("factorml: checking clean-shutdown marker: %w", err)
+		}
+		if !clean {
+			// Crash boot (or first boot): rewind the database files to
+			// the last committed snapshot before opening them. A no-op
+			// when no snapshot exists yet.
+			if err := stream.RestoreSnapshotFiles(dir, walDir); err != nil {
+				return nil, fmt.Errorf("factorml: restoring snapshot: %w", err)
+			}
+		}
+		l, err = wal.Open(walDir, wal.Options{
+			SegmentBytes: oc.dur.SegmentBytes,
+			FsyncEvery:   oc.dur.FsyncEvery,
+			NoSync:       oc.dur.NoSync,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("factorml: opening WAL: %w", err)
+		}
+		if !clean {
+			_, _, snapOK, err := wal.CurrentSnapshot(walDir)
+			if err != nil {
+				l.Close()
+				return nil, err
+			}
+			if !snapOK && l.LastLSN() > 0 {
+				// Records but no snapshot to anchor them: genesis never
+				// checkpointed, so replay has no base state. NewServer
+				// commits a boot checkpoint before clearing the marker
+				// exactly so this cannot happen in normal operation.
+				l.Close()
+				return nil, fmt.Errorf("factorml: WAL %s holds %d records but no committed snapshot; cannot recover", walDir, l.LastLSN())
+			}
+			pending = snapOK || l.LastLSN() > 0
+		}
+	}
 	sdb, err := storage.Open(dir, storage.Options{PoolPages: pool})
 	if err != nil {
+		if l != nil {
+			l.Close()
+		}
 		return nil, err
 	}
-	return &DB{db: sdb, opts: opts}, nil
+	snapEvery := 0
+	if oc.dur != nil {
+		snapEvery = oc.dur.SnapshotEvery
+	}
+	return &DB{db: sdb, opts: opts, wal: l, snapEvery: snapEvery, pendingReplay: pending}, nil
 }
 
-// Close flushes and closes all tables.
-func (d *DB) Close() error { return d.db.Close() }
+// Durable reports whether the database was opened WithDurability.
+func (d *DB) Durable() bool { return d.wal.Enabled() }
+
+// WALStats returns the write-ahead log's cumulative counters (all zero
+// when durability is off).
+func (d *DB) WALStats() WALStats { return d.wal.Stats() }
+
+// Close flushes and closes all tables. With durability on and a live
+// stream, Close first commits a checkpoint and marks the shutdown clean,
+// so the next Open skips recovery entirely; after a crash boot whose WAL
+// tail was never replayed (no stream was built), Close leaves the crash
+// state on disk untouched for a later boot to recover.
+func (d *DB) Close() error {
+	if d.wal == nil {
+		return d.db.Close()
+	}
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	clean := !d.pendingReplay
+	if d.walStream != nil {
+		if err := d.walStream.Checkpoint(); err != nil {
+			keep(fmt.Errorf("factorml: close checkpoint: %w", err))
+			clean = false
+		}
+	}
+	keep(d.db.Close())
+	// CLEAN means "the live database files are authoritative": mark it
+	// only after the file flush above, and never over unreplayed crash
+	// state.
+	if clean && firstErr == nil {
+		keep(wal.MarkClean(d.wal.Dir()))
+	}
+	keep(d.wal.Close())
+	return firstErr
+}
 
 // IOStats returns the cumulative buffer-pool counters.
 func (d *DB) IOStats() IOStats { return d.db.Pool().Stats() }
@@ -435,6 +602,45 @@ func (d *DB) CreateFactTable(name string, features []string, withTarget bool, di
 	tbl, err := d.db.CreateTable(schema)
 	if err != nil {
 		return nil, err
+	}
+	return &FactTable{tbl: tbl, dims: dims}, nil
+}
+
+// DimensionTable opens an existing dimension relation by name,
+// rebuilding its sub-dimension handles from the references recorded in
+// the database catalog.
+func (d *DB) DimensionTable(name string) (*DimensionTable, error) {
+	tbl, err := d.db.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	var subs []*DimensionTable
+	for _, ref := range tbl.Schema().Refs {
+		sub, err := d.DimensionTable(ref)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+	}
+	return &DimensionTable{tbl: tbl, subs: subs}, nil
+}
+
+// FactTable opens an existing fact relation by name, rebuilding its
+// dimension-table handles from the references recorded in the database
+// catalog — the handle a reopened database needs for Dataset or
+// NewStream (e.g. when rebooting a durable database after a crash).
+func (d *DB) FactTable(name string) (*FactTable, error) {
+	tbl, err := d.db.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	var dims []*DimensionTable
+	for _, ref := range tbl.Schema().Refs {
+		dim, err := d.DimensionTable(ref)
+		if err != nil {
+			return nil, err
+		}
+		dims = append(dims, dim)
 	}
 	return &FactTable{tbl: tbl, dims: dims}, nil
 }
@@ -780,6 +986,13 @@ type Stream struct {
 // database's model registry receives every refreshed model (version
 // bump), so a prediction server over the same database serves refreshed
 // parameters without a restart.
+//
+// On a database opened WithDurability, the stream writes every batch to
+// the WAL before applying it, and NewStream finishes any pending crash
+// recovery: it replays the WAL tail past the last snapshot (re-attaching
+// the models the checkpoint had under maintenance) and commits a fresh
+// boot checkpoint. Models the replay attached show up in Attached() —
+// re-attach only what is missing.
 func (d *DB) NewStream(fact *FactTable, pol StreamPolicy) (*Stream, error) {
 	reg, err := d.registry()
 	if err != nil {
@@ -789,11 +1002,42 @@ func (d *DB) NewStream(fact *FactTable, pol StreamPolicy) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := stream.New(d.db, ds.spec, stream.Options{Registry: reg, Policy: pol})
+	st, err := stream.New(d.db, ds.spec, stream.Options{
+		Registry:      reg,
+		Policy:        pol,
+		WAL:           d.wal,
+		SnapshotEvery: d.snapEvery,
+	})
 	if err != nil {
 		return nil, err
 	}
+	if err := d.bootStream(st); err != nil {
+		return nil, err
+	}
 	return &Stream{st: st}, nil
+}
+
+// bootStream finishes durability boot on a freshly built stream: replay
+// the WAL tail past the last snapshot, commit a boot checkpoint so the
+// snapshot covers the current state, and clear the clean-shutdown marker
+// (from here on, a missing marker means "crashed, recover on next
+// boot"). A no-op when durability is off.
+func (d *DB) bootStream(st *stream.Stream) error {
+	if d.wal == nil {
+		return nil
+	}
+	if err := st.Recover(context.Background()); err != nil {
+		return fmt.Errorf("factorml: WAL recovery: %w", err)
+	}
+	if err := st.Checkpoint(); err != nil {
+		return fmt.Errorf("factorml: boot checkpoint: %w", err)
+	}
+	if err := wal.ClearClean(d.wal.Dir()); err != nil {
+		return err
+	}
+	d.walStream = st
+	d.pendingReplay = false
+	return nil
 }
 
 // AttachGMM puts a trained mixture under incremental maintenance (the
@@ -825,6 +1069,12 @@ func (s *Stream) Counters() StreamCounters { return s.st.Counters() }
 
 // Attached returns the names of the models under incremental maintenance.
 func (s *Stream) Attached() []string { return s.st.Attached() }
+
+// Checkpoint commits an atomic snapshot of the database files plus the
+// stream's incremental state and truncates the WAL behind it. A no-op
+// without durability. Close calls this automatically; call it directly
+// to bound recovery time between automatic SnapshotEvery checkpoints.
+func (s *Stream) Checkpoint() error { return s.st.Checkpoint() }
 
 // Ingest validates and applies one change batch on the stream: dimension
 // inserts/updates first, then fact appends; nothing is applied when any
@@ -1057,11 +1307,28 @@ func NewServer(d *DB, dimTables []string, opts ...ServerOption) (*Server, error)
 		Policy:          o.pol,
 		MaxQueuedIngest: o.limits.MaxQueuedIngest,
 		Monitor:         mon,
+		WAL:             d.wal,
+		SnapshotEvery:   d.snapEvery,
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Replay any WAL tail left by a crash before attaching registry
+	// models: recovery re-attaches exactly the models the last checkpoint
+	// had under maintenance, with their incremental statistics intact.
+	if d.wal != nil {
+		if err := st.Recover(context.Background()); err != nil {
+			return nil, fmt.Errorf("factorml: WAL recovery: %w", err)
+		}
+	}
+	recovered := make(map[string]bool)
+	for _, name := range st.Attached() {
+		recovered[name] = true
+	}
 	for _, mi := range reg.List() {
+		if recovered[mi.Name] {
+			continue
+		}
 		var attachErr error
 		switch mi.Kind {
 		case KindGMM:
@@ -1084,10 +1351,25 @@ func NewServer(d *DB, dimTables []string, opts ...ServerOption) (*Server, error)
 			return nil, fmt.Errorf("factorml: attaching model %q to the stream: %w", mi.Name, attachErr)
 		}
 	}
+	// Boot checkpoint + clean-marker clear: from here on, a kill leaves
+	// recoverable crash state (snapshot + WAL tail) behind.
+	if d.wal != nil {
+		if err := st.Checkpoint(); err != nil {
+			return nil, fmt.Errorf("factorml: boot checkpoint: %w", err)
+		}
+		if err := wal.ClearClean(d.wal.Dir()); err != nil {
+			return nil, err
+		}
+		d.walStream = st
+		d.pendingReplay = false
+	}
 	srv.SetIngestHandler(st.Handler())
 	srv.SetRefreshHandler(st.RefreshHandler())
 	srv.SetStreamStats(st.StatsProvider())
 	srv.SetPlannerStats(st.PlannerProvider())
+	if ws := st.WALStatsProvider(); ws != nil {
+		srv.SetWALStats(ws)
+	}
 	if o.withMetrics {
 		srv.Metrics().Collect(st.MetricsCollector())
 	}

@@ -70,6 +70,7 @@ type Server struct {
 	refresh      http.Handler // nil until SetRefreshHandler
 	streamStats  func() any   // nil until SetStreamStats
 	plannerStats func() any   // nil until SetPlannerStats
+	walStats     func() any   // nil until SetWALStats
 }
 
 // Option customizes NewServer.
@@ -231,6 +232,15 @@ func (s *Server) SetPlannerStats(fn func() any) {
 	s.ingestMu.Unlock()
 }
 
+// SetWALStats installs a provider whose value is embedded as the "wal"
+// section of /statsz — the write-ahead log's durability watermarks (last
+// LSN, snapshot LSN, segment/byte footprint, fsync totals).
+func (s *Server) SetWALStats(fn func() any) {
+	s.ingestMu.Lock()
+	s.walStats = fn
+	s.ingestMu.Unlock()
+}
+
 // Metrics returns the Prometheus registry installed by WithMetrics (nil
 // without one), so callers can register additional collectors —
 // internal/stream contributes queue depth and planner decisions.
@@ -385,6 +395,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.ingestMu.RLock()
 	streamStats := s.streamStats
 	plannerStats := s.plannerStats
+	walStats := s.walStats
 	s.ingestMu.RUnlock()
 	payload := struct {
 		Stats
@@ -393,6 +404,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Trace         any       `json:"trace,omitempty"`
 		Stream        any       `json:"stream,omitempty"`
 		Planner       any       `json:"planner,omitempty"`
+		WAL           any       `json:"wal,omitempty"`
 		Health        any       `json:"health,omitempty"`
 	}{
 		Stats:         s.eng.Stats(),
@@ -410,6 +422,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if plannerStats != nil {
 		payload.Planner = plannerStats()
+	}
+	if walStats != nil {
+		payload.WAL = walStats()
 	}
 	writeJSON(w, http.StatusOK, payload)
 }

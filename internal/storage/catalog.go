@@ -24,7 +24,11 @@ type catalogEntry struct {
 
 // saveCatalog persists the schemas — and planner statistics — of all
 // tables so a database directory can be reopened by a later process.
-func (db *Database) saveCatalog() error {
+func (db *Database) saveCatalog() error { return db.saveCatalogSync(false) }
+
+// saveCatalogSync is saveCatalog with optional fsync of the temp file
+// before the rename, for checkpoints that must survive power loss.
+func (db *Database) saveCatalogSync(sync bool) error {
 	entries := make([]catalogEntry, 0, len(db.tables))
 	for _, name := range db.TableNames() {
 		t := db.tables[name]
@@ -41,6 +45,12 @@ func (db *Database) saveCatalog() error {
 	tmp := filepath.Join(db.dir, catalogFile+".tmp")
 	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
 		return fmt.Errorf("storage: writing catalog: %w", err)
+	}
+	if sync {
+		if f, err := os.Open(tmp); err == nil {
+			f.Sync()
+			f.Close()
+		}
 	}
 	if err := os.Rename(tmp, filepath.Join(db.dir, catalogFile)); err != nil {
 		return err

@@ -118,6 +118,21 @@ func (db *Database) TableNames() []string {
 	return names
 }
 
+// CheckpointSync makes the whole database durable: every table's
+// buffered tail page is flushed and its heap file fsynced, and the
+// catalog is rewritten through a synced temp file. After it returns,
+// the on-disk directory is a consistent, reopenable image of the
+// in-memory state — the precondition for committing a WAL snapshot
+// that references these files.
+func (db *Database) CheckpointSync() error {
+	for _, name := range db.TableNames() {
+		if err := db.tables[name].SyncToDisk(); err != nil {
+			return err
+		}
+	}
+	return db.saveCatalogSync(true)
+}
+
 // Close flushes and closes every table. The database directory (including
 // the catalog, so it can be reopened) is left on disk; use os.RemoveAll to
 // delete it.

@@ -259,5 +259,38 @@ func (s *Scanner) Err() error { return s.err }
 // Close releases resources (no-op today; kept for interface stability).
 func (s *Scanner) Close() error { return nil }
 
-// PathForTest exposes the backing file path (testing only).
-func (t *Table) PathForTest() string { return t.path }
+// Path returns the table's backing heap-file path (checkpointing copies
+// or truncates heap files at this granularity; see internal/stream).
+func (t *Table) Path() string { return t.path }
+
+// PathForTest exposes the backing file path (testing only; prefer Path).
+func (t *Table) PathForTest() string { return t.Path() }
+
+// TailPageState reports the heap-file geometry a checkpoint must
+// record to restore this table exactly: the number of full pages, and
+// a copy of the buffered partial tail page (nil when the tail is
+// empty). Appends after the checkpoint rewrite the tail page in place
+// — growing its record count without changing which pages are full —
+// so a restore truncates the file to fullPages*PageSize and re-appends
+// the saved tail page rather than trusting the file size.
+func (t *Table) TailPageState() (fullPages int64, tailPage []byte) {
+	if t.tailUsed == 0 {
+		return t.numPages, nil
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, t.tail.buf)
+	return t.numPages, buf
+}
+
+// SyncToDisk flushes the buffered tail page and fsyncs the heap file,
+// making every appended tuple durable. Part of the checkpoint protocol
+// (Database.CheckpointSync).
+func (t *Table) SyncToDisk() error {
+	if err := t.flushTail(); err != nil {
+		return err
+	}
+	if err := t.file.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing %q: %w", t.schema.Name, err)
+	}
+	return nil
+}

@@ -1,0 +1,684 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"factorml/internal/gmm"
+	"factorml/internal/monitor"
+	"factorml/internal/nn"
+	"factorml/internal/serve"
+	"factorml/internal/storage"
+	"factorml/internal/wal"
+)
+
+// Checkpointing and recovery. A checkpoint stages a consistent image of
+// everything the WAL protects into a wal.Snapshot directory:
+//
+//	snap-XXXX/
+//	  manifest.json        what was staged and how to restore it
+//	  stream-state.json    maintained model state (statistics, monitor…)
+//	  files/               catalog, dimension heaps, model blobs
+//
+// The fact heap is the one file NOT copied: it is append-only and can be
+// huge, so the manifest records its full-page count plus the raw bytes
+// of the buffered tail page. Restore truncates the live heap to the
+// recorded page boundary and re-appends the saved tail page — correct
+// even though post-checkpoint appends rewrite that tail page in place.
+//
+// Recovery is then: restore the snapshot files over the database
+// directory (RestoreSnapshotFiles, before storage.Open), load
+// stream-state.json (Stream.Recover), and replay every WAL record past
+// the snapshot LSN through the exact same ingest/refresh code paths the
+// live system uses — which, by the repo-wide determinism guarantee,
+// rebuilds bit-identical model state.
+
+const (
+	streamStateFormat = 1
+	manifestFormat    = 1
+
+	manifestFile    = "manifest.json"
+	streamStateFile = "stream-state.json"
+	stagedFilesDir  = "files"
+)
+
+// --- serialized stream state ----------------------------------------------
+
+// groupState is one dimension group's accumulator (see groupAcc).
+type groupState struct {
+	G    int    `json:"g"`
+	W    string `json:"w"`
+	GVec string `json:"gvec"`
+}
+
+// pairState is one cross-dimension group pair's γ-sums.
+type pairState struct {
+	A int    `json:"a"`
+	B int    `json:"b"`
+	W string `json:"w"`
+}
+
+// statAccState is a statAcc with every float sum base64-bit-packed
+// (floatsToB64), so the checkpointed statistics restore bit-exactly.
+type statAccState struct {
+	Rows  int64          `json:"rows"`
+	LL    string         `json:"ll"`
+	NK    string         `json:"nk"`
+	S1S   string         `json:"s1s"`
+	B00   []string       `json:"b00"`
+	Grp   [][]groupState `json:"grp"`
+	Pairs [][]pairState  `json:"pairs"`
+}
+
+// gmmStatsState is one attached mixture's maintained statistics.
+type gmmStatsState struct {
+	K      int           `json:"k"`
+	Merged *statAccState `json:"merged"`
+	Tail   *statAccState `json:"tail"`
+}
+
+// walModelState is one attached model: parameters (the gmm/nn JSON
+// serialization, exact for finite floats) plus maintenance state.
+type walModelState struct {
+	Name     string          `json:"name"`
+	Kind     string          `json:"kind"`
+	Dirty    bool            `json:"dirty"`
+	LastRows int64           `json:"last_rows"`
+	Params   json.RawMessage `json:"params"`
+	Stats    *gmmStatsState  `json:"stats,omitempty"`
+}
+
+// walStreamState is everything a Stream must carry across a crash that
+// is not derivable from the database files: attached models with their
+// incremental statistics, the refresh cadence position, counters, and
+// the monitor's live sketches.
+type walStreamState struct {
+	Format     int             `json:"format"`
+	RefreshSeq uint64          `json:"refresh_seq"`
+	Pending    int64           `json:"pending"`
+	Counters   Counters        `json:"counters"`
+	Models     []walModelState `json:"models"`
+	Monitor    *monitor.State  `json:"monitor,omitempty"`
+}
+
+func packStatAcc(a *statAcc) *statAccState {
+	st := &statAccState{
+		Rows: a.rows,
+		LL:   floatsToB64([]float64{a.ll}),
+		NK:   floatsToB64(a.nk),
+		S1S:  floatsToB64(a.s1S),
+	}
+	for _, m := range a.b00 {
+		st.B00 = append(st.B00, floatsToB64(m.Data()))
+	}
+	st.Grp = make([][]groupState, len(a.grp))
+	for j := range a.grp {
+		gs := make([]groupState, 0, len(a.grp[j]))
+		keys := make([]int, 0, len(a.grp[j]))
+		for g := range a.grp[j] {
+			keys = append(keys, g)
+		}
+		sort.Ints(keys)
+		for _, g := range keys {
+			ga := a.grp[j][g]
+			gs = append(gs, groupState{G: g, W: floatsToB64(ga.w), GVec: floatsToB64(ga.gvec)})
+		}
+		st.Grp[j] = gs
+	}
+	st.Pairs = make([][]pairState, len(a.pairs))
+	for pi := range a.pairs {
+		ps := make([]pairState, 0, len(a.pairs[pi]))
+		keys := make([]pairKey, 0, len(a.pairs[pi]))
+		for key := range a.pairs[pi] {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(x, y int) bool {
+			if keys[x].a != keys[y].a {
+				return keys[x].a < keys[y].a
+			}
+			return keys[x].b < keys[y].b
+		})
+		for _, key := range keys {
+			ps = append(ps, pairState{A: key.a, B: key.b, W: floatsToB64(a.pairs[pi][key])})
+		}
+		st.Pairs[pi] = ps
+	}
+	return st
+}
+
+func unpackStatAcc(dst *statAcc, st *statAccState) error {
+	if st == nil {
+		return fmt.Errorf("stream: checkpoint statistics accumulator missing")
+	}
+	dst.rows = st.Rows
+	ll, err := b64ToFloats(st.LL, 1)
+	if err != nil {
+		return err
+	}
+	dst.ll = ll[0]
+	nk, err := b64ToFloats(st.NK, dst.k)
+	if err != nil {
+		return err
+	}
+	copy(dst.nk, nk)
+	s1S, err := b64ToFloats(st.S1S, dst.k*dst.dS)
+	if err != nil {
+		return err
+	}
+	copy(dst.s1S, s1S)
+	if len(st.B00) != dst.k {
+		return fmt.Errorf("stream: checkpoint has %d fact-moment blocks, want %d", len(st.B00), dst.k)
+	}
+	for c, blob := range st.B00 {
+		vals, err := b64ToFloats(blob, dst.dS*dst.dS)
+		if err != nil {
+			return err
+		}
+		copy(dst.b00[c].Data(), vals)
+	}
+	if len(st.Grp) != len(dst.grp) {
+		return fmt.Errorf("stream: checkpoint has %d dimension group maps, want %d", len(st.Grp), len(dst.grp))
+	}
+	for j := range st.Grp {
+		for _, gs := range st.Grp[j] {
+			ga := dst.group(j, gs.G)
+			w, err := b64ToFloats(gs.W, dst.k)
+			if err != nil {
+				return err
+			}
+			copy(ga.w, w)
+			gvec, err := b64ToFloats(gs.GVec, dst.k*dst.dS)
+			if err != nil {
+				return err
+			}
+			copy(ga.gvec, gvec)
+		}
+	}
+	if len(st.Pairs) != len(dst.pairs) {
+		return fmt.Errorf("stream: checkpoint has %d pair maps, want %d", len(st.Pairs), len(dst.pairs))
+	}
+	for pi := range st.Pairs {
+		for _, ps := range st.Pairs[pi] {
+			w, err := b64ToFloats(ps.W, dst.k)
+			if err != nil {
+				return err
+			}
+			copy(dst.pairW(pi, pairKey{a: ps.A, b: ps.B}), w)
+		}
+	}
+	return nil
+}
+
+// stateLocked captures the stream's full recovery state. Caller holds mu.
+func (s *Stream) stateLocked() (*walStreamState, error) {
+	st := &walStreamState{Format: streamStateFormat, RefreshSeq: s.refreshSeq}
+	s.cmu.Lock()
+	st.Pending = s.pending
+	st.Counters = s.counters
+	s.cmu.Unlock()
+	st.Counters.IngestRejections = s.ingestRejections.Load()
+	names := make([]string, 0, len(s.models))
+	for name := range s.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := s.models[name]
+		ms := walModelState{Name: name, Kind: string(m.kind), Dirty: m.dirty, LastRows: m.lastRows}
+		var buf bytes.Buffer
+		switch m.kind {
+		case serve.KindGMM:
+			if err := m.gmdl.Save(&buf); err != nil {
+				return nil, err
+			}
+			ms.Stats = &gmmStatsState{
+				K:      m.stats.k,
+				Merged: packStatAcc(m.stats.merged),
+				Tail:   packStatAcc(m.stats.tail),
+			}
+		case serve.KindNN:
+			if err := m.net.Save(&buf); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("stream: cannot checkpoint model %q of kind %q", name, m.kind)
+		}
+		ms.Params = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+		st.Models = append(st.Models, ms)
+	}
+	st.Monitor = s.mon.Snapshot()
+	return st, nil
+}
+
+// restoreStateLocked rebuilds the stream from a checkpointed state.
+// Caller holds mu; the database files must already be the snapshot's
+// (RestoreSnapshotFiles ran before storage.Open on a crash boot).
+func (s *Stream) restoreStateLocked(ctx context.Context, st *walStreamState) error {
+	if st.Format != streamStateFormat {
+		return fmt.Errorf("stream: unsupported checkpoint state format %d", st.Format)
+	}
+	s.refreshSeq = st.RefreshSeq
+	for _, ms := range st.Models {
+		m := &attached{name: ms.Name, kind: serve.Kind(ms.Kind), dirty: ms.Dirty, lastRows: ms.LastRows}
+		switch m.kind {
+		case serve.KindGMM:
+			gm, err := gmm.LoadModel(bytes.NewReader(ms.Params))
+			if err != nil {
+				return fmt.Errorf("stream: restoring model %q: %w", ms.Name, err)
+			}
+			m.gmdl = gm
+			if ms.Stats == nil {
+				return fmt.Errorf("stream: checkpointed GMM %q has no statistics", ms.Name)
+			}
+			stats := NewGMMStats(s.p, ms.Stats.K)
+			if err := unpackStatAcc(stats.merged, ms.Stats.Merged); err != nil {
+				return fmt.Errorf("stream: restoring model %q: %w", ms.Name, err)
+			}
+			if err := unpackStatAcc(stats.tail, ms.Stats.Tail); err != nil {
+				return fmt.Errorf("stream: restoring model %q: %w", ms.Name, err)
+			}
+			m.stats = stats
+		case serve.KindNN:
+			net, err := nn.LoadNetwork(bytes.NewReader(ms.Params))
+			if err != nil {
+				return fmt.Errorf("stream: restoring model %q: %w", ms.Name, err)
+			}
+			m.net = net
+			m.plan = s.planNN(ctx, net)
+		default:
+			return fmt.Errorf("stream: checkpointed model %q has unknown kind %q", ms.Name, ms.Kind)
+		}
+		s.models[ms.Name] = m
+	}
+	s.mon.Restore(st.Monitor)
+	s.cmu.Lock()
+	s.pending = st.Pending
+	s.counters = st.Counters
+	s.counters.AttachedModels = len(s.models)
+	s.cmu.Unlock()
+	s.ingestRejections.Store(st.Counters.IngestRejections)
+	s.snapshotPlansLocked()
+	return nil
+}
+
+// --- file checkpoint -------------------------------------------------------
+
+// factManifest records how to restore the (append-only, never copied)
+// fact heap: truncate to FullPages, then re-append the saved tail page.
+type factManifest struct {
+	File      string `json:"file"`
+	FullPages int64  `json:"full_pages"`
+	TailPage  string `json:"tail_page,omitempty"` // base64 of one raw page
+}
+
+// walManifest indexes a snapshot directory: Files are database-dir-
+// relative paths staged whole under files/; Fact (when present)
+// restores the fact heap in place.
+type walManifest struct {
+	Format int           `json:"format"`
+	Files  []string      `json:"files"`
+	Fact   *factManifest `json:"fact,omitempty"`
+}
+
+func copyFile(src, dst string) error {
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// stageCommon copies the catalog and every model blob into the staging
+// directory, returning their database-relative paths.
+func stageCommon(db *storage.Database, stageDir string) ([]string, error) {
+	files := []string{"catalog.json"}
+	blobNames, err := db.BlobNames()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range blobNames {
+		files = append(files, filepath.Join("blobs", name))
+	}
+	for _, rel := range files {
+		if err := copyFile(filepath.Join(db.Dir(), rel), filepath.Join(stageDir, rel)); err != nil {
+			return nil, fmt.Errorf("stream: staging %s: %w", rel, err)
+		}
+	}
+	return files, nil
+}
+
+func writeJSONFile(path string, v any) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, blob, 0o644)
+}
+
+// checkpointLocked takes a full checkpoint: flush + fsync the database,
+// stage the snapshot (dimension heaps whole, fact heap by reference,
+// stream state), and commit it — after which the WAL prefix it covers
+// is pruned. Caller holds mu.
+func (s *Stream) checkpointLocked() error {
+	if s.wal == nil {
+		return nil
+	}
+	lsn := s.wal.LastLSN()
+	if err := s.db.CheckpointSync(); err != nil {
+		return err
+	}
+	snap, err := s.wal.BeginSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := s.stageLocked(snap.Dir); err != nil {
+		snap.Abort()
+		return err
+	}
+	if err := snap.Commit(lsn); err != nil {
+		return err
+	}
+	s.cmu.Lock()
+	s.counters.Checkpoints++
+	s.cmu.Unlock()
+	return nil
+}
+
+func (s *Stream) stageLocked(snapDir string) error {
+	stageDir := filepath.Join(snapDir, stagedFilesDir)
+	files, err := stageCommon(s.db, stageDir)
+	if err != nil {
+		return err
+	}
+	// Dimension heaps are staged whole (they are small and updated in
+	// place); snowflake positions can share a table, so dedup by name.
+	seen := map[string]bool{}
+	for _, r := range s.spec.Rs {
+		rel := filepath.Base(r.Path())
+		if seen[rel] {
+			continue
+		}
+		seen[rel] = true
+		if err := copyFile(r.Path(), filepath.Join(stageDir, rel)); err != nil {
+			return fmt.Errorf("stream: staging %s: %w", rel, err)
+		}
+		files = append(files, rel)
+	}
+	fullPages, tailPage := s.spec.S.TailPageState()
+	fm := &factManifest{File: filepath.Base(s.spec.S.Path()), FullPages: fullPages}
+	if tailPage != nil {
+		fm.TailPage = base64.StdEncoding.EncodeToString(tailPage)
+	}
+	man := walManifest{Format: manifestFormat, Files: files, Fact: fm}
+	if err := writeJSONFile(filepath.Join(snapDir, manifestFile), &man); err != nil {
+		return err
+	}
+	st, err := s.stateLocked()
+	if err != nil {
+		return err
+	}
+	return writeJSONFile(filepath.Join(snapDir, streamStateFile), st)
+}
+
+// Checkpoint takes a checkpoint now (regardless of SnapshotEvery). It
+// is a no-op without a WAL.
+func (s *Stream) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+// maybeCheckpointLocked checkpoints when the WAL has grown by
+// SnapshotEvery records since the last snapshot. Caller holds mu.
+func (s *Stream) maybeCheckpointLocked() error {
+	if s.wal == nil || s.replaying || s.snapEvery <= 0 {
+		return nil
+	}
+	if s.wal.LastLSN()-s.wal.SnapshotLSN() < int64(s.snapEvery) {
+		return nil
+	}
+	return s.checkpointLocked()
+}
+
+// CheckpointDB takes a files-only checkpoint of a database with no
+// stream attached (catalog, every heap whole, blobs — no stream state).
+// The graceful-close path of a facade that never built a stream uses it
+// so the next boot has a snapshot matching the final on-disk state.
+func CheckpointDB(db *storage.Database, l *wal.Log) error {
+	if l == nil {
+		return nil
+	}
+	lsn := l.LastLSN()
+	if err := db.CheckpointSync(); err != nil {
+		return err
+	}
+	snap, err := l.BeginSnapshot()
+	if err != nil {
+		return err
+	}
+	stage := func() error {
+		stageDir := filepath.Join(snap.Dir, stagedFilesDir)
+		files, err := stageCommon(db, stageDir)
+		if err != nil {
+			return err
+		}
+		for _, name := range db.TableNames() {
+			t, err := db.Table(name)
+			if err != nil {
+				return err
+			}
+			rel := filepath.Base(t.Path())
+			if err := copyFile(t.Path(), filepath.Join(stageDir, rel)); err != nil {
+				return fmt.Errorf("stream: staging %s: %w", rel, err)
+			}
+			files = append(files, rel)
+		}
+		man := walManifest{Format: manifestFormat, Files: files}
+		return writeJSONFile(filepath.Join(snap.Dir, manifestFile), &man)
+	}
+	if err := stage(); err != nil {
+		snap.Abort()
+		return err
+	}
+	return snap.Commit(lsn)
+}
+
+// --- restore ---------------------------------------------------------------
+
+// RestoreSnapshotFiles rewinds a database directory to the committed
+// snapshot in walDir: staged files are copied back whole, the model
+// blob directory is cleared of post-checkpoint writes first, and the
+// fact heap is truncated to the recorded page boundary with the saved
+// tail page re-appended. It must run before storage.Open on a crash
+// boot, and is idempotent; with no committed snapshot it is a no-op.
+func RestoreSnapshotFiles(dbDir, walDir string) error {
+	snapPath, _, ok, err := wal.CurrentSnapshot(walDir)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	raw, err := os.ReadFile(filepath.Join(snapPath, manifestFile))
+	if err != nil {
+		return fmt.Errorf("stream: reading snapshot manifest: %w", err)
+	}
+	var man walManifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return fmt.Errorf("stream: parsing snapshot manifest: %w", err)
+	}
+	if man.Format != manifestFormat {
+		return fmt.Errorf("stream: unsupported snapshot manifest format %d", man.Format)
+	}
+	// Clear post-checkpoint blobs (e.g. model versions saved after the
+	// snapshot) so the registry reloads exactly the checkpointed set.
+	if err := os.RemoveAll(filepath.Join(dbDir, "blobs")); err != nil {
+		return fmt.Errorf("stream: clearing stale blobs: %w", err)
+	}
+	for _, rel := range man.Files {
+		src := filepath.Join(snapPath, stagedFilesDir, rel)
+		if err := copyFile(src, filepath.Join(dbDir, rel)); err != nil {
+			return fmt.Errorf("stream: restoring %s: %w", rel, err)
+		}
+	}
+	if man.Fact != nil {
+		if err := restoreFactHeap(filepath.Join(dbDir, man.Fact.File), man.Fact); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func restoreFactHeap(path string, fm *factManifest) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("stream: restoring fact heap: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	boundary := fm.FullPages * storage.PageSize
+	if info.Size() < boundary {
+		return fmt.Errorf("stream: fact heap %s has %d bytes but the snapshot covers %d — cannot restore",
+			path, info.Size(), boundary)
+	}
+	if err := f.Truncate(boundary); err != nil {
+		return fmt.Errorf("stream: truncating fact heap: %w", err)
+	}
+	if fm.TailPage != "" {
+		page, err := base64.StdEncoding.DecodeString(fm.TailPage)
+		if err != nil {
+			return fmt.Errorf("stream: decoding snapshot tail page: %w", err)
+		}
+		if len(page) != storage.PageSize {
+			return fmt.Errorf("stream: snapshot tail page has %d bytes, want %d", len(page), storage.PageSize)
+		}
+		if _, err := f.WriteAt(page, boundary); err != nil {
+			return fmt.Errorf("stream: restoring fact tail page: %w", err)
+		}
+	}
+	return f.Sync()
+}
+
+// --- recovery --------------------------------------------------------------
+
+// Recover rebuilds the stream's maintained state after a boot: restore
+// the checkpointed model statistics, counters, and monitor sketches
+// from the committed snapshot (if any), then replay every WAL record
+// past the snapshot LSN through the live ingest/refresh paths. On a
+// clean boot the tail is empty and this only reloads the checkpointed
+// state. It must run before models are attached or batches ingested.
+func (s *Stream) Recover(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	snapPath, snapLSN, ok, err := wal.CurrentSnapshot(s.wal.Dir())
+	if err != nil {
+		return err
+	}
+	if ok {
+		raw, err := os.ReadFile(filepath.Join(snapPath, streamStateFile))
+		switch {
+		case err == nil:
+			var st walStreamState
+			if err := json.Unmarshal(raw, &st); err != nil {
+				return fmt.Errorf("stream: parsing checkpoint state: %w", err)
+			}
+			if err := s.restoreStateLocked(ctx, &st); err != nil {
+				return err
+			}
+		case !os.IsNotExist(err):
+			return fmt.Errorf("stream: reading checkpoint state: %w", err)
+		}
+		// A missing stream-state.json is a files-only snapshot
+		// (CheckpointDB): nothing to restore beyond the database files.
+	}
+	return s.replayLocked(ctx, snapLSN)
+}
+
+// replayLocked re-applies WAL records (snapLSN, last] through the same
+// ingest/refresh paths as live traffic, with re-logging and checkpoint
+// triggers suppressed. Auto-refreshes re-fire deterministically from
+// the replayed batches, so only batches and explicit refreshes are in
+// the log.
+func (s *Stream) replayLocked(ctx context.Context, snapLSN int64) error {
+	r, err := s.wal.Tail(snapLSN + 1)
+	if err != nil {
+		return err
+	}
+	s.replaying = true
+	defer func() { s.replaying = false }()
+	for {
+		lsn, payload, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			return fmt.Errorf("stream: WAL record %d: %w", lsn, err)
+		}
+		switch rec.op {
+		case walOpBatch:
+			if _, err := s.ingestLocked(ctx, rec.batch); err != nil {
+				return fmt.Errorf("stream: replaying WAL record %d: %w", lsn, err)
+			}
+		case walOpRefresh:
+			if _, err := s.refreshLocked(ctx, false); err != nil {
+				return fmt.Errorf("stream: replaying WAL record %d (refresh): %w", lsn, err)
+			}
+		case walOpAttach:
+			if err := s.replayAttachLocked(rec); err != nil {
+				return fmt.Errorf("stream: replaying WAL record %d (attach %q): %w", lsn, rec.name, err)
+			}
+		}
+	}
+}
+
+// replayAttachLocked re-attaches a model from the parameters its attach
+// record carried: the rebuilt base statistics see exactly the rows that
+// were live when the original attach ran, because the record sits at
+// the same log position.
+func (s *Stream) replayAttachLocked(rec walRecord) error {
+	switch rec.kind {
+	case walAttachGMM:
+		m, err := gmm.LoadModel(bytes.NewReader(rec.params))
+		if err != nil {
+			return err
+		}
+		return s.attachGMMLocked(rec.name, m)
+	case walAttachNN:
+		net, err := nn.LoadNetwork(bytes.NewReader(rec.params))
+		if err != nil {
+			return err
+		}
+		return s.attachNNLocked(rec.name, net)
+	default:
+		return fmt.Errorf("stream: unknown attach kind %d", rec.kind)
+	}
+}

@@ -1,0 +1,401 @@
+package stream
+
+// In-package tests for the checkpoint/recovery machinery: the
+// snapshot round-trip (stateLocked/stageLocked → RestoreSnapshotFiles/
+// restoreStateLocked), WAL replay of batch/refresh/attach records, the
+// files-only CheckpointDB path, the SnapshotEvery cadence, and the
+// record codec's error branches. The facade-level harness proves the
+// end-to-end guarantee; these pin the pieces.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"factorml/internal/data"
+	"factorml/internal/join"
+	"factorml/internal/nn"
+	"factorml/internal/storage"
+	"factorml/internal/wal"
+)
+
+func ckptCopyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		in, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer in.Close()
+		out, err := os.Create(target)
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			out.Close()
+			return err
+		}
+		return out.Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ckptStar builds a star schema in a caller-visible directory (the
+// crash copies need the path, which genStar hides).
+func ckptStar(t *testing.T, dbDir string, seed int64) (*storage.Database, *join.Spec) {
+	t.Helper()
+	db, err := storage.Open(dbDir, storage.Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	spec, err := data.Generate(db, "st", data.SynthConfig{
+		NS: 300, NR: []int{12}, DS: 3, DR: []int{2}, Seed: seed, WithTarget: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, spec
+}
+
+func ckptWAL(t *testing.T, walDir string) *wal.Log {
+	t.Helper()
+	l, err := wal.Open(walDir, wal.Options{NoSync: true, SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// ckptModelBytes refreshes the stream and serializes both attached
+// models — byte equality is bit equality of every parameter.
+func ckptModelBytes(t *testing.T, s *Stream) []byte {
+	t.Helper()
+	if _, err := s.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	gm, err := s.GMM("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gm.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	net, err := s.NN("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCheckpointRecoverRoundTrip drives the full cycle in-package: a
+// durable stream with both model kinds attached checkpoints mid-run,
+// ingests and refreshes past the checkpoint, and is then "crashed" by
+// copying its directories. Recovery restores the snapshot, replays the
+// WAL tail (batch, explicit-refresh, and attach records), and the
+// recovered stream's refreshed models are bit-identical to the
+// original's.
+func TestCheckpointRecoverRoundTrip(t *testing.T) {
+	dbDir, walDir := t.TempDir(), t.TempDir()
+	db, spec := ckptStar(t, dbDir, 5)
+	model := trainBase(t, db, spec, 3)
+	nres, err := nn.TrainF(db, spec, nn.Config{Hidden: []int{4}, Epochs: 1, NumWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ckptWAL(t, walDir)
+	s, err := New(db, spec, Options{Policy: Policy{NumWorkers: 1}, WAL: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttachGMM("g", model); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AttachNN("n", nres.Net); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(deltaBatch(t, spec, s.idxs, 9, 31)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Refresh(); err != nil { // logged as an explicit-refresh record
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	snapLSN := l.SnapshotLSN()
+	if snapLSN == 0 {
+		t.Fatal("Checkpoint committed no snapshot")
+	}
+	// Tail past the checkpoint: a fact batch and a dimension update that
+	// replay must re-apply on top of the restored snapshot.
+	if _, err := s.Ingest(deltaBatch(t, spec, s.idxs, 7, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(Batch{Dims: []DimUpdate{{
+		Table: spec.Rs[0].Schema().Name, RID: 3, Features: []float64{4.5, -1.5},
+	}}}); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastLSN() <= snapLSN {
+		t.Fatalf("no WAL tail past the snapshot (last %d, snapshot %d)", l.LastLSN(), snapLSN)
+	}
+	wantPending := s.Pending()
+
+	// Crash: copy both directories while the original is still open.
+	dbDir2, walDir2 := t.TempDir(), t.TempDir()
+	ckptCopyTree(t, dbDir, dbDir2)
+	ckptCopyTree(t, walDir, walDir2)
+
+	if err := RestoreSnapshotFiles(dbDir2, walDir2); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := storage.Open(dbDir2, storage.Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	fact, err := db2.Table("st_S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim, err := db2.Table("st_R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2 := &join.Spec{S: fact, Rs: []*storage.Table{dim}}
+	l2 := ckptWAL(t, walDir2)
+	s2, err := New(db2, spec2, Options{Policy: Policy{NumWorkers: 1}, WAL: l2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Pending(); got != wantPending {
+		t.Fatalf("recovered pending = %d, want %d", got, wantPending)
+	}
+	if got := len(s2.Attached()); got != 2 {
+		t.Fatalf("recovered attached = %v, want both models", s2.Attached())
+	}
+	if got, want := ckptModelBytes(t, s2), ckptModelBytes(t, s); !bytes.Equal(got, want) {
+		t.Fatal("recovered models diverged from the original after refresh")
+	}
+}
+
+// TestRecoverWithoutSnapshotReplaysFromGenesis recovers a WAL whose
+// snapshot was never committed: replay starts from LSN 1 over the live
+// database files.
+func TestRecoverWithoutSnapshotReplaysFromGenesis(t *testing.T) {
+	dbDir, walDir := t.TempDir(), t.TempDir()
+	db, spec := ckptStar(t, dbDir, 6)
+	l := ckptWAL(t, walDir)
+	s, err := New(db, spec, Options{Policy: Policy{NumWorkers: 1}, WAL: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := spec.S.NumTuples()
+	if _, err := s.Ingest(deltaBatch(t, spec, s.idxs, 5, 41)); err != nil {
+		t.Fatal(err)
+	}
+
+	walDir2 := t.TempDir()
+	ckptCopyTree(t, walDir, walDir2)
+	// Fresh db content identical to pre-ingest state: regenerate.
+	dbDir2 := t.TempDir()
+	db2, spec2 := ckptStar(t, dbDir2, 6)
+	_ = db2
+	l2 := ckptWAL(t, walDir2)
+	s2, err := New(db2, spec2, Options{Policy: Policy{NumWorkers: 1}, WAL: l2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Recover(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := spec2.S.NumTuples(); got != base+5 {
+		t.Fatalf("replayed fact rows = %d, want %d", got, base+5)
+	}
+	if got := s2.Pending(); got != 5 {
+		t.Fatalf("replayed pending = %d, want 5", got)
+	}
+}
+
+// TestCheckpointDBFilesOnly covers the stream-less checkpoint: database
+// files snapshot + WAL truncation, restorable byte-for-byte.
+func TestCheckpointDBFilesOnly(t *testing.T) {
+	dbDir, walDir := t.TempDir(), t.TempDir()
+	db, spec := ckptStar(t, dbDir, 7)
+	if err := db.CheckpointSync(); err != nil {
+		t.Fatal(err)
+	}
+	l := ckptWAL(t, walDir)
+	if err := CheckpointDB(db, l); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, err := wal.CurrentSnapshot(walDir); err != nil || !ok {
+		t.Fatalf("CheckpointDB committed no snapshot (ok=%v, err=%v)", ok, err)
+	}
+	rows := spec.S.NumTuples()
+
+	dbDir2, walDir2 := t.TempDir(), t.TempDir()
+	ckptCopyTree(t, walDir, walDir2)
+	if err := os.MkdirAll(dbDir2, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := RestoreSnapshotFiles(dbDir2, walDir2); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := storage.Open(dbDir2, storage.Options{PoolPages: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	fact, err := db2.Table("st_S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fact.NumTuples(); got != rows {
+		t.Fatalf("restored fact rows = %d, want %d", got, rows)
+	}
+}
+
+// TestSnapshotEveryCadence lets the automatic checkpoint trigger fire
+// and verifies the WAL is truncated behind it.
+func TestSnapshotEveryCadence(t *testing.T) {
+	dbDir, walDir := t.TempDir(), t.TempDir()
+	db, spec := ckptStar(t, dbDir, 8)
+	l := ckptWAL(t, walDir)
+	s, err := New(db, spec, Options{Policy: Policy{NumWorkers: 1}, WAL: l, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 5; i++ {
+		if _, err := s.Ingest(deltaBatch(t, spec, s.idxs, 2, 50+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap := l.SnapshotLSN(); snap < 2 {
+		t.Fatalf("SnapshotEvery=2 never checkpointed after 5 records (snapshot LSN %d)", snap)
+	}
+	if c := s.Counters(); c.Checkpoints < 2 {
+		t.Fatalf("Checkpoints = %d, want >= 2", c.Checkpoints)
+	}
+}
+
+// TestWALRecordCodecRoundTrip pins the batch/refresh/attach encodings
+// through decodeWALRecord.
+func TestWALRecordCodecRoundTrip(t *testing.T) {
+	b := Batch{
+		Dims: []DimUpdate{{Table: "items", RID: 7, FKs: []int64{1, 2}, Features: []float64{1.5, -2.5}}},
+		Facts: []FactRow{
+			{SID: 9, FKs: []int64{3}, Features: []float64{0.25}, Target: -4},
+			{SID: 10, FKs: []int64{4}, Features: []float64{0.5}, Target: 8},
+		},
+	}
+	enc, err := appendBatchRecord(nil, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := decodeWALRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.op != walOpBatch || len(rec.batch.Dims) != 1 || len(rec.batch.Facts) != 2 {
+		t.Fatalf("decoded %+v", rec)
+	}
+	if rec.batch.Dims[0].Table != "items" || rec.batch.Facts[1].Target != 8 {
+		t.Fatalf("decoded %+v", rec.batch)
+	}
+
+	rec, err = decodeWALRecord(appendRefreshRecord(nil))
+	if err != nil || rec.op != walOpRefresh {
+		t.Fatalf("refresh decode: %+v, %v", rec, err)
+	}
+
+	enc, err = appendAttachRecord(nil, walAttachNN, "net", []byte("params"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err = decodeWALRecord(enc)
+	if err != nil || rec.op != walOpAttach || rec.kind != walAttachNN ||
+		rec.name != "net" || string(rec.params) != "params" {
+		t.Fatalf("attach decode: %+v, %v", rec, err)
+	}
+}
+
+// TestWALRecordCodecErrors pins the decoder's hard-error branches:
+// version skew, unknown op, truncation, trailing bytes, and the
+// element-count bound.
+func TestWALRecordCodecErrors(t *testing.T) {
+	valid, err := appendAttachRecord(nil, walAttachGMM, "g", []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		p    []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"bad version", []byte{99, walOpRefresh}, "version 99"},
+		{"unknown op", []byte{walRecordVersion, 42}, "unknown WAL record op 42"},
+		{"truncated attach", valid[:len(valid)-1], "attach params"},
+		{"trailing bytes", append(append([]byte{}, valid...), 0), "trailing bytes"},
+		{"count over limit", []byte{walRecordVersion, walOpBatch, 0xff, 0xff, 0xff, 0xff}, "exceeds limit"},
+	}
+	for _, tc := range cases {
+		_, err := decodeWALRecord(tc.p)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	long := strings.Repeat("x", 1<<17)
+	if _, err := appendAttachRecord(nil, walAttachGMM, long, nil); err == nil {
+		t.Error("oversized model name accepted")
+	}
+	if _, err := appendAttachRecord(nil, walAttachGMM, "g", make([]byte, walBatchLimit+1)); err == nil {
+		t.Error("oversized model params accepted")
+	}
+
+	// Floats round-trip bit-exactly through the checkpoint codec.
+	vs := []float64{0, -0.0, 1.5, -2.25}
+	got, err := b64ToFloats(floatsToB64(vs), len(vs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vs {
+		if got[i] != vs[i] {
+			t.Fatalf("float %d: %v != %v", i, got[i], vs[i])
+		}
+	}
+	if _, err := b64ToFloats(floatsToB64(vs), 3); err == nil {
+		t.Error("wrong float count accepted")
+	}
+	if _, err := b64ToFloats("!!!", -1); err == nil {
+		t.Error("invalid base64 accepted")
+	}
+}

@@ -122,13 +122,16 @@ type RefreshResult struct {
 // Counters is a snapshot of the stream's cumulative ingestion counters,
 // embedded in the serving /statsz payload.
 type Counters struct {
-	Batches        uint64 `json:"batches"`
-	FactsIngested  uint64 `json:"facts_ingested"`
-	DimInserts     uint64 `json:"dim_inserts"`
-	DimUpdates     uint64 `json:"dim_updates"`
-	Refreshes      uint64 `json:"refreshes"`
-	AutoRefreshes  uint64 `json:"auto_refreshes"`
-	Rebaselines    uint64 `json:"rebaselines"`
+	Batches       uint64 `json:"batches"`
+	FactsIngested uint64 `json:"facts_ingested"`
+	DimInserts    uint64 `json:"dim_inserts"`
+	DimUpdates    uint64 `json:"dim_updates"`
+	Refreshes     uint64 `json:"refreshes"`
+	AutoRefreshes uint64 `json:"auto_refreshes"`
+	Rebaselines   uint64 `json:"rebaselines"`
+	// Checkpoints counts committed WAL snapshots (explicit Checkpoint
+	// calls plus the SnapshotEvery cadence).
+	Checkpoints    uint64 `json:"checkpoints"`
 	PendingRows    int64  `json:"pending_rows"`
 	AttachedModels int    `json:"attached_models"`
 	// IngestQueueDepth is the number of admitted-but-unfinished HTTP

@@ -112,6 +112,16 @@ func (s *Stream) PlannerProvider() func() any {
 	return func() any { return s.PlannerDecisions() }
 }
 
+// WALStatsProvider adapts WALStats for serve.Server.SetWALStats (the
+// "wal" section of /statsz). It returns nil when durability is off, so
+// the caller can skip registering the section.
+func (s *Stream) WALStatsProvider() func() any {
+	if s.wal == nil {
+		return nil
+	}
+	return func() any { return s.WALStats() }
+}
+
 // MetricsCollector adapts the stream's counters — including the bounded
 // ingest queue's depth and rejection count — and the per-model planner
 // decisions into Prometheus samples at scrape time. Like the engine
@@ -133,10 +143,22 @@ func (s *Stream) MetricsCollector() metrics.Collector {
 		counter("factorml_stream_refreshes_total", "Model refreshes run.", float64(c.Refreshes))
 		counter("factorml_stream_auto_refreshes_total", "Refreshes triggered by the refresh-rows policy.", float64(c.AutoRefreshes))
 		counter("factorml_stream_rebaselines_total", "GMM statistics rebuilds from scratch.", float64(c.Rebaselines))
+		counter("factorml_stream_checkpoints_total", "Committed WAL snapshots.", float64(c.Checkpoints))
 		counter("factorml_stream_ingest_rejections_total", "Batches rejected by the bounded ingest queue.", float64(c.IngestRejections))
 		gauge("factorml_stream_pending_rows", "Fact rows ingested since the last refresh.", float64(c.PendingRows))
 		gauge("factorml_stream_ingest_queue_depth", "Admitted-but-unfinished ingest batches.", float64(c.IngestQueueDepth))
 		gauge("factorml_stream_attached_models", "Models under incremental maintenance.", float64(c.AttachedModels))
+		if s.wal != nil {
+			ws := s.WALStats()
+			gauge("factorml_wal_last_lsn", "LSN of the most recent WAL record.", float64(ws.LastLSN))
+			gauge("factorml_wal_snapshot_lsn", "LSN covered by the committed snapshot.", float64(ws.SnapshotLSN))
+			gauge("factorml_wal_segments", "Live WAL segment files.", float64(ws.Segments))
+			gauge("factorml_wal_bytes", "Live bytes across WAL segments.", float64(ws.Bytes))
+			counter("factorml_wal_appends_total", "WAL records appended.", float64(ws.Appends))
+			counter("factorml_wal_fsyncs_total", "WAL fsyncs (group commits).", float64(ws.Fsyncs))
+			counter("factorml_wal_fsync_seconds_total", "Cumulative WAL fsync time.", ws.FsyncTotal.Seconds())
+			gauge("factorml_wal_last_fsync_seconds", "Duration of the most recent WAL fsync.", ws.LastFsync.Seconds())
+		}
 		for _, d := range s.PlannerDecisions() {
 			emit(metrics.Sample{
 				Name: "factorml_planner_strategy",

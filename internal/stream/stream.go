@@ -1,8 +1,10 @@
 package stream
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,6 +18,7 @@ import (
 	"factorml/internal/serve"
 	"factorml/internal/storage"
 	"factorml/internal/trace"
+	"factorml/internal/wal"
 )
 
 // Policy tunes when and how refreshes run.
@@ -89,6 +92,20 @@ type Options struct {
 	// is passive — it never changes what the stream trains or saves.
 	Monitor *monitor.Monitor
 
+	// WAL, when set, makes ingest durable: every validated batch and
+	// explicit refresh is appended (and fsynced, per the log's group-
+	// commit options) to the write-ahead log BEFORE it is applied, so
+	// an acked batch survives a crash at any point. With a WAL the
+	// stream also skips per-batch heap flushes — durability comes from
+	// the log, and checkpoints (Checkpoint / SnapshotEvery) write the
+	// heaps back in bulk.
+	WAL *wal.Log
+
+	// SnapshotEvery takes an automatic checkpoint once the WAL has
+	// grown that many records past the last snapshot. 0 disables
+	// automatic checkpoints (Checkpoint can still be called directly).
+	SnapshotEvery int
+
 	Policy Policy
 }
 
@@ -150,6 +167,15 @@ type Stream struct {
 	maxQueued        int
 	ingestRejections atomic.Uint64
 
+	// Durability state (nil wal = off). replaying suppresses re-logging
+	// and checkpoint triggers while Recover re-applies the WAL tail;
+	// walBuf is the reused record-encoding buffer (all appends run
+	// under mu, so one buffer suffices).
+	wal       *wal.Log
+	snapEvery int
+	replaying bool
+	walBuf    []byte
+
 	// cmu guards the plain-integer observability state (counters,
 	// pending-row count) separately from mu, so Counters() and Pending()
 	// — the /statsz path — never block behind a refresh that holds mu
@@ -190,6 +216,8 @@ func New(db *storage.Database, spec *join.Spec, opts Options) (*Stream, error) {
 		ingestLim: serve.NewLimiter(opts.MaxQueuedIngest),
 		maxQueued: opts.MaxQueuedIngest,
 		mon:       opts.Monitor,
+		wal:       opts.WAL,
+		snapEvery: opts.SnapshotEvery,
 	}
 	plan := spec.Plan()
 	var lookup func(name string) (*join.ResidentIndex, bool)
@@ -237,6 +265,13 @@ func (s *Stream) AttachGMM(name string, m *gmm.Model) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.attachGMMLocked(name, m); err != nil {
+		return err
+	}
+	return s.logAttachLocked(walAttachGMM, name, m.Save)
+}
+
+func (s *Stream) attachGMMLocked(name string, m *gmm.Model) error {
 	if _, ok := s.models[name]; ok {
 		return fmt.Errorf("stream: model %q already attached", name)
 	}
@@ -250,6 +285,28 @@ func (s *Stream) AttachGMM(name string, m *gmm.Model) error {
 	s.counters.AttachedModels = len(s.models)
 	s.cmu.Unlock()
 	s.snapshotPlansLocked()
+	return nil
+}
+
+// logAttachLocked appends a walOpAttach record for a model that was
+// just attached. Attach mutates only memory, so apply-then-log is safe:
+// a crash between the two loses an attach that was never acknowledged.
+func (s *Stream) logAttachLocked(kind byte, name string, save func(io.Writer) error) error {
+	if s.wal == nil || s.replaying {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := save(&buf); err != nil {
+		return fmt.Errorf("stream: serializing model %q for the WAL: %w", name, err)
+	}
+	var err error
+	s.walBuf, err = appendAttachRecord(s.walBuf[:0], kind, name, buf.Bytes())
+	if err != nil {
+		return err
+	}
+	if _, err := s.wal.Append(s.walBuf); err != nil {
+		return fmt.Errorf("stream: WAL append: %w", err)
+	}
 	return nil
 }
 
@@ -286,6 +343,13 @@ func (s *Stream) AttachNN(name string, net *nn.Network) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.attachNNLocked(name, net); err != nil {
+		return err
+	}
+	return s.logAttachLocked(walAttachNN, name, net.Save)
+}
+
+func (s *Stream) attachNNLocked(name string, net *nn.Network) error {
 	if _, ok := s.models[name]; ok {
 		return fmt.Errorf("stream: model %q already attached", name)
 	}
@@ -449,6 +513,13 @@ func (s *Stream) Ingest(b Batch) (IngestResult, error) {
 func (s *Stream) IngestCtx(ctx context.Context, b Batch) (IngestResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.ingestLocked(ctx, b)
+}
+
+// ingestLocked is the body of IngestCtx; WAL replay re-enters it (with
+// s.replaying set) so recovered batches take the exact code path live
+// ones did. Caller holds mu.
+func (s *Stream) ingestLocked(ctx context.Context, b Batch) (IngestResult, error) {
 	ctx, isp := trace.Start(ctx, "stream.ingest")
 	defer isp.End()
 	if isp.Active() {
@@ -531,6 +602,25 @@ func (s *Stream) IngestCtx(ctx context.Context, b Batch) (IngestResult, error) {
 
 	vsp.End()
 
+	// Write-ahead: the validated batch is logged — and, per the log's
+	// fsync policy, durable — before any of it is applied. A crash past
+	// this point replays the batch on recovery; a crash before it loses
+	// a batch that was never acked.
+	if s.wal != nil && !s.replaying {
+		_, wsp := trace.Start(ctx, "stream.wal_append")
+		var werr error
+		s.walBuf, werr = appendBatchRecord(s.walBuf[:0], &b)
+		if werr != nil {
+			wsp.End()
+			return res, werr
+		}
+		if _, err := s.wal.Append(s.walBuf); err != nil {
+			wsp.End()
+			return res, fmt.Errorf("stream: WAL append: %w", err)
+		}
+		wsp.End()
+	}
+
 	// Apply dimension changes.
 	_, dsp := trace.Start(ctx, "stream.apply_dims")
 	touchedDims := make(map[int]bool)
@@ -568,9 +658,13 @@ func (s *Stream) IngestCtx(ctx context.Context, b Batch) (IngestResult, error) {
 		}
 		s.mon.ObserveDimUpdate(du.Table, du.Features)
 	}
-	for j := range touchedDims {
-		if err := s.spec.Rs[j].Flush(); err != nil {
-			return res, err
+	// With a WAL the per-batch heap flush is skipped: the log already
+	// made the batch durable, and checkpoints write the heaps in bulk.
+	if s.wal == nil {
+		for j := range touchedDims {
+			if err := s.spec.Rs[j].Flush(); err != nil {
+				return res, err
+			}
 		}
 	}
 	if anyDimUpdate {
@@ -604,7 +698,7 @@ func (s *Stream) IngestCtx(ctx context.Context, b Batch) (IngestResult, error) {
 		}
 		s.observeFactLocked(fr)
 	}
-	if len(b.Facts) > 0 {
+	if len(b.Facts) > 0 && s.wal == nil {
 		if err := s.spec.S.Flush(); err != nil {
 			return res, err
 		}
@@ -633,6 +727,9 @@ func (s *Stream) IngestCtx(ctx context.Context, b Batch) (IngestResult, error) {
 	// transition fires with the batch that caused it, not at the next
 	// scrape.
 	s.mon.CheckAll()
+	if err := s.maybeCheckpointLocked(); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -674,8 +771,27 @@ func (s *Stream) Refresh() (RefreshResult, error) {
 func (s *Stream) RefreshCtx(ctx context.Context) (RefreshResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.refreshLocked(ctx, false)
+	// Explicit refreshes are logged (automatic ones re-fire from their
+	// triggering batch during replay, so they are not).
+	if s.wal != nil && !s.replaying {
+		s.walBuf = appendRefreshRecord(s.walBuf[:0])
+		if _, err := s.wal.Append(s.walBuf); err != nil {
+			return RefreshResult{}, fmt.Errorf("stream: WAL append: %w", err)
+		}
+	}
+	res, err := s.refreshLocked(ctx, false)
+	if err != nil {
+		return res, err
+	}
+	return res, s.maybeCheckpointLocked()
 }
+
+// WAL returns the stream's write-ahead log (nil when durability is off).
+func (s *Stream) WAL() *wal.Log { return s.wal }
+
+// WALStats reports the write-ahead log's counters for /statsz and
+// /metrics; zeros when durability is off.
+func (s *Stream) WALStats() wal.Stats { return s.wal.Stats() }
 
 // refreshLineageLocked advances the monitor's baseline for a
 // just-refreshed model — folding the live window in with an exact
