@@ -32,7 +32,10 @@ race:
 # the disabled observation path fails the run if it allocates at all)
 # and the durability sweep writes BENCH_wal.json (group-commit fsync
 # batching at 1/8/64 writers, WAL-off vs WAL-on ingest; the WAL-disabled
-# hook path fails the run if it allocates at all).
+# hook path fails the run if it allocates at all)
+# and the kernel sweep writes BENCH_kernels.json (fused vs unfused GMM
+# E-step rows/sec, fused linalg helpers, steady-state engine predict
+# with allocs/op — pinned to exactly 0 by TestPredictZeroAlloc).
 bench:
 	$(GO) test -bench=. -benchtime=1x -benchmem -run='^$$' .
 

@@ -62,6 +62,7 @@ func TestMain(m *testing.M) {
 	flushTraceBench()     // see bench_trace_test.go
 	flushMonitorBench()   // see bench_monitor_test.go
 	flushWALBench()       // see bench_wal_test.go
+	flushKernelsBench()   // see bench_kernels_test.go
 	os.Exit(code)
 }
 

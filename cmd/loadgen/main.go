@@ -26,6 +26,14 @@
 // -ingest-facts fact rows per request with unique synthetic ids starting
 // at -sid-start, so repeated runs against the same database never
 // collide. All randomness is seeded (-seed) for reproducible schedules.
+//
+// -wire selects the predict request encoding: json (the default), binary
+// (the length-prefixed little-endian wire format, Content-Type
+// application/x-factorml-binary), or both — which alternates encodings
+// request by request and reports them as separate endpoints
+// (predict_json / predict_binary), so one run's BENCH_load.json carries
+// the JSON-vs-binary latency comparison side by side at identical
+// offered load.
 package main
 
 import (
@@ -41,6 +49,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"factorml/internal/serve"
 )
 
 type mixWeights struct {
@@ -202,6 +212,31 @@ func (g *generator) predictBody() []byte {
 	return []byte(sb.String())
 }
 
+// predictBinaryBody synthesizes the same shaped batch as predictBody but
+// encodes it as a binary wire-format request. The per-value rng draws
+// match the JSON generator's, so a -wire both run offers statistically
+// identical work to both encodings.
+func (g *generator) predictBinaryBody() []byte {
+	rows := make([]serve.Row, g.rows)
+	for i := range rows {
+		fact := make([]float64, g.factWidth)
+		for d := range fact {
+			fact[d] = g.rng.NormFloat64()
+		}
+		fks := make([]int64, len(g.fkMax))
+		for k, max := range g.fkMax {
+			fks[k] = g.rng.Int63n(max)
+		}
+		rows[i] = serve.Row{Fact: fact, FKs: fks}
+	}
+	// Uniform shape by construction, so the encoder cannot fail.
+	body, err := serve.AppendBinaryRequest(nil, rows)
+	if err != nil {
+		panic(err)
+	}
+	return body
+}
+
 func (g *generator) ingestBody() []byte {
 	var sb strings.Builder
 	sb.WriteString(`{"facts":[`)
@@ -245,6 +280,7 @@ type arrival struct {
 	endpoint    string
 	path        string
 	body        []byte
+	contentType string // empty means application/json
 	traceparent string // non-empty on the -trace-fraction sample
 }
 
@@ -261,6 +297,7 @@ func main() {
 	sidStart := flag.Int64("sid-start", 1<<40, "first synthetic fact id for ingest batches")
 	seed := flag.Int64("seed", 1, "rng seed for schedules and bodies")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	wire := flag.String("wire", "json", "predict request encoding: json, binary, or both (alternating; reported as predict_json / predict_binary)")
 	traceFraction := flag.Float64("trace-fraction", 0.1, "fraction of requests carrying a sampled W3C traceparent header, forcing the server to record their span tree (0 disables)")
 	out := flag.String("out", "BENCH_load.json", "report output path")
 	flag.Parse()
@@ -291,6 +328,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: -trace-fraction must be in [0, 1], got %g\n", *traceFraction)
 		os.Exit(2)
 	}
+	if *wire != "json" && *wire != "binary" && *wire != "both" {
+		fmt.Fprintf(os.Stderr, "loadgen: -wire must be json, binary or both, got %q\n", *wire)
+		os.Exit(2)
+	}
 	var fkMax []int64
 	for _, part := range strings.Split(*fkMaxFlag, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
@@ -311,12 +352,25 @@ func main() {
 	base := strings.TrimRight(*url, "/")
 
 	total := mix.predict + mix.ingest + mix.refresh
+	binaryTurn := false // -wire both alternates encodings deterministically
 	pick := func() arrival {
 		var a arrival
 		r := gen.rng.Float64() * total
 		switch {
 		case r < mix.predict:
-			a = arrival{endpoint: "predict", path: "/v1/models/" + gen.model + "/predict", body: gen.predictBody()}
+			path := "/v1/models/" + gen.model + "/predict"
+			useBinary := *wire == "binary" || (*wire == "both" && binaryTurn)
+			if *wire == "both" {
+				binaryTurn = !binaryTurn
+			}
+			switch {
+			case useBinary:
+				a = arrival{endpoint: "predict_binary", path: path, body: gen.predictBinaryBody(), contentType: serve.BinaryContentType}
+			case *wire == "both":
+				a = arrival{endpoint: "predict_json", path: path, body: gen.predictBody()}
+			default:
+				a = arrival{endpoint: "predict", path: path, body: gen.predictBody()}
+			}
 		case r < mix.predict+mix.ingest:
 			a = arrival{endpoint: "ingest", path: "/v1/ingest", body: gen.ingestBody()}
 		default:
@@ -355,7 +409,7 @@ func main() {
 			"url": base, "model": *model, "mix": *mixFlag, "rates": rates,
 			"step_s": step.Seconds(), "rows": *rows, "fact_width": *factWidth,
 			"fk_max": fkMax, "ingest_facts": *ingestRows, "seed": *seed,
-			"trace_fraction": *traceFraction,
+			"trace_fraction": *traceFraction, "wire": *wire,
 		},
 		"steps":          steps,
 		"overall":        overall,
@@ -442,7 +496,11 @@ func runStep(client *http.Client, base string, rate float64, duration time.Durat
 				mu.Unlock()
 				return
 			}
-			req.Header.Set("Content-Type", "application/json")
+			ct := a.contentType
+			if ct == "" {
+				ct = "application/json"
+			}
+			req.Header.Set("Content-Type", ct)
 			if a.traceparent != "" {
 				req.Header.Set("traceparent", a.traceparent)
 			}

@@ -77,6 +77,27 @@ func (bs *BlockedSym) Assemble() *linalg.Dense {
 	return m
 }
 
+// AssembleInto reconstitutes the full matrix from the blocks into dst
+// (which must be D×D), so per-iteration accumulator reads reuse one
+// destination instead of allocating a fresh Dense each EM step.
+func (bs *BlockedSym) AssembleInto(dst *linalg.Dense) {
+	for i := range bs.B {
+		for j := range bs.B[i] {
+			dst.SetBlock(bs.P.Offs[i], bs.P.Offs[j], bs.B[i][j])
+		}
+	}
+}
+
+// Zero clears every block in place, recycling the accumulator across EM
+// iterations.
+func (bs *BlockedSym) Zero() {
+	for i := range bs.B {
+		for j := range bs.B[i] {
+			bs.B[i][j].Zero()
+		}
+	}
+}
+
 // NewBlockedZero returns a BlockedSym with zero blocks of the partition's
 // shapes (an accumulator for factorized Σ updates, paper Eq. 14/23).
 func NewBlockedZero(p Partition) *BlockedSym {

@@ -22,10 +22,10 @@ type PassHooks struct {
 
 // RunRowPass executes one deterministic chunked-parallel pass over a plain
 // row scan (no targets, no group structure) — the shape of every GMM EM
-// pass. With workers <= 1 no chunks are materialized at all: each streamed
-// row folds directly into the current accumulator (n = 1 per Fold call),
-// with merges at the same fixed chunk boundaries, which reproduces the
-// identical reduction without the copy. name labels the pass for the
+// pass. With workers <= 1 rows are blocked into one reused chunk buffer and
+// folded as flat row blocks (one Fold per chunk, not per row), with merges
+// at the same fixed chunk boundaries — the identical reduction, minus the
+// per-row hook and observer overhead. name labels the pass for the
 // installed Observer (see SetObserver); with no observer it is unused.
 func RunRowPass(name string, workers, d int, scan func(onRow RowFn) error, hooks PassHooks) error {
 	grouped := func(onRow RowFn, _ func() error) error { return scan(onRow) }
@@ -87,34 +87,40 @@ func runPass(name string, workers, d int, withY bool, scan GroupedScan, cutAtGro
 // runPassInner is the shared engine of RunRowPass and RunSGDPass.
 func runPassInner(workers, d int, withY bool, scan GroupedScan, cutAtGroups bool, onGroup func() error, hooks PassHooks) error {
 	if workers <= 1 {
-		var acc any
-		inChunk := 0
+		// Rows are blocked into one reused buffer and folded as flat chunks:
+		// Fold sees the same contiguous row blocks as the parallel path (so
+		// its inner loops run long and flat instead of restarting per row),
+		// and the per-row hook/observer overhead collapses to once per chunk.
+		// Fold processes rows in order into one accumulator either way, so
+		// the reduction is bit-identical to the old per-row streaming.
+		buf := make([]float64, parallel.DefaultChunkRows*d)
+		var ys []float64
+		if withY {
+			ys = make([]float64, parallel.DefaultChunkRows)
+		}
+		n := 0
 		row := 0
-		yBuf := make([]float64, 1)
+		chunkStart := 0
 		flush := func() error {
-			if acc == nil {
+			if n == 0 {
 				return nil
 			}
-			err := hooks.Merge(acc)
-			acc, inChunk = nil, 0
-			return err
+			acc := hooks.NewAcc()
+			if err := hooks.Fold(acc, chunkStart, buf, ys, n); err != nil {
+				return err
+			}
+			n, chunkStart = 0, row
+			return hooks.Merge(acc)
 		}
 		err := scan(
 			func(x []float64, y float64) error {
-				if acc == nil {
-					acc = hooks.NewAcc()
-				}
-				var ys []float64
+				copy(buf[n*d:(n+1)*d], x)
 				if withY {
-					yBuf[0] = y
-					ys = yBuf
+					ys[n] = y
 				}
-				if err := hooks.Fold(acc, row, x, ys, 1); err != nil {
-					return err
-				}
+				n++
 				row++
-				inChunk++
-				if inChunk == parallel.DefaultChunkRows {
+				if n == parallel.DefaultChunkRows {
 					return flush()
 				}
 				return nil

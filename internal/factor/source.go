@@ -132,6 +132,10 @@ func (s *MaterializedSource) Close() error { return s.db.DropTable(s.name) }
 type StreamedSource struct {
 	runner *join.Runner
 	width  int
+	// xbuf is the assembled-row buffer ScanGroups reuses across scans; a
+	// Source is scanned sequentially (EM makes three passes per iteration),
+	// so one buffer per source suffices and the per-scan allocation is gone.
+	xbuf []float64
 }
 
 // NewStreamedSource prepares the join runner. blockPages overrides the
@@ -145,7 +149,8 @@ func NewStreamedSource(spec *join.Spec, blockPages int) (*StreamedSource, error)
 	if err != nil {
 		return nil, err
 	}
-	return &StreamedSource{runner: runner, width: sp.JoinedWidth()}, nil
+	w := sp.JoinedWidth()
+	return &StreamedSource{runner: runner, width: w, xbuf: make([]float64, w)}, nil
 }
 
 // NumRows returns the fact-table size (the join is lossless on S when no
@@ -164,7 +169,7 @@ func (s *StreamedSource) Scan(onRow RowFn) error {
 
 // ScanGroups re-executes the join with block boundaries.
 func (s *StreamedSource) ScanGroups(onRow RowFn, onGroupEnd func() error) error {
-	x := make([]float64, s.width)
+	x := s.xbuf
 	var block []*storage.Tuple
 	return s.runner.Run(join.Callbacks{
 		OnBlockStart: func(b []*storage.Tuple) error { block = b; return nil },

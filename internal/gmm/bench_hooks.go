@@ -1,0 +1,33 @@
+package gmm
+
+import (
+	"math"
+
+	"factorml/internal/core"
+	"factorml/internal/linalg"
+)
+
+// EStepBenchHooks exposes the fused and pre-fusion E-step kernels side by
+// side for the root BenchmarkKernels suite: each returned function scores
+// one normalized fact tuple, fills gamma with the responsibilities, and
+// returns ln p(x). Production paths always evaluate through Score /
+// Responsibilities (the fused kernel); the unfused closure keeps the
+// original per-term loop alive purely as the measured baseline.
+func (s *Scorer) EStepBenchHooks() (fused, unfused func(xs []float64, caches [][]core.QuadCache, sc *ScoreScratch, gamma []float64) float64) {
+	finish := func(sc *ScoreScratch, gamma []float64) float64 {
+		lse := linalg.LogSumExp(sc.logp)
+		for c := range gamma {
+			gamma[c] = math.Exp(sc.logp[c] - lse)
+		}
+		return lse
+	}
+	fused = func(xs []float64, caches [][]core.QuadCache, sc *ScoreScratch, gamma []float64) float64 {
+		s.scoreComponents(xs, caches, sc)
+		return finish(sc, gamma)
+	}
+	unfused = func(xs []float64, caches [][]core.QuadCache, sc *ScoreScratch, gamma []float64) float64 {
+		s.scoreComponentsUnfused(xs, caches, sc)
+		return finish(sc, gamma)
+	}
+	return fused, unfused
+}

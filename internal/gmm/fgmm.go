@@ -79,7 +79,9 @@ func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *S
 	pdBuf := make([][]float64, q) // per-part PD pointers for cross terms
 
 	// feAcc is the per-chunk E-step accumulator: responsibilities for the
-	// chunk's matches plus the partial log-likelihood.
+	// chunk's matches plus the partial log-likelihood. caches[j] is the
+	// K-component cache run of the match's tuple in dimension part j+1 —
+	// a subslice of the flat per-block/per-resident cache arrays.
 	type feAcc struct {
 		ll     float64
 		ops    core.Ops
@@ -87,13 +89,13 @@ func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *S
 		gamma  []float64
 		logp   []float64
 		pds    []float64
-		caches []*core.QuadCache
+		caches [][]core.QuadCache
 	}
 	fePool := sync.Pool{New: func() any {
 		return &feAcc{
 			logp:   make([]float64, k),
 			pds:    make([]float64, dS),
-			caches: make([]*core.QuadCache, q),
+			caches: make([][]core.QuadCache, q),
 		}
 	}}
 
@@ -120,12 +122,42 @@ func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *S
 	var gvecBlk [][]float64       // M2: Σ γ·PD_S per group
 	var curBlock []*storage.Tuple // current R1 block, shared across callbacks
 
+	// Per-iteration accumulators hoisted out of the EM loop (the resident
+	// dimension tables are loaded by the init scan and their sizes are
+	// fixed, so every buffer below is allocated once and recycled —
+	// FillQuadCache and VecSub overwrite, the rest are zeroed in place).
+	resCache := make([][]core.QuadCache, q-1) // E-step resident caches
+	wRes := make([][]float64, q-1)            // M1 resident group sums
+	pdRes := make([][][]float64, q-1)         // M2 resident PDs
+	wRes2 := make([][]float64, q-1)           // M2 resident group sums
+	gvecRes := make([][][]float64, q-1)       // M2 Σ γ·PD_S per resident group
+	for j := 0; j < q-1; j++ {
+		nt := len(ps.Resident(j))
+		resCache[j] = make([]core.QuadCache, nt*k)
+		wRes[j] = make([]float64, nt*k)
+		wRes2[j] = make([]float64, nt*k)
+		pdRes[j] = make([][]float64, nt*k)
+		gvecRes[j] = make([][]float64, nt*k)
+		dRj := p.Dims[2+j]
+		for i := range pdRes[j] {
+			pdRes[j][i] = make([]float64, dRj)
+			gvecRes[j][i] = make([]float64, dS)
+		}
+	}
+	acc := make([]*core.BlockedSym, k) // M2 covariance accumulators
+	sumCov := make([]*linalg.Dense, k) // assembled Σ-update destinations
+	for c := 0; c < k; c++ {
+		acc[c] = core.NewBlockedZero(p)
+		sumCov[c] = linalg.NewDense(p.D, p.D)
+	}
+
 	prevLL := math.Inf(-1)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		states, err := model.precompute(p, true)
 		if err != nil {
 			return err
 		}
+		hot := buildHot(model, p, states)
 
 		// ------------------------------------------------------------------
 		// E-step: factorized responsibilities (Eq. 7-12 / 19-21).
@@ -133,13 +165,10 @@ func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *S
 		// Resident caches are filled once per iteration (parallel fill,
 		// disjoint (tuple, component) slots).
 		ps.Pass = "fgmm.estep"
-		resCache := make([][]core.QuadCache, q-1)
 		for j := 0; j < q-1; j++ {
-			tuples := ps.Resident(j)
-			resCache[j] = make([]core.QuadCache, len(tuples)*k)
 			rj := resCache[j]
 			part := 2 + j
-			err = ps.FillCaches(nw, tuples, &stats.Ops, func(t int, tp *storage.Tuple, ops *core.Ops) error {
+			err = ps.FillCaches(nw, ps.Resident(j), &stats.Ops, func(t int, tp *storage.Tuple, ops *core.Ops) error {
 				for c := 0; c < k; c++ {
 					core.FillQuadCache(&rj[t*k+c], states[c].blocked, part, tp.Features, model.Means[c], ops)
 				}
@@ -175,16 +204,11 @@ func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *S
 			OnMatchChunk: func(state any, matches []join.Match) error {
 				a := state.(*feAcc)
 				for _, m := range matches {
-					for c := 0; c < k; c++ {
-						linalg.VecSub(a.pds, m.S.Features, p.Slice(model.Means[c], 0))
-						a.ops.AddSub(dS)
-						a.caches[0] = &blkCache[m.R1*k+c]
-						for j, ri := range m.Res {
-							a.caches[1+j] = &resCache[j][ri*k+c]
-						}
-						qv := core.FactQuad(states[c].blocked, a.pds, a.caches, &a.ops)
-						a.logp[c] = states[c].logW + states[c].logNorm - 0.5*qv
+					a.caches[0] = blkCache[m.R1*k : (m.R1+1)*k]
+					for j, ri := range m.Res {
+						a.caches[1+j] = resCache[j][ri*k : (ri+1)*k]
 					}
+					hot.scoreRow(m.S.Features, a.caches, a.pds, a.logp, &a.ops)
 					lse := linalg.LogSumExp(a.logp)
 					a.ll += lse
 					for c := 0; c < k; c++ {
@@ -218,9 +242,8 @@ func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *S
 				linalg.VecZero(sumMuParts[i][c])
 			}
 		}
-		wRes := make([][]float64, q-1)
 		for j := 0; j < q-1; j++ {
-			wRes[j] = make([]float64, len(ps.Resident(j))*k)
+			linalg.VecZero(wRes[j])
 		}
 		idx = 0
 		ps.Pass = "fgmm.mstep_means"
@@ -286,26 +309,17 @@ func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *S
 		// Cross blocks between two dimension relations are accumulated per
 		// joined tuple through the cached PDs (paper §V-C).
 		// ------------------------------------------------------------------
-		acc := make([]*core.BlockedSym, k)
 		for c := 0; c < k; c++ {
-			acc[c] = core.NewBlockedZero(p)
+			acc[c].Zero()
 		}
-		pdRes := make([][][]float64, q-1)
-		wRes2 := make([][]float64, q-1)
-		gvecRes := make([][][]float64, q-1)
 		for j := 0; j < q-1; j++ {
-			tuples := ps.Resident(j)
-			pdRes[j] = make([][]float64, len(tuples)*k)
-			gvecRes[j] = make([][]float64, len(tuples)*k)
-			wRes2[j] = make([]float64, len(tuples)*k)
+			linalg.VecZero(wRes2[j])
 			dRj := p.Dims[2+j]
-			for t, tp := range tuples {
+			for t, tp := range ps.Resident(j) {
 				for c := 0; c < k; c++ {
-					pd := make([]float64, dRj)
-					linalg.VecSub(pd, tp.Features, p.Slice(model.Means[c], 2+j))
+					linalg.VecSub(pdRes[j][t*k+c], tp.Features, p.Slice(model.Means[c], 2+j))
 					stats.Ops.AddSub(dRj)
-					pdRes[j][t*k+c] = pd
-					gvecRes[j][t*k+c] = make([]float64, dS)
+					linalg.VecZero(gvecRes[j][t*k+c])
 				}
 			}
 		}
@@ -406,9 +420,8 @@ func emFactorized(ps *factor.PartScan, n int, cfg Config, model *Model, stats *S
 				}
 			}
 		}
-		sumCov := make([]*linalg.Dense, k)
 		for c := 0; c < k; c++ {
-			sumCov[c] = acc[c].Assemble()
+			acc[c].AssembleInto(sumCov[c])
 		}
 		applyCovUpdates(model, nk, sumCov, collapsed, cfg.RegEps)
 

@@ -1,0 +1,128 @@
+package gmm
+
+import (
+	"factorml/internal/core"
+)
+
+// This file holds the float32-storage mirror of the fused E-step kernel
+// (fused.go): the per-component matrices — fact-part means, flat B00
+// blocks, cross blocks — are stored as float32, halving the kernel's
+// memory traffic, while every product and sum accumulates in float64.
+// The per-dimension-tuple caches stay float64 (they are shared with the
+// training pipeline and amortized across fact tuples, so they are not
+// the bandwidth-bound part). The path is strictly opt-in
+// (Model.NewScorerF32 / serve.EngineConfig.Float32): rounding the
+// matrices to float32 perturbs log-densities by up to ~1e-6 relative for
+// well-conditioned models (TestFloat32ScorerAccuracy bounds it at 1e-5),
+// so it sits outside the float64 path's bit-identical guarantees. The
+// evaluation order is fixed and deterministic, and the op accounting is
+// identical to the float64 kernel's.
+
+// pairBlock32 is one flattened cross block in float32 storage.
+type pairBlock32 struct {
+	a  []float32 // flat di×dj block
+	dj int
+}
+
+// hotComp32 is the float32-storage per-component scoring state.
+type hotComp32 struct {
+	muS   []float32
+	b00   []float32
+	pairs []pairBlock32
+	logK  float64
+}
+
+// hotState32 is the float32-storage fused kernel over all K components.
+// Immutable after construction; safe for concurrent scoreRow calls with
+// private scratch.
+type hotState32 struct {
+	comps  []hotComp32
+	dS     int
+	rowOps core.Ops
+}
+
+// buildHot32 rounds a float64 hotState's matrices down to float32
+// storage (one copy at scorer construction; scoring never converts).
+func buildHot32(hs *hotState) *hotState32 {
+	h32 := &hotState32{comps: make([]hotComp32, len(hs.comps)), dS: hs.dS, rowOps: hs.rowOps}
+	for c := range hs.comps {
+		hc, dst := &hs.comps[c], &h32.comps[c]
+		dst.logK = hc.logK
+		dst.muS = make([]float32, len(hc.muS))
+		for i, v := range hc.muS {
+			dst.muS[i] = float32(v)
+		}
+		dst.b00 = make([]float32, len(hc.b00))
+		for i, v := range hc.b00 {
+			dst.b00[i] = float32(v)
+		}
+		for _, pb := range hc.pairs {
+			a := make([]float32, len(pb.a))
+			for i, v := range pb.a {
+				a[i] = float32(v)
+			}
+			dst.pairs = append(dst.pairs, pairBlock32{a: a, dj: pb.dj})
+		}
+	}
+	return h32
+}
+
+// scoreRow is the float32-storage twin of hotState.scoreRow: identical
+// term structure and fixed evaluation order, float64 accumulation
+// throughout, only the matrix loads are float32.
+func (hs *hotState32) scoreRow(xs []float64, caches [][]core.QuadCache, pds, logp []float64, ops *core.Ops) {
+	dS := hs.dS
+	xs = xs[:dS]
+	pds = pds[:dS]
+	logp = logp[:len(hs.comps)]
+	for c := range hs.comps {
+		hc := &hs.comps[c]
+		mu := hc.muS[:dS]
+		for i, v := range xs {
+			pds[i] = v - float64(mu[i])
+		}
+		var q float64
+		b00 := hc.b00
+		for i := 0; i < dS; i++ {
+			row := b00[i*dS : i*dS+dS]
+			var s float64
+			for j, pj := range pds {
+				s += float64(row[j]) * pj
+			}
+			q += pds[i] * s
+		}
+		for j := range caches {
+			cc := &caches[j][c]
+			var r float64
+			for t, v := range pds {
+				r += v * cc.CrossS[t]
+			}
+			q += 2*r + cc.Self
+		}
+		if len(hc.pairs) > 0 {
+			np := 0
+			for i := 0; i < len(caches); i++ {
+				for j := i + 1; j < len(caches); j++ {
+					pb := &hc.pairs[np]
+					np++
+					x := caches[i][c].PD
+					y := caches[j][c].PD[:pb.dj]
+					a := pb.a
+					dj := pb.dj
+					var b float64
+					for ii := range x {
+						row := a[ii*dj : ii*dj+dj]
+						var s float64
+						for jj, yj := range y {
+							s += float64(row[jj]) * yj
+						}
+						b += x[ii] * s
+					}
+					q += 2 * b
+				}
+			}
+		}
+		logp[c] = hc.logK - 0.5*q
+	}
+	ops.Add(hs.rowOps)
+}

@@ -1,0 +1,74 @@
+package gmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"factorml/internal/core"
+)
+
+// TestFloat32ScorerAccuracy bounds the opt-in float32-storage kernel
+// against the default float64 path: rounding the per-component matrices
+// to float32 must perturb no log-density by more than 1e-5 relative, and
+// repeated evaluations must stay bit-identical (the path is deterministic
+// even though it is not bit-compatible with float64).
+func TestFloat32ScorerAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][]int{{3, 4}, {2, 3, 2}, {3, 2, 2, 3, 1}} {
+		p := core.NewPartition(dims)
+		m := fusedTestModel(t, rng, 4, p.D)
+		s64, err := m.NewScorer(p)
+		if err != nil {
+			t.Fatalf("NewScorer: %v", err)
+		}
+		s32, err := m.NewScorerF32(p)
+		if err != nil {
+			t.Fatalf("NewScorerF32: %v", err)
+		}
+		sc64, sc32 := s64.NewScratch(), s32.NewScratch()
+		q := p.Parts() - 1
+		c64 := make([][]core.QuadCache, q)
+		c32 := make([][]core.QuadCache, q)
+		for j := range c64 {
+			c64[j] = make([]core.QuadCache, m.K)
+			c32[j] = make([]core.QuadCache, m.K)
+		}
+		for trial := 0; trial < 50; trial++ {
+			var fill core.Ops
+			for j := range c64 {
+				xr := make([]float64, p.Dims[1+j])
+				for i := range xr {
+					xr[i] = rng.NormFloat64()
+				}
+				s64.FillDimCaches(c64[j], 1+j, xr, &fill)
+				s32.FillDimCaches(c32[j], 1+j, xr, &fill)
+			}
+			xs := make([]float64, p.Dims[0])
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+			s64.scoreComponents(xs, c64, sc64)
+			s32.scoreComponents(xs, c32, sc32)
+			for c := 0; c < m.K; c++ {
+				f64v, f32v := sc64.logp[c], sc32.logp[c]
+				if d := math.Abs(f32v - f64v); d > 1e-5*math.Max(1, math.Abs(f64v)) {
+					t.Fatalf("dims %v trial %d comp %d: float32 %v vs float64 %v (diff %g)",
+						dims, trial, c, f32v, f64v, d)
+				}
+			}
+			if sc64.Ops != sc32.Ops {
+				t.Fatalf("dims %v trial %d: float32 ops %+v != float64 ops %+v",
+					dims, trial, sc32.Ops, sc64.Ops)
+			}
+			first := append([]float64(nil), sc32.logp...)
+			s32.scoreComponents(xs, c32, sc32)
+			for c := 0; c < m.K; c++ {
+				if math.Float64bits(first[c]) != math.Float64bits(sc32.logp[c]) {
+					t.Fatalf("dims %v trial %d comp %d: float32 kernel not deterministic", dims, trial, c)
+				}
+			}
+			sc64.Ops, sc32.Ops = core.Ops{}, core.Ops{}
+		}
+	}
+}

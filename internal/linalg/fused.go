@@ -1,0 +1,62 @@
+package linalg
+
+// Fused, bounds-check-hoisted kernel helpers for the hot training and
+// serving loops. Each routine re-slices its operands to the exact length
+// up front (the `x = x[:n]` idiom) so the compiler proves every inner
+// access in range and emits no per-element bounds checks. DotN and AxpyN
+// evaluate in exactly the same floating-point order as Dot and Axpy, so
+// swapping one for the other anywhere preserves bit-identical results;
+// SyrkAccum is the exception and says so below.
+
+// DotN returns the inner product of x[:n] and y[:n]. The summation order
+// matches Dot element for element, so DotN(x, y, len(x)) is bit-identical
+// to Dot(x, y); the explicit length lets callers keep oversized scratch
+// buffers without re-slicing at every call site.
+func DotN(x, y []float64, n int) float64 {
+	x = x[:n]
+	y = y[:n]
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// AxpyN computes y[:n] += a·x[:n] in the same element order as Axpy.
+func AxpyN(a float64, x, y []float64, n int) {
+	x = x[:n]
+	y = y[:n]
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// SyrkAccum accumulates the weighted symmetric rank-1 update A += w·x·xᵀ,
+// computing each strictly-upper product once and mirroring it into the
+// lower triangle — half the multiplies of OuterAccum(A, w, x, x).
+//
+// Not bit-identical to OuterAccum: OuterAccum derives A[j][i] from
+// fl(fl(w·x[j])·x[i]) while the mirror copies fl(fl(w·x[i])·x[j]), which
+// can differ by one ulp. Use it only on paths whose outputs are not pinned
+// bit-identical against an OuterAccum-based twin (the cross-strategy
+// harnesses tolerate rounding; the streaming incremental-vs-full pin does
+// not, so internal/stream and the factorized M-step keep OuterAccum).
+func SyrkAccum(a *Dense, w float64, x []float64) {
+	if a.rows != a.cols || len(x) != a.rows {
+		panic("linalg: syrk dimension mismatch")
+	}
+	n := len(x)
+	for i := 0; i < n; i++ {
+		wx := w * x[i]
+		if wx == 0 {
+			continue
+		}
+		row := a.data[i*n : i*n+n]
+		row[i] += wx * x[i]
+		for j := i + 1; j < n; j++ {
+			v := wx * x[j]
+			row[j] += v
+			a.data[j*n+i] += v
+		}
+	}
+}

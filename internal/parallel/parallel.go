@@ -88,6 +88,23 @@ func RunRange(workers, n int, body func(start, end int, ops *core.Ops) error, to
 	if g := (n + DefaultFillGrain - 1) / DefaultFillGrain; workers > g {
 		workers = g
 	}
+	if workers <= 1 {
+		// Sequential fills skip the Feed machinery entirely — no closures,
+		// no heap traffic — with the identical grain geometry and in-order
+		// op merge, so the results (and the integer op totals) are unchanged.
+		for s := 0; s < n; s += DefaultFillGrain {
+			e := s + DefaultFillGrain
+			if e > n {
+				e = n
+			}
+			var ops core.Ops
+			if err := body(s, e, &ops); err != nil {
+				return err
+			}
+			*total = total.Plus(ops)
+		}
+		return nil
+	}
 	return Run(workers,
 		func(f *Feed[[2]int]) error {
 			for s := 0; s < n; s += DefaultFillGrain {

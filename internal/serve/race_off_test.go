@@ -1,0 +1,10 @@
+//go:build !race
+
+package serve_test
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-alloc pin skips under -race: the race runtime instruments
+// sync.Pool operations with bookkeeping allocations that do not exist in
+// production builds. The pin is enforced by the regular (non-race) test
+// run, which CI always executes alongside the race run.
+const raceEnabled = false

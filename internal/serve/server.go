@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -49,6 +50,10 @@ type Server struct {
 	// predictLims hands out per-model in-flight limiters (nil when
 	// Limits.MaxInFlightPerModel is 0).
 	predictLims *modelLimiters
+
+	// batchers coalesces concurrent predict requests per model (nil when
+	// Limits.BatchWindow is 0).
+	batchers *batcherSet
 
 	// Metrics instruments (nil without WithMetrics). Updated with atomics
 	// only — the registry lock is never taken on the request path.
@@ -127,6 +132,9 @@ func NewServer(eng *Engine, opts ...Option) *Server {
 		opt(s)
 	}
 	s.predictLims = newModelLimiters(s.limits.MaxInFlightPerModel)
+	if s.limits.BatchWindow > 0 {
+		s.batchers = newBatcherSet(eng, s.limits.BatchWindow, s.limits.MaxBatchRows)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
@@ -148,6 +156,12 @@ func NewServer(eng *Engine, opts ...Option) *Server {
 			"Requests rejected by admission control before any work was admitted.", "endpoint", "reason")
 		s.mreg.Collect(EngineCollector(s.eng))
 		s.mreg.Collect(BuildInfoCollector(s.start))
+		if s.batchers != nil {
+			s.batchers.sizeHist = s.mreg.HistogramVec("factorml_batch_size",
+				"Rows per coalesced engine batch, by model.",
+				[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, "model")
+			s.mreg.Collect(s.batchers.Collector())
+		}
 		if s.mon != nil {
 			s.mreg.Collect(s.mon.MetricsCollector())
 		}
@@ -402,6 +416,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds float64   `json:"uptime_seconds"`
 		Build         BuildInfo `json:"build"`
 		Trace         any       `json:"trace,omitempty"`
+		Batching      any       `json:"batching,omitempty"`
 		Stream        any       `json:"stream,omitempty"`
 		Planner       any       `json:"planner,omitempty"`
 		WAL           any       `json:"wal,omitempty"`
@@ -413,6 +428,9 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.tracer != nil {
 		payload.Trace = s.tracer.Stats()
+	}
+	if s.batchers != nil {
+		payload.Batching = s.batchers.stats()
 	}
 	if s.mon != nil {
 		payload.Health = s.mon.HealthAll()
@@ -543,28 +561,69 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	asp.SetBool("admitted", true)
 	asp.End()
-	var req predictRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			api.WriteErrorDetails(w, http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge,
-				map[string]any{"limit_bytes": tooBig.Limit}, "request body over %d bytes", tooBig.Limit)
+	binary := isBinaryContentType(r.Header.Get("Content-Type"))
+	bufs := getPredictBuffers()
+	defer putPredictBuffers(bufs)
+	var rows []Row
+	if binary {
+		buf := bytes.NewBuffer(bufs.body[:0])
+		_, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxPredictBody))
+		bufs.body = buf.Bytes()[:0] // retain grown capacity for reuse
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				api.WriteErrorDetails(w, http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge,
+					map[string]any{"limit_bytes": tooBig.Limit}, "request body over %d bytes", tooBig.Limit)
+				return
+			}
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, "reading request: %v", err)
 			return
 		}
-		api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, "decoding request: %v", err)
-		return
+		if err := decodeBinaryRequest(buf.Bytes(), bufs); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, "decoding binary request: %v", err)
+			return
+		}
+		rows = bufs.rows
+	} else {
+		var req predictRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				api.WriteErrorDetails(w, http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge,
+					map[string]any{"limit_bytes": tooBig.Limit}, "request body over %d bytes", tooBig.Limit)
+				return
+			}
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, "decoding request: %v", err)
+			return
+		}
+		if len(req.Rows) == 0 {
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, "request has no rows")
+			return
+		}
+		if cap(bufs.rows) < len(req.Rows) {
+			bufs.rows = make([]Row, len(req.Rows))
+		}
+		bufs.rows = bufs.rows[:len(req.Rows)]
+		for i, rr := range req.Rows {
+			bufs.rows[i] = Row{Fact: rr.Fact, FKs: rr.FKs}
+		}
+		rows = bufs.rows
 	}
-	if len(req.Rows) == 0 {
-		api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, "request has no rows")
-		return
+	// Score: through the batcher when coalescing is on and the request is
+	// small enough to benefit (a request at or over the batch cap would
+	// flush alone anyway — it goes straight to the engine with its own
+	// context), otherwise directly into the pooled result buffer.
+	var preds []Prediction
+	var info ModelInfo
+	var err error
+	if s.batchers != nil && (s.limits.MaxBatchRows <= 0 || len(rows) < s.limits.MaxBatchRows) {
+		preds, info, err = s.batchers.submit(name, rows)
+	} else {
+		preds = bufs.sizedPreds(len(rows))
+		info, err = s.eng.PredictIntoCtx(r.Context(), name, rows, preds)
 	}
-	rows := make([]Row, len(req.Rows))
-	for i, rr := range req.Rows {
-		rows[i] = Row{Fact: rr.Fact, FKs: rr.FKs}
-	}
-	preds, info, err := s.eng.PredictCtx(r.Context(), name, rows)
 	if err != nil {
 		switch {
 		case IsUnknownModel(err):
@@ -576,25 +635,24 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	resp := predictResponse{
-		Model: info.Name, Kind: info.Kind, Version: info.Version,
-		Predictions: make([]predictionJSON, len(preds)),
+	if binary {
+		bufs.out = appendBinaryResponse(bufs.out[:0], info, preds)
+		w.Header().Set("Content-Type", BinaryContentType)
+	} else {
+		bufs.out = appendPredictResponse(bufs.out[:0], info, preds)
+		w.Header().Set("Content-Type", "application/json")
 	}
-	for i := range preds {
-		p := &preds[i]
-		if p.Err != "" {
-			resp.Predictions[i].Err = &api.Error{Code: p.Code, Message: p.Err, Details: map[string]any{"row": i}}
-			continue
-		}
-		switch info.Kind {
-		case KindNN:
-			resp.Predictions[i].Output = &p.Output
-		case KindGMM:
-			resp.Predictions[i].LogProb = &p.LogProb
-			resp.Predictions[i].Cluster = &p.Cluster
-		}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(bufs.out)
+}
+
+// isBinaryContentType reports whether ct selects the binary predict wire
+// format (parameters after a ';' are ignored).
+func isBinaryContentType(ct string) bool {
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return strings.TrimSpace(ct) == BinaryContentType
 }
 
 // BootingHandler answers for a server that is still constructing its

@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary predict wire format ("FMB1"), negotiated per request via
+// Content-Type: application/x-factorml-binary on POST
+// /v1/models/{name}/predict. It exists for one reason: at production row
+// rates the JSON predict path is dominated by number formatting and
+// parsing, not by the factorized math. The binary format is fixed-layout
+// little-endian, so encoding is a straight memory walk.
+//
+// Request (after the shared admission and size checks; every multi-byte
+// integer little-endian):
+//
+//	magic   "FMB1"                       4 bytes
+//	type    1 (predict request)          1 byte
+//	pad     0 0 0                        3 bytes
+//	nRows   uint32
+//	factW   uint32  fact features per row
+//	nFKs    uint32  foreign keys per row
+//	rows    nRows × (factW × float64, nFKs × int64)
+//
+// Response (status 200; request-level failures keep the JSON error
+// envelope with its stable codes, whatever the request encoding):
+//
+//	magic   "FMB1"
+//	type    2 (predict response)         1 byte
+//	kind    0 = NN, 1 = GMM              1 byte
+//	pad     0 0                          2 bytes
+//	nameLen uint16, name bytes
+//	version uint32
+//	nRows   uint32
+//	rows    nRows × row result
+//
+// Row result: one status byte; 0 = ok followed by the kind's payload
+// (NN: float64 output; GMM: float64 log-prob + int32 cluster), 1 = row
+// error followed by uint16-length code and uint16-length message (the
+// same stable api.Code* values as the JSON predictions carry).
+// BinaryContentType selects the binary predict wire format when sent as
+// a request's Content-Type; responses to binary requests carry it back.
+const BinaryContentType = "application/x-factorml-binary"
+
+const (
+	wireMagic        = "FMB1"
+	wireTypeRequest  = 1
+	wireTypeResponse = 2
+
+	wireKindNN  = 0
+	wireKindGMM = 1
+
+	wireRowOK  = 0
+	wireRowErr = 1
+)
+
+// wireHeaderLen is the fixed request preamble: magic, type, pad, three
+// uint32 counts.
+const wireHeaderLen = 4 + 1 + 3 + 4 + 4 + 4
+
+// AppendBinaryRequest encodes rows as one binary predict request appended
+// to dst. All rows must share one shape (that of rows[0]); the format has
+// a single per-batch width header. Exported for wire clients (cmd/loadgen
+// and tests).
+func AppendBinaryRequest(dst []byte, rows []Row) ([]byte, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("serve: binary request needs at least one row")
+	}
+	factW, nFKs := len(rows[0].Fact), len(rows[0].FKs)
+	for i := range rows {
+		if len(rows[i].Fact) != factW || len(rows[i].FKs) != nFKs {
+			return nil, fmt.Errorf("serve: binary request row %d has shape (%d,%d), batch header says (%d,%d)",
+				i, len(rows[i].Fact), len(rows[i].FKs), factW, nFKs)
+		}
+	}
+	dst = append(dst, wireMagic...)
+	dst = append(dst, wireTypeRequest, 0, 0, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(rows)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(factW))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(nFKs))
+	for i := range rows {
+		for _, v := range rows[i].Fact {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+		for _, k := range rows[i].FKs {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(k))
+		}
+	}
+	return dst, nil
+}
+
+// decodeBinaryRequest parses a binary predict request into the pooled
+// buffers: bufs.rows alias flat backing arrays (bufs.facts/bufs.fks), so
+// a warm steady state decodes without allocating. Every length is
+// validated against the actual body size before a single row is read —
+// a truncated or padded body is rejected whole.
+func decodeBinaryRequest(data []byte, bufs *predictBuffers) error {
+	if len(data) < wireHeaderLen {
+		return fmt.Errorf("body is %d bytes, shorter than the %d-byte header", len(data), wireHeaderLen)
+	}
+	if string(data[:4]) != wireMagic {
+		return fmt.Errorf("bad magic %q, want %q", data[:4], wireMagic)
+	}
+	if data[4] != wireTypeRequest {
+		return fmt.Errorf("message type %d, want %d (predict request)", data[4], wireTypeRequest)
+	}
+	if data[5] != 0 || data[6] != 0 || data[7] != 0 {
+		return fmt.Errorf("nonzero padding bytes")
+	}
+	nRows := int(binary.LittleEndian.Uint32(data[8:]))
+	factW := int(binary.LittleEndian.Uint32(data[12:]))
+	nFKs := int(binary.LittleEndian.Uint32(data[16:]))
+	rowBytes := 8 * (factW + nFKs)
+	if nRows <= 0 {
+		return fmt.Errorf("request has no rows")
+	}
+	if rowBytes == 0 {
+		return fmt.Errorf("request rows are empty (no features, no keys)")
+	}
+	want := wireHeaderLen + nRows*rowBytes
+	if len(data) != want {
+		return fmt.Errorf("body is %d bytes, header (%d rows × %d bytes) requires %d",
+			len(data), nRows, rowBytes, want)
+	}
+	if cap(bufs.facts) < nRows*factW {
+		bufs.facts = make([]float64, nRows*factW)
+	}
+	bufs.facts = bufs.facts[:nRows*factW]
+	if cap(bufs.fks) < nRows*nFKs {
+		bufs.fks = make([]int64, nRows*nFKs)
+	}
+	bufs.fks = bufs.fks[:nRows*nFKs]
+	if cap(bufs.rows) < nRows {
+		bufs.rows = make([]Row, nRows)
+	}
+	bufs.rows = bufs.rows[:nRows]
+	off := wireHeaderLen
+	for i := 0; i < nRows; i++ {
+		fact := bufs.facts[i*factW : (i+1)*factW]
+		for j := range fact {
+			fact[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+		fks := bufs.fks[i*nFKs : (i+1)*nFKs]
+		for j := range fks {
+			fks[j] = int64(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+		bufs.rows[i] = Row{Fact: fact, FKs: fks}
+	}
+	return nil
+}
+
+// appendBinaryResponse encodes the predict success response appended to
+// dst — the binary twin of appendPredictResponse, carrying the identical
+// per-row values and error codes.
+func appendBinaryResponse(dst []byte, info ModelInfo, preds []Prediction) []byte {
+	dst = append(dst, wireMagic...)
+	kind := byte(wireKindGMM)
+	if info.Kind == KindNN {
+		kind = wireKindNN
+	}
+	dst = append(dst, wireTypeResponse, kind, 0, 0)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(info.Name)))
+	dst = append(dst, info.Name...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(info.Version))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(preds)))
+	for i := range preds {
+		p := &preds[i]
+		if p.Err != "" {
+			dst = append(dst, wireRowErr)
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(p.Code)))
+			dst = append(dst, p.Code...)
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(len(p.Err)))
+			dst = append(dst, p.Err...)
+			continue
+		}
+		dst = append(dst, wireRowOK)
+		if info.Kind == KindNN {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Output))
+		} else {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.LogProb))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(p.Cluster)))
+		}
+	}
+	return dst
+}
+
+// DecodeBinaryResponse parses a binary predict response. Exported for
+// wire clients (cmd/loadgen and the equivalence tests).
+func DecodeBinaryResponse(data []byte) (info ModelInfo, preds []Prediction, err error) {
+	fail := func(format string, args ...any) (ModelInfo, []Prediction, error) {
+		return ModelInfo{}, nil, fmt.Errorf("serve: binary response: "+format, args...)
+	}
+	if len(data) < 8 {
+		return fail("body is %d bytes, shorter than the 8-byte preamble", len(data))
+	}
+	if string(data[:4]) != wireMagic {
+		return fail("bad magic %q, want %q", data[:4], wireMagic)
+	}
+	if data[4] != wireTypeResponse {
+		return fail("message type %d, want %d (predict response)", data[4], wireTypeResponse)
+	}
+	switch data[5] {
+	case wireKindNN:
+		info.Kind = KindNN
+	case wireKindGMM:
+		info.Kind = KindGMM
+	default:
+		return fail("unknown model kind %d", data[5])
+	}
+	if data[6] != 0 || data[7] != 0 {
+		return fail("nonzero padding bytes")
+	}
+	off := 8
+	need := func(n int) bool { return len(data)-off >= n }
+	if !need(2) {
+		return fail("truncated at model name length")
+	}
+	nameLen := int(binary.LittleEndian.Uint16(data[off:]))
+	off += 2
+	if !need(nameLen + 8) {
+		return fail("truncated at model name/version")
+	}
+	info.Name = string(data[off : off+nameLen])
+	off += nameLen
+	info.Version = int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	nRows := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	preds = make([]Prediction, nRows)
+	for i := 0; i < nRows; i++ {
+		if !need(1) {
+			return fail("truncated at row %d status", i)
+		}
+		status := data[off]
+		off++
+		switch status {
+		case wireRowOK:
+			if info.Kind == KindNN {
+				if !need(8) {
+					return fail("truncated at row %d output", i)
+				}
+				preds[i].Output = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+				off += 8
+			} else {
+				if !need(12) {
+					return fail("truncated at row %d log-prob/cluster", i)
+				}
+				preds[i].LogProb = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+				preds[i].Cluster = int(int32(binary.LittleEndian.Uint32(data[off+8:])))
+				off += 12
+			}
+		case wireRowErr:
+			if !need(2) {
+				return fail("truncated at row %d error code length", i)
+			}
+			codeLen := int(binary.LittleEndian.Uint16(data[off:]))
+			off += 2
+			if !need(codeLen + 2) {
+				return fail("truncated at row %d error code", i)
+			}
+			preds[i].Code = string(data[off : off+codeLen])
+			off += codeLen
+			msgLen := int(binary.LittleEndian.Uint16(data[off:]))
+			off += 2
+			if !need(msgLen) {
+				return fail("truncated at row %d error message", i)
+			}
+			preds[i].Err = string(data[off : off+msgLen])
+			off += msgLen
+		default:
+			return fail("row %d has unknown status %d", i, status)
+		}
+	}
+	if off != len(data) {
+		return fail("%d trailing bytes after the last row", len(data)-off)
+	}
+	return info, preds, nil
+}

@@ -35,6 +35,14 @@ grep -q 'url is required' "$tmp/err"
 if "$tmp/loadgen" -url http://x -model m -mix "predict=nope" 2>"$tmp/err"; then
     echo "loadgen accepted a bad mix" >&2; exit 1
 fi
+if "$tmp/loadgen" -url http://x -model m -wire msgpack 2>"$tmp/err"; then
+    echo "loadgen accepted a bad -wire" >&2; exit 1
+fi
+grep -q 'wire must be json, binary or both' "$tmp/err"
+if "$tmp/serve" -db x -dims d -max-batch 8 2>"$tmp/err"; then
+    echo "serve accepted -max-batch without -batch-window" >&2; exit 1
+fi
+grep -q 'max-batch needs -batch-window' "$tmp/err"
 
 echo "== generating tiny synthetic star schema"
 "$tmp/datagen" -db "$tmp/db" -ns 500 -nr 20 -ds 3 -dr 3 -seed 1
@@ -67,11 +75,11 @@ done
 curl -sf "http://$addr/readyz" >/dev/null || { echo "server never became ready" >&2; cat "$tmp/serve.log" >&2; exit 1; }
 echo "   serving on $addr"
 
-echo "== mixed ramp (predict/ingest/refresh) with traceparent propagation"
+echo "== mixed ramp (predict/ingest/refresh) with traceparent propagation, JSON and binary predict wires"
 "$tmp/loadgen" -url "http://$addr" -model load-nn \
     -mix predict=0.9,ingest=0.09,refresh=0.01 \
     -rates 100,300 -step 2s -rows 4 -fact-width 3 -fk-max 20 \
-    -trace-fraction 0.5 \
+    -trace-fraction 0.5 -wire both \
     -out "$out" | tee "$tmp/loadgen.log"
 
 echo "== checking the report"
@@ -79,7 +87,20 @@ grep -q '"saturation_rps"' "$out"
 grep -q '"p50_ms"' "$out"
 grep -q '"p99_ms"' "$out"
 grep -q '"p999_ms"' "$out"
-grep -q '"predict"' "$out"
+grep -q '"predict_json"' "$out"
+grep -q '"predict_binary"' "$out"
+python3 - "$out" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+overall = report["overall"]
+j, b = overall["predict_json"], overall["predict_binary"]
+print(f"   predict_json   p50 {j['p50_ms']:.2f}ms p99 {j['p99_ms']:.2f}ms (n={j['count']})")
+print(f"   predict_binary p50 {b['p50_ms']:.2f}ms p99 {b['p99_ms']:.2f}ms (n={b['count']})")
+if b["p99_ms"] > j["p99_ms"]:
+    # Informational on the tiny smoke steps; the real comparison runs at
+    # sustained load where encoding cost dominates.
+    print("   note: binary p99 above JSON p99 in this short smoke run")
+EOF
 if grep -q '"transport_errors": [^0]' "$out"; then
     echo "loadgen saw transport errors (timeouts/connection failures)" >&2
     cat "$out" >&2; exit 1
